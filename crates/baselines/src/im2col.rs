@@ -1,0 +1,144 @@
+//! im2col + GEMM convolution — the classic GPU/CPU lowering the paper's
+//! related work (cuDNN pre-Winograd) is built on.
+//!
+//! The input is unrolled into a `(C·r²) × (H_out·W_out)` patch matrix so
+//! the whole layer becomes one `K × (C·r²)` by patch-matrix product.
+
+use crate::gemm;
+use wino_tensor::{Scalar, Shape4, Tensor2, Tensor4};
+
+/// Unrolls one image into its im2col patch matrix.
+///
+/// Row `c·r² + v·r + u`, column `y·W_out + x` holds
+/// `input[c, y+v−pad, x+u−pad]` (zero outside).
+pub fn im2col<T: Scalar>(input: &Tensor4<T>, image: usize, r: usize, pad: usize) -> Tensor2<T> {
+    let is = input.shape();
+    let out_h = is.h + 2 * pad - r + 1;
+    let out_w = is.w + 2 * pad - r + 1;
+    Tensor2::from_fn(is.c * r * r, out_h * out_w, |row, col| {
+        let c = row / (r * r);
+        let v = (row / r) % r;
+        let u = row % r;
+        let y = col / out_w;
+        let x = col % out_w;
+        let iy = (y + v) as isize - pad as isize;
+        let ix = (x + u) as isize - pad as isize;
+        if iy >= 0 && ix >= 0 && (iy as usize) < is.h && (ix as usize) < is.w {
+            input.at(image, c, iy as usize, ix as usize)
+        } else {
+            T::zero()
+        }
+    })
+}
+
+/// Full-layer convolution via im2col + blocked GEMM.
+///
+/// Same shape contract as
+/// [`spatial_convolve`](crate::spatial_convolve); results are
+/// algebraically identical (bit-identical over exact scalars).
+///
+/// ```
+/// use wino_baselines::{im2col_convolve, spatial_convolve};
+/// use wino_tensor::{Shape4, Tensor4};
+///
+/// let x = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 5, w: 5 }, |_, c, h, w| (c + h * w) as f32);
+/// let k = Tensor4::from_fn(Shape4 { n: 3, c: 2, h: 3, w: 3 }, |k, c, h, w| (k + c + h + w) as f32);
+/// assert_eq!(im2col_convolve(&x, &k, 1).shape(), spatial_convolve(&x, &k, 1).shape());
+/// ```
+///
+/// # Panics
+///
+/// Panics if channel counts disagree or kernels are not square.
+pub fn im2col_convolve<T: Scalar>(input: &Tensor4<T>, kernels: &Tensor4<T>, pad: usize) -> Tensor4<T> {
+    let is = input.shape();
+    let ks = kernels.shape();
+    assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
+    assert_eq!(ks.h, ks.w, "kernels must be square");
+    let r = ks.h;
+    let out_h = is.h + 2 * pad - r + 1;
+    let out_w = is.w + 2 * pad - r + 1;
+
+    // K x (C r^2) kernel matrix, rows in the same (c, v, u) order as im2col.
+    let kmat = Tensor2::from_fn(ks.n, ks.c * r * r, |k, row| {
+        let c = row / (r * r);
+        let v = (row / r) % r;
+        let u = row % r;
+        kernels.at(k, c, v, u)
+    });
+
+    let mut out = Tensor4::zeros(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w });
+    for img in 0..is.n {
+        let patches = im2col(input, img, r, pad);
+        let result = gemm(&kmat, &patches); // K x (out_h*out_w)
+        for k in 0..ks.n {
+            let plane = Tensor2::from_vec(out_h, out_w, result.row(k).to_vec());
+            out.set_plane(img, k, &plane);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial_convolve;
+    use wino_tensor::{ratio, SplitMix64};
+
+    #[test]
+    fn equals_spatial_exactly_over_rationals() {
+        let mut rng = SplitMix64::new(17);
+        let input = Tensor4::from_fn(Shape4 { n: 2, c: 3, h: 6, w: 5 }, |_, _, _, _| {
+            ratio(rng.below(11) as i128 - 5, 1)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 4, c: 3, h: 3, w: 3 }, |_, _, _, _| {
+            ratio(rng.below(11) as i128 - 5, 1)
+        });
+        for pad in [0usize, 1] {
+            assert_eq!(
+                im2col_convolve(&input, &kernels, pad),
+                spatial_convolve(&input, &kernels, pad),
+                "pad={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn close_to_spatial_in_f32() {
+        let mut rng = SplitMix64::new(18);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 8, h: 14, w: 14 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 8, c: 8, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let a = im2col_convolve(&input, &kernels, 1);
+        let b = spatial_convolve(&input, &kernels, 1);
+        let stats = wino_tensor::ErrorStats::between(a.as_slice(), b.as_slice());
+        assert!(stats.within_abs(1e-4), "{stats}");
+    }
+
+    #[test]
+    fn patch_matrix_shape_and_content() {
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w) as f32);
+        let p = im2col(&input, 0, 2, 0);
+        assert_eq!(p.rows(), 4); // 1 channel * 2*2
+        assert_eq!(p.cols(), 4); // 2x2 output positions
+        // Patch at output (0,0): values (0,0),(0,1),(1,0),(1,1) = 0,1,3,4.
+        assert_eq!(p[(0, 0)], 0.0);
+        assert_eq!(p[(1, 0)], 1.0);
+        assert_eq!(p[(2, 0)], 3.0);
+        assert_eq!(p[(3, 0)], 4.0);
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_channel_mix() {
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 2, w: 2 }, |_, c, h, w| {
+            (c * 10 + h * 2 + w) as f32
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 1, w: 1 }, |_, c, _, _| {
+            if c == 0 { 1.0 } else { -1.0 }
+        });
+        let out = im2col_convolve(&input, &kernels, 0);
+        assert_eq!(out.as_slice(), &[-10.0; 4]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # wino-baselines
+//!
+//! The comparison algorithms for the `winofpga` reproduction of Ahmad &
+//! Pasha (DATE 2019):
+//!
+//! * [`spatial_convolve`] — direct spatial convolution (paper Eq. 1), the
+//!   correctness oracle for everything else;
+//! * [`im2col_convolve`] — im2col + blocked [`gemm`], the classic lowering
+//!   the pre-Winograd cuDNN used;
+//! * [`fft_convolve`] — FFT-based convolution with an own radix-2
+//!   [`fft_in_place`], reproducing the paper's claim that FFT convolution
+//!   only pays off for large kernels ([`fft_conv_complexity`]).
+//!
+//! ```
+//! use wino_baselines::{im2col_convolve, spatial_convolve};
+//! use wino_tensor::{Shape4, Tensor4};
+//!
+//! let x = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 4, w: 4 }, |_, _, h, w| (h + w) as f32);
+//! let k = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, _, _| 1.0f32);
+//! assert_eq!(
+//!     spatial_convolve(&x, &k, 1).as_slice(),
+//!     im2col_convolve(&x, &k, 1).as_slice(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fft;
+mod gemm;
+mod im2col;
+mod spatial;
+
+pub use fft::{fft_conv_complexity, fft_convolve, fft_in_place, Complex};
+pub use gemm::gemm;
+pub use im2col::{im2col, im2col_convolve};
+pub use spatial::{spatial_convolve, spatial_convolve_strided};

@@ -1,0 +1,149 @@
+//! Direct spatial convolution (paper Eq. 1) — the ground-truth oracle.
+//!
+//! `Y[i,k,x,y] = Σ_c Σ_v Σ_u D[i,c,x+u,y+v] · G[k,c,u,v]`, computed
+//! exactly as written. Every fast algorithm in the workspace is validated
+//! against this implementation.
+
+use wino_tensor::{Scalar, Shape4, Tensor4};
+
+/// Direct spatial convolution with unit stride.
+///
+/// `input` is `(N, C, H, W)`, `kernels` `(K, C, r, r)`; output is
+/// `(N, K, H+2·pad−r+1, W+2·pad−r+1)`. Out-of-bounds reads are zero.
+///
+/// ```
+/// use wino_baselines::spatial_convolve;
+/// use wino_tensor::{Shape4, Tensor4};
+///
+/// let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w) as f32);
+/// let id = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| {
+///     if h == 1 && w == 1 { 1.0f32 } else { 0.0 }
+/// });
+/// // Identity kernel with same-padding returns the input.
+/// let out = spatial_convolve(&input, &id, 1);
+/// assert_eq!(out.as_slice(), input.as_slice());
+/// ```
+///
+/// # Panics
+///
+/// Panics if channel counts disagree, kernels are not square, or the
+/// padded input is smaller than the kernel.
+pub fn spatial_convolve<T: Scalar>(input: &Tensor4<T>, kernels: &Tensor4<T>, pad: usize) -> Tensor4<T> {
+    spatial_convolve_strided(input, kernels, pad, 1)
+}
+
+/// Direct spatial convolution with arbitrary stride (the general Eq. 1;
+/// strided layers are the ones a Winograd engine must fall back on).
+///
+/// # Panics
+///
+/// See [`spatial_convolve`]; additionally panics if `stride == 0`.
+pub fn spatial_convolve_strided<T: Scalar>(
+    input: &Tensor4<T>,
+    kernels: &Tensor4<T>,
+    pad: usize,
+    stride: usize,
+) -> Tensor4<T> {
+    let is = input.shape();
+    let ks = kernels.shape();
+    assert!(stride > 0, "stride must be positive");
+    assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
+    assert_eq!(ks.h, ks.w, "kernels must be square");
+    assert!(is.h + 2 * pad >= ks.h && is.w + 2 * pad >= ks.w, "input too small for kernel");
+    let r = ks.h;
+    let out_h = (is.h + 2 * pad - r) / stride + 1;
+    let out_w = (is.w + 2 * pad - r) / stride + 1;
+
+    Tensor4::from_fn(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w }, |n, k, y, x| {
+        let mut acc = T::zero();
+        for c in 0..is.c {
+            for v in 0..r {
+                for u in 0..r {
+                    let iy = (y * stride + v) as isize - pad as isize;
+                    let ix = (x * stride + u) as isize - pad as isize;
+                    if iy >= 0 && ix >= 0 && (iy as usize) < is.h && (ix as usize) < is.w {
+                        acc += input.at(n, c, iy as usize, ix as usize) * kernels.at(k, c, v, u);
+                    }
+                }
+            }
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_tensor::ratio;
+    use wino_tensor::Ratio;
+
+    #[test]
+    fn hand_computed_1x1_channel_sum() {
+        // 1x1 kernels of all ones sum the channels.
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 3, h: 2, w: 2 }, |_, c, _, _| (c + 1) as f32);
+        let kernels = Tensor4::from_fn(Shape4 { n: 1, c: 3, h: 1, w: 1 }, |_, _, _, _| 1.0f32);
+        let out = spatial_convolve(&input, &kernels, 0);
+        assert_eq!(out.as_slice(), &[6.0; 4]);
+    }
+
+    #[test]
+    fn valid_3x3_single_position() {
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w + 1) as f32);
+        let kernels = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, _, _| 1.0f32);
+        let out = spatial_convolve(&input, &kernels, 0);
+        assert_eq!(out.shape(), Shape4 { n: 1, c: 1, h: 1, w: 1 });
+        assert_eq!(out.at(0, 0, 0, 0), 45.0);
+    }
+
+    #[test]
+    fn padding_zero_extends() {
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 1, w: 1 }, |_, _, _, _| 2.0f32);
+        let kernels = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w) as f32);
+        let out = spatial_convolve(&input, &kernels, 1);
+        // Only the kernel center (weight 4) overlaps the single pixel.
+        assert_eq!(out.shape(), Shape4 { n: 1, c: 1, h: 1, w: 1 });
+        assert_eq!(out.at(0, 0, 0, 0), 8.0);
+    }
+
+    #[test]
+    fn stride_two_subsamples() {
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 5, w: 5 }, |_, _, h, w| (h * 5 + w) as f32);
+        let center = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 1, w: 1 }, |_, _, _, _| 1.0f32);
+        let out = spatial_convolve_strided(&input, &center, 0, 2);
+        assert_eq!(out.shape(), Shape4 { n: 1, c: 1, h: 3, w: 3 });
+        assert_eq!(out.at(0, 0, 1, 1), 12.0);
+        assert_eq!(out.at(0, 0, 2, 2), 24.0);
+    }
+
+    #[test]
+    fn exact_rational_linearity() {
+        // conv(a + b) = conv(a) + conv(b), exactly.
+        let shape = Shape4 { n: 1, c: 2, h: 4, w: 4 };
+        let a = Tensor4::from_fn(shape, |_, c, h, w| ratio((c + h + w) as i128, 3));
+        let b = Tensor4::from_fn(shape, |_, c, h, w| ratio((c * h) as i128 - w as i128, 2));
+        let sum = Tensor4::from_fn(shape, |n, c, h, w| a.at(n, c, h, w) + b.at(n, c, h, w));
+        let kernels =
+            Tensor4::from_fn(Shape4 { n: 2, c: 2, h: 3, w: 3 }, |k, c, h, w| ratio((k + c + h * w) as i128, 1));
+        let ca = spatial_convolve(&a, &kernels, 1);
+        let cb = spatial_convolve(&b, &kernels, 1);
+        let cs = spatial_convolve(&sum, &kernels, 1);
+        let recombined = Tensor4::from_fn(cs.shape(), |n, k, h, w| ca.at(n, k, h, w) + cb.at(n, k, h, w));
+        assert_eq!(cs, recombined);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_kernel_panics() {
+        let input = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 1, h: 4, w: 4 });
+        let kernels = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 1, h: 3, w: 2 });
+        let _ = spatial_convolve(&input, &kernels, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let input = Tensor4::<Ratio>::zeros(Shape4 { n: 1, c: 1, h: 4, w: 4 });
+        let kernels = Tensor4::<Ratio>::zeros(Shape4 { n: 1, c: 1, h: 3, w: 3 });
+        let _ = spatial_convolve_strided(&input, &kernels, 0, 0);
+    }
+}

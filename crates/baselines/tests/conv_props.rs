@@ -1,0 +1,110 @@
+//! Property tests: the three baseline algorithms agree with each other on
+//! arbitrary layer shapes.
+
+use proptest::prelude::*;
+use wino_baselines::{fft_convolve, gemm, im2col_convolve, spatial_convolve};
+use wino_tensor::{ratio, ErrorStats, Ratio, Shape4, SplitMix64, Tensor2, Tensor4};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn im2col_equals_spatial_exactly(
+        n in 1usize..3,
+        c in 1usize..4,
+        k in 1usize..4,
+        h in 3usize..9,
+        w in 3usize..9,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n, c, h, w }, |_, _, _, _| {
+            ratio(rng.below(13) as i128 - 6, 1 + rng.below(3) as i128)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| {
+            ratio(rng.below(13) as i128 - 6, 1 + rng.below(3) as i128)
+        });
+        prop_assert_eq!(
+            im2col_convolve(&input, &kernels, pad),
+            spatial_convolve(&input, &kernels, pad)
+        );
+    }
+
+    #[test]
+    fn fft_approximates_spatial(
+        c in 1usize..3,
+        k in 1usize..3,
+        h in 4usize..11,
+        r in prop::sample::select(vec![3usize, 5]),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h >= r);
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c, h, w: h }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c, h: r, w: r }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let pad = (r - 1) / 2;
+        let fft = fft_convolve(&input, &kernels, pad);
+        let refr = spatial_convolve(&input, &kernels, pad);
+        let stats = ErrorStats::between(fft.as_slice(), refr.as_slice());
+        prop_assert!(stats.within_abs(1e-3), "{}", stats);
+    }
+
+    #[test]
+    fn gemm_matches_naive_matmul(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let a = Tensor2::from_fn(m, k, |_, _| ratio(rng.below(9) as i128 - 4, 1));
+        let b = Tensor2::from_fn(k, n, |_, _| ratio(rng.below(9) as i128 - 4, 1));
+        prop_assert_eq!(gemm(&a, &b), a.matmul(&b));
+    }
+
+    #[test]
+    fn spatial_conv_is_linear_in_input(
+        c in 1usize..3,
+        h in 3usize..7,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let shape = Shape4 { n: 1, c, h, w: h };
+        let a = Tensor4::from_fn(shape, |_, _, _, _| ratio(rng.below(7) as i128 - 3, 1));
+        let b = Tensor4::from_fn(shape, |_, _, _, _| ratio(rng.below(7) as i128 - 3, 1));
+        let kernels = Tensor4::from_fn(Shape4 { n: 2, c, h: 3, w: 3 }, |_, _, _, _| {
+            ratio(rng.below(7) as i128 - 3, 1)
+        });
+        let sum = Tensor4::from_fn(shape, |n, ci, y, x| a.at(n, ci, y, x) + b.at(n, ci, y, x));
+        let ca = spatial_convolve(&a, &kernels, 1);
+        let cb = spatial_convolve(&b, &kernels, 1);
+        let cs = spatial_convolve(&sum, &kernels, 1);
+        let recombined = Tensor4::from_fn(cs.shape(), |n, ki, y, x| {
+            ca.at(n, ki, y, x) + cb.at(n, ki, y, x)
+        });
+        prop_assert_eq!(cs, recombined);
+    }
+
+    #[test]
+    fn identity_kernel_is_neutral(c in 1usize..4, h in 3usize..8, seed in 0u64..500) {
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c, h, w: h }, |_, _, _, _| {
+            ratio(rng.below(19) as i128 - 9, 1)
+        });
+        // One kernel per channel bank: center tap on channel 0 only.
+        let kernels = Tensor4::from_fn(Shape4 { n: 1, c, h: 3, w: 3 }, |_, ci, v, u| {
+            if ci == 0 && v == 1 && u == 1 { Ratio::ONE } else { Ratio::ZERO }
+        });
+        let out = spatial_convolve(&input, &kernels, 1);
+        for y in 0..h {
+            for x in 0..h {
+                prop_assert_eq!(out.at(0, 0, y, x), input.at(0, 0, y, x));
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Cost of regenerating the paper's experiments — the analytical DSE is
+//! cheap enough for interactive sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wino_core::CostModel;
+use wino_dse::{fig1, fig2, fig6, sweep_m, table2, Evaluator};
+use wino_fpga::virtex7_485t;
+use wino_models::vgg16d;
+
+fn bench_dse(criterion: &mut Criterion) {
+    let wl = vgg16d(1);
+    let evaluator = Evaluator::new(wl.clone(), virtex7_485t());
+    let mut group = criterion.benchmark_group("paper_artifacts");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("fig1", |b| b.iter(|| fig1(&wl)));
+    group.bench_function("fig2_shiftfree", |b| b.iter(|| fig2(&wl, CostModel::ShiftFree)));
+    group.bench_function("fig6", |b| b.iter(|| fig6(&wl, 200e6)));
+    group.bench_function("table2", |b| b.iter(|| table2(&evaluator)));
+    group.bench_function("sweep_m1_to_7", |b| {
+        b.iter(|| sweep_m(&evaluator, &[1, 2, 3, 4, 5, 6, 7], 3, 700, 200e6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

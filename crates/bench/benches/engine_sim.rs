@@ -1,0 +1,34 @@
+//! Speed of the cycle-level engine simulator itself (simulated cycles per
+//! wall-clock second), for the three Table II configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wino_core::WinogradParams;
+use wino_engine::{EngineConfig, WinogradEngine};
+use wino_tensor::{Shape4, SplitMix64, Tensor4};
+
+fn bench_engine(criterion: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let input = Tensor4::from_fn(Shape4 { n: 1, c: 16, h: 14, w: 14 }, |_, _, _, _| {
+        rng.uniform_f32(-1.0, 1.0)
+    });
+    let kernels = Tensor4::from_fn(Shape4 { n: 16, c: 16, h: 3, w: 3 }, |_, _, _, _| {
+        rng.uniform_f32(-0.3, 0.3)
+    });
+    let mut group = criterion.benchmark_group("engine_sim_14x14x16_to_16");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (m, pes) in [(2usize, 8usize), (3, 8), (4, 8)] {
+        let engine = WinogradEngine::new(EngineConfig::proposed(
+            WinogradParams::new(m, 3).expect("valid"),
+            pes,
+        ))
+        .expect("generates");
+        group.bench_with_input(BenchmarkId::from_parameter(format!("F({m}x{m})x{pes}PE")), &m, |b, _| {
+            b.iter(|| engine.run_layer(&input, &kernels, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

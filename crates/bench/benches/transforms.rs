@@ -1,0 +1,42 @@
+//! Costs of the Winograd building blocks: exact generation, per-tile
+//! transforms, single-tile convolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wino_core::{TransformSet, WinogradAlgorithm, WinogradParams};
+use wino_tensor::{SplitMix64, Tensor2};
+
+fn bench_generation(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("transform_generation");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for m in [2usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let params = WinogradParams::new(m, 3).expect("valid");
+            b.iter(|| TransformSet::generate(params).expect("generates"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile(criterion: &mut Criterion) {
+    let mut rng = SplitMix64::new(2);
+    let mut group = criterion.benchmark_group("single_tile");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for m in [2usize, 4, 6] {
+        let params = WinogradParams::new(m, 3).expect("valid");
+        let algo = WinogradAlgorithm::<f32>::for_params(params).expect("generates");
+        let n = params.input_tile();
+        let tile = Tensor2::from_fn(n, n, |_, _| rng.uniform_f32(-1.0, 1.0));
+        let kernel = Tensor2::from_fn(3, 3, |_, _| rng.uniform_f32(-1.0, 1.0));
+        group.bench_with_input(BenchmarkId::new("data_transform", m), &m, |b, _| {
+            b.iter(|| algo.transform_data(&tile))
+        });
+        group.bench_with_input(BenchmarkId::new("full_tile_conv", m), &m, |b, _| {
+            b.iter(|| algo.convolve_tile(&tile, &kernel))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_tile);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! fp32 Winograd accuracy vs output tile size — why the design space in
+//! practice stops near m = 6 even before transform area does.
+
+use wino_core::{error_growth, TransformSet, WinogradParams};
+
+fn main() {
+    println!("{:<4} {:>22} {:>14} {:>14} {:>12}", "m", "max transform entry", "max|err|", "rms err", "growth");
+    let points = error_growth(3, &[2, 3, 4, 5, 6, 7, 8], 512, 2019);
+    let base = points[0].stats.max_abs;
+    for p in &points {
+        println!(
+            "{:<4} {:>22.1} {:>14.3e} {:>14.3e} {:>11.1}x",
+            p.m, p.max_transform_entry, p.stats.max_abs, p.stats.rms, p.stats.max_abs / base
+        );
+    }
+    println!("\nInterpolation points used for F(6,3):");
+    let set = TransformSet::generate(WinogradParams::new(6, 3).expect("valid")).expect("generates");
+    let pts: Vec<String> = set.points().iter().map(|p| p.to_string()).collect();
+    println!("  {{{}}} + infinity", pts.join(", "));
+    println!("\nLarger tiles need more (and larger) interpolation points, inflating the");
+    println!("transform entries and the fp32 rounding error — consistent with the paper's");
+    println!("choice to evaluate m = 2..4 only.");
+}

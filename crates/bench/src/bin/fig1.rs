@@ -1,0 +1,20 @@
+//! Regenerates Fig. 1: multiplication complexity per VGG16-D conv group.
+
+use wino_bench::{max_relative_deviation, print_comparison};
+use wino_dse::figures::{fig1, paper};
+use wino_models::vgg16d;
+
+fn main() {
+    let wl = vgg16d(1);
+    let fig = fig1(&wl);
+    println!("{}", fig.to_table(3).to_ascii());
+
+    let mut rows = Vec::new();
+    for (si, (name, values)) in fig.series.iter().enumerate() {
+        for (vi, &v) in values.iter().enumerate() {
+            rows.push((format!("{name} {}", fig.x_labels[vi]), paper::FIG1[si][vi], v));
+        }
+    }
+    print_comparison("Fig. 1 vs paper (x1e9 multiplications)", &rows, 3);
+    println!("max deviation: {:.2}%", 100.0 * max_relative_deviation(&rows));
+}

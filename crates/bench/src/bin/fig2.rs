@@ -1,0 +1,28 @@
+//! Regenerates Fig. 2: net transform complexity vs output tile size.
+
+use wino_bench::print_comparison;
+use wino_core::CostModel;
+use wino_dse::figures::{fig2, paper};
+use wino_models::vgg16d;
+
+fn main() {
+    let wl = vgg16d(1);
+    for model in [CostModel::ShiftFree, CostModel::Naive, CostModel::RowFactored] {
+        let fig = fig2(&wl, model);
+        println!("{}", fig.title);
+        println!("{}", fig.to_table(1).to_ascii());
+    }
+    let fig = fig2(&wl, CostModel::ShiftFree);
+    let rows: Vec<(String, f64, f64)> = fig.x_labels
+        .iter()
+        .zip(fig.series[0].1.iter())
+        .zip(paper::FIG2_MFLOPS.iter())
+        .map(|((label, &ours), &paper)| (label.clone(), paper, ours))
+        .collect();
+    print_comparison(
+        "Fig. 2 vs paper (MFLOPs; absolute values depend on the authors' unpublished \
+         beta/gamma/delta — shape and m=2 anchor are the reproduction targets)",
+        &rows,
+        1,
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates Fig. 3: percentage complexity variations vs tile size.
+
+use wino_bench::print_comparison;
+use wino_core::CostModel;
+use wino_dse::figures::{fig3, paper};
+use wino_models::vgg16d;
+
+fn main() {
+    let wl = vgg16d(1);
+    let fig = fig3(&wl, CostModel::ShiftFree);
+    println!("{}", fig.title);
+    println!("{}", fig.to_table(2).to_ascii());
+
+    let rows: Vec<(String, f64, f64)> = fig.x_labels
+        .iter()
+        .zip(fig.series[0].1.iter())
+        .zip(paper::FIG3_MULT_DECREASE.iter())
+        .map(|((label, &ours), &p)| (format!("mult decrease {label}"), p, ours))
+        .collect();
+    print_comparison(
+        "Fig. 3 multiplication-decrease vs paper (%) — the m=2 paper bar (56.25) is \
+         inconsistent with its own successive formula (55.56), see EXPERIMENTS.md",
+        &rows,
+        2,
+    );
+
+    // Crossover conclusion (Sec. III-C).
+    let dec = &fig.series[0].1;
+    let inc = &fig.series[1].1;
+    for (i, m) in (2..=7).enumerate() {
+        let verdict = if dec[i] >= inc[i] { "favorable" } else { "unfavorable" };
+        println!("m={m}: mult saving {:.2}% vs transform increase {:.2}% -> {verdict}", dec[i], inc[i]);
+    }
+    println!("(paper Sec. III-C: favorable through m=4, unfavorable from m=5)");
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 6: throughput vs tile size and multiplier budget.
+
+use wino_bench::{max_relative_deviation, print_comparison};
+use wino_dse::figures::{fig6, paper};
+use wino_models::vgg16d;
+
+fn main() {
+    let fig = fig6(&vgg16d(1), 200e6);
+    println!("{}", fig.title);
+    println!("{}", fig.to_table(2).to_ascii());
+
+    let mut rows = Vec::new();
+    for (row, (name, values)) in fig.series.iter().enumerate() {
+        for (col, &v) in values.iter().enumerate() {
+            rows.push((format!("{name} {}", fig.x_labels[col]), paper::FIG6_GOPS[row][col], v));
+        }
+    }
+    print_comparison("Fig. 6 vs paper (GOPS @ 200 MHz)", &rows, 2);
+    println!("max deviation: {:.3}%", 100.0 * max_relative_deviation(&rows));
+}

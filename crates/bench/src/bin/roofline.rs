@@ -1,0 +1,52 @@
+//! Roofline analysis of the paper's designs — quantifies the Sec. V-B
+//! "enough memory bandwidth" assumption (extension; no paper artifact).
+
+use wino_core::WinogradParams;
+use wino_dse::{ddr3_1600, ddr3_1600_x2, peak_gops, roofline, DesignPoint, TextTable};
+use wino_fpga::Architecture;
+use wino_models::vgg16d;
+
+fn main() {
+    let wl = vgg16d(1);
+    for (m, pes) in [(2usize, 43usize), (4, 19)] {
+        let point = DesignPoint {
+            params: WinogradParams::new(m, 3).expect("valid"),
+            arch: Architecture::SharedTransform,
+            pe_count: pes,
+            freq_hz: 200e6,
+            pipeline_depth: 8,
+        };
+        println!(
+            "== F({m}x{m},3x3), {pes} PEs: peak {:.0} GOPS, {} ==",
+            peak_gops(&point),
+            ddr3_1600_x2().name
+        );
+        let mut t = TextTable::new(vec![
+            "layer", "AI (ops/B)", "attainable (GOPS)", "bound", "needs (GB/s)",
+        ]);
+        for p in roofline(&wl, &point, &ddr3_1600_x2(), true) {
+            t.push_row(vec![
+                p.layer.clone(),
+                format!("{:.1}", p.intensity),
+                format!("{:.0}", p.attainable_gops),
+                if p.compute_bound { "compute".to_owned() } else { "MEMORY".to_owned() },
+                format!("{:.2}", p.required_bandwidth / 1e9),
+            ]);
+        }
+        println!("{}", t.to_ascii());
+    }
+    println!("Without the Fig. 7 line-buffered image buffer (naive tile refetch),");
+    println!("single-channel DDR3 turns the early layers memory-bound:");
+    let point = DesignPoint {
+        params: WinogradParams::new(4, 3).expect("valid"),
+        arch: Architecture::SharedTransform,
+        pe_count: 19,
+        freq_hz: 200e6,
+        pipeline_depth: 8,
+    };
+    for p in roofline(&wl, &point, &ddr3_1600(), false) {
+        if !p.compute_bound {
+            println!("  {p}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table I: resource utilization for 19 PEs F(4x4, 3x3).
+
+use wino_bench::print_comparison;
+use wino_dse::table1;
+use wino_fpga::virtex7_485t;
+
+fn main() {
+    let t = table1(&virtex7_485t());
+    println!("{}", t.to_text().to_ascii());
+    let rows = vec![
+        ("[3]-based registers".to_owned(), 97052.0, t.reference.registers as f64),
+        ("[3]-based LUTs".to_owned(), 232256.0, t.reference.luts as f64),
+        ("[3]-based DSPs".to_owned(), 2736.0, t.reference.dsps as f64),
+        ("proposed registers".to_owned(), 76500.0, t.proposed.registers as f64),
+        ("proposed LUTs".to_owned(), 107839.0, t.proposed.luts as f64),
+        ("proposed DSPs".to_owned(), 2736.0, t.proposed.dsps as f64),
+        ("LUT saving (%)".to_owned(), 53.6, t.lut_saving * 100.0),
+    ];
+    print_comparison("Table I vs paper", &rows, 0);
+}

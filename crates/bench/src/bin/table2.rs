@@ -1,0 +1,58 @@
+//! Regenerates Table II: the full VGG16-D performance comparison.
+
+use wino_bench::print_comparison;
+use wino_dse::{table2, table2_text, Evaluator};
+use wino_fpga::virtex7_485t;
+use wino_models::vgg16d;
+
+fn main() {
+    let evaluator = Evaluator::new(vgg16d(1), virtex7_485t());
+    let cols = table2(&evaluator);
+    println!("{}", table2_text(&cols).to_ascii());
+
+    // Paper values for the three proposed-design columns.
+    let paper: [(&str, [f64; 5], f64, f64, f64, f64); 3] = [
+        ("Ours 2,3", [6.25, 8.96, 14.94, 14.94, 4.48], 49.57, 619.2, 0.90, 13.03),
+        ("Ours 3,3", [4.27, 6.12, 10.19, 10.19, 3.06], 33.83, 907.2, 1.29, 23.96),
+        ("Ours 4,3", [3.54, 5.07, 8.45, 8.45, 2.54], 28.05, 1094.3, 1.60, 36.32),
+    ];
+    let mut rows = Vec::new();
+    for (label, conv, overall, gops, eff, watts) in paper {
+        let col = cols.iter().find(|c| c.label == label).expect("column exists");
+        for (gi, name) in ["Conv1", "Conv2", "Conv3", "Conv4", "Conv5"].iter().enumerate() {
+            rows.push((format!("{label} {name} (ms)"), conv[gi], col.conv_ms[gi]));
+        }
+        rows.push((format!("{label} overall (ms)"), overall, col.overall_ms));
+        rows.push((format!("{label} throughput (GOPS)"), gops, col.throughput_gops));
+        rows.push((format!("{label} GOPS/mult"), eff, col.mult_efficiency));
+        rows.push((format!("{label} power (W)"), watts, col.power_w));
+    }
+    print_comparison("Table II proposed-design columns vs paper", &rows, 2);
+
+    let ours_m4 = cols.iter().find(|c| c.label == "Ours 4,3").expect("exists");
+    let podili = cols.iter().find(|c| c.label == "[3]").expect("exists");
+    let podili_a = cols.iter().find(|c| c.label == "[3]a").expect("exists");
+    let ours_m2 = cols.iter().find(|c| c.label == "Ours 2,3").expect("exists");
+    println!("Headline claims:");
+    println!(
+        "  throughput: {:.1}/{:.1} = {:.2}x vs [3] (paper: 4.75x) using {}/{} = {:.2}x multipliers",
+        ours_m4.throughput_gops,
+        podili.throughput_gops,
+        ours_m4.throughput_gops / podili.throughput_gops,
+        ours_m4.multipliers,
+        podili.multipliers,
+        ours_m4.multipliers as f64 / podili.multipliers as f64,
+    );
+    println!(
+        "  power efficiency: {:.2}/{:.2} = {:.2}x vs [3]a (paper: 1.44x; see EXPERIMENTS.md on \
+         the paper's internally inconsistent m=2 power entry)",
+        ours_m2.power_efficiency,
+        podili_a.power_efficiency,
+        ours_m2.power_efficiency / podili_a.power_efficiency,
+    );
+    println!(
+        "  vs [12]: {:.2}x throughput with {:.2}x multipliers (paper: 5.83x, 0.88x)",
+        ours_m4.throughput_gops / 187.8,
+        ours_m4.multipliers as f64 / 780.0,
+    );
+}

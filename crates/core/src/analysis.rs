@@ -1,0 +1,129 @@
+//! Numerical-accuracy analysis of Winograd filtering.
+//!
+//! The paper runs its datapath in fp32 "for the sake of simplicity and
+//! high precision" and leaves quantization unstudied. This module
+//! quantifies what that choice costs: Winograd output error grows with the
+//! tile size `m` because larger interpolation points make the transform
+//! matrices worse conditioned (see
+//! [`TransformSet::max_abs_entry`](crate::TransformSet::max_abs_entry)).
+
+use crate::{TransformSet, WinogradAlgorithm, WinogradParams};
+use wino_tensor::{ErrorStats, Scalar, SplitMix64, Tensor2};
+
+/// Error statistics of `F(m×m, r×r)` against an `f64` direct-convolution
+/// reference for one `m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorGrowthPoint {
+    /// Output tile size `m`.
+    pub m: usize,
+    /// Largest |transform matrix entry| (conditioning proxy).
+    pub max_transform_entry: f64,
+    /// Error of the fp32 Winograd pipeline vs the fp64 direct reference.
+    pub stats: ErrorStats,
+}
+
+/// Measures fp32 Winograd error growth over `ms` for kernel size `r`,
+/// averaging `trials` random tiles per configuration.
+///
+/// The reference is direct correlation computed in `f64`; inputs are
+/// uniform in `[-1, 1]` (activations) and `[-1, 1]` scaled by `1/r²`
+/// (weights), the regime CNN inference lives in.
+///
+/// # Panics
+///
+/// Panics if `ms` contains invalid parameters or `trials == 0`.
+pub fn error_growth(r: usize, ms: &[usize], trials: usize, seed: u64) -> Vec<ErrorGrowthPoint> {
+    assert!(trials > 0, "at least one trial is required");
+    let mut rng = SplitMix64::new(seed);
+    ms.iter()
+        .map(|&m| {
+            let params = WinogradParams::new(m, r).expect("invalid F(m, r)");
+            let set = TransformSet::generate(params).expect("generation cannot fail");
+            let algo = WinogradAlgorithm::<f32>::new(&set);
+            let n = params.input_tile();
+            let mut candidate = Vec::with_capacity(trials * m * m);
+            let mut reference = Vec::with_capacity(trials * m * m);
+            for _ in 0..trials {
+                let tile32 = Tensor2::from_fn(n, n, |_, _| rng.uniform_f32(-1.0, 1.0));
+                let kernel32 =
+                    Tensor2::from_fn(r, r, |_, _| rng.uniform_f32(-1.0, 1.0) / (r * r) as f32);
+                let y = algo.convolve_tile(&tile32, &kernel32);
+                candidate.extend_from_slice(y.as_slice());
+                // fp64 direct correlation of the same data.
+                for oy in 0..m {
+                    for ox in 0..m {
+                        let mut acc = 0f64;
+                        for v in 0..r {
+                            for u in 0..r {
+                                acc += tile32[(oy + v, ox + u)] as f64 * kernel32[(v, u)] as f64;
+                            }
+                        }
+                        reference.push(acc as f32);
+                    }
+                }
+            }
+            ErrorGrowthPoint {
+                m,
+                max_transform_entry: set.max_abs_entry().to_f64(),
+                stats: ErrorStats::between(&candidate, &reference),
+            }
+        })
+        .collect()
+}
+
+/// Convenience: fills a matrix with uniform values from a seeded RNG
+/// (shared by examples and benches).
+pub fn random_matrix<T: Scalar>(rows: usize, cols: usize, rng: &mut SplitMix64, lo: f32, hi: f32) -> Tensor2<T> {
+    Tensor2::from_fn(rows, cols, |_, _| T::from_f64(rng.uniform_f32(lo, hi) as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_grows_from_small_to_large_tiles() {
+        let points = error_growth(3, &[2, 4, 6, 8], 64, 7);
+        assert_eq!(points.len(), 4);
+        // Conditioning proxy grows monotonically.
+        for w in points.windows(2) {
+            assert!(
+                w[1].max_transform_entry >= w[0].max_transform_entry,
+                "conditioning should degrade with m"
+            );
+        }
+        // Error at m=8 is clearly worse than at m=2 (orders of magnitude in
+        // practice; we assert a conservative factor).
+        let e2 = points[0].stats.max_abs;
+        let e8 = points[3].stats.max_abs;
+        assert!(e8 > 2.0 * e2, "m=8 error {e8} should exceed 2x m=2 error {e2}");
+    }
+
+    #[test]
+    fn errors_stay_tiny_in_paper_range() {
+        // For the paper's m = 2..4 the fp32 error is ~1e-6 — negligible.
+        for p in error_growth(3, &[2, 3, 4], 32, 11) {
+            assert!(p.stats.max_abs < 1e-4, "m={}: {}", p.m, p.stats);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = error_growth(3, &[2, 3], 8, 42);
+        let b = error_growth(3, &[2, 3], 8, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_matrix_in_range() {
+        let mut rng = SplitMix64::new(5);
+        let m: Tensor2<f32> = random_matrix(4, 4, &mut rng, -2.0, 2.0);
+        assert!(m.as_slice().iter().all(|&x| (-2.0..2.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = error_growth(3, &[2], 0, 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Arithmetic complexity and performance models — Eqs. 4–10 of the paper.
+//!
+//! Everything in this module is closed-form; these are the equations whose
+//! outputs populate Fig. 1 (multiplication complexity), Fig. 2 (transform
+//! complexity), Fig. 6 (throughput vs multiplier budget) and the latency /
+//! throughput rows of Table II.
+
+use crate::{ConvShape, TransformOps, WinogradParams};
+
+/// How output tiles are counted.
+///
+/// The paper's closed forms use the *fractional* count `HW/m²` (its
+/// Fig. 6 value of 331.78 GOPS at `m = 3` is only reachable with
+/// non-integral `P` and tile counts); real hardware pads to whole tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TileModel {
+    /// `H·W / m²` exactly as written in Eqs. 4–9.
+    #[default]
+    Fractional,
+    /// `⌈H_out/m⌉ · ⌈W_out/m⌉` — what a tiler actually executes.
+    Ceil,
+}
+
+/// Number of 2-D output tiles per image per kernel.
+pub fn output_tiles(shape: &ConvShape, m: usize, model: TileModel) -> f64 {
+    match model {
+        TileModel::Fractional => shape.out_pixels() as f64 / (m * m) as f64,
+        TileModel::Ceil => {
+            (shape.out_h().div_ceil(m) * shape.out_w().div_ceil(m)) as f64
+        }
+    }
+}
+
+/// Multiplications of direct spatial convolution (Eq. 4 with `m = 1`):
+/// `N·H·W·C·K·r²` over the output extent.
+pub fn spatial_mults(batch: usize, shape: &ConvShape) -> u128 {
+    batch as u128
+        * shape.out_pixels()
+        * shape.c as u128
+        * shape.k as u128
+        * (shape.r * shape.r) as u128
+}
+
+/// Total spatial-convolution operations `O_S = 2·N·H·W·C·K·r²`
+/// (multiply + accumulate, the convention behind the paper's
+/// "30.69 GOP for VGG16-D" and every GOPS figure).
+pub fn spatial_ops(batch: usize, shape: &ConvShape) -> u128 {
+    2 * spatial_mults(batch, shape)
+}
+
+/// Element-wise–stage multiplications of `F(m×m, r×r)` (Eq. 4):
+/// `O_m = N·(HW/m²)·C·K·(m+r−1)²`.
+pub fn winograd_mults(batch: usize, shape: &ConvShape, params: WinogradParams, tiles: TileModel) -> f64 {
+    batch as f64
+        * output_tiles(shape, params.m(), tiles)
+        * shape.c as f64
+        * shape.k as f64
+        * params.mults_per_tile_2d() as f64
+}
+
+/// Per-stage transform FLOPs for one layer (Eq. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransformBreakdown {
+    /// Data transform `T(D) = (β/m²)·N·H·W·C`.
+    pub data: f64,
+    /// Filter transform `T(F) = γ·C·K`.
+    pub filter: f64,
+    /// Inverse transform `T(I) = (δ/m²)·N·H·W·K`.
+    pub inverse: f64,
+}
+
+impl TransformBreakdown {
+    /// Net transform complexity `O_t` (Eq. 6).
+    pub fn total(&self) -> f64 {
+        self.data + self.filter + self.inverse
+    }
+
+    /// `O_t` with the filter transform excluded — the paper's deployment
+    /// assumption ("filter transforms … are assumed to be precomputed",
+    /// Sec. IV-A), and the accounting that reproduces Fig. 2's magnitude.
+    pub fn online_total(&self) -> f64 {
+        self.data + self.inverse
+    }
+}
+
+impl std::ops::Add for TransformBreakdown {
+    type Output = TransformBreakdown;
+    fn add(self, rhs: TransformBreakdown) -> TransformBreakdown {
+        TransformBreakdown {
+            data: self.data + rhs.data,
+            filter: self.filter + rhs.filter,
+            inverse: self.inverse + rhs.inverse,
+        }
+    }
+}
+
+/// Evaluates Eq. 5 for one layer with per-tile costs `ops`.
+pub fn transform_complexity(
+    batch: usize,
+    shape: &ConvShape,
+    params: WinogradParams,
+    ops: TransformOps,
+    tiles: TileModel,
+) -> TransformBreakdown {
+    let n_tiles = batch as f64 * output_tiles(shape, params.m(), tiles);
+    TransformBreakdown {
+        data: n_tiles * shape.c as f64 * ops.beta as f64,
+        filter: (shape.c * shape.k) as f64 * ops.gamma as f64,
+        inverse: n_tiles * shape.k as f64 * ops.delta as f64,
+    }
+}
+
+/// Parallel PE count for a multiplier budget (Eq. 8):
+/// `P = ⌊m_T / (m+r−1)²⌋`.
+pub fn pe_count(mult_budget: usize, params: WinogradParams) -> usize {
+    mult_budget / params.mults_per_tile_2d()
+}
+
+/// Continuous PE count `P = m_T / (m+r−1)²` — the idealization behind
+/// Fig. 6 (which reports 331.78 GOPS at `m = 3`, 256 multipliers, i.e.
+/// `P = 10.24`).
+pub fn pe_count_continuous(mult_budget: usize, params: WinogradParams) -> f64 {
+    mult_budget as f64 / params.mults_per_tile_2d() as f64
+}
+
+/// Steady-state engine cycles for one layer: `N·(HW/m²)·C·K / P`
+/// (the first term of Eq. 9). `p` may be fractional to reproduce Fig. 6.
+pub fn engine_cycles(batch: usize, shape: &ConvShape, params: WinogradParams, p: f64, tiles: TileModel) -> f64 {
+    let tile_count = batch as f64 * output_tiles(shape, params.m(), tiles);
+    match tiles {
+        TileModel::Fractional => tile_count * shape.c as f64 * shape.k as f64 / p,
+        TileModel::Ceil => {
+            // Whole kernel groups: P PEs serve P kernels concurrently.
+            let groups = (shape.k as f64 / p).ceil();
+            tile_count * shape.c as f64 * groups
+        }
+    }
+}
+
+/// Total layer latency in seconds (Eq. 9):
+/// `T_t = (N·H·W·C·K/(m²·P) + D_p − 1)·t_c`.
+pub fn latency_seconds(
+    batch: usize,
+    shape: &ConvShape,
+    params: WinogradParams,
+    p: f64,
+    pipeline_depth: usize,
+    freq_hz: f64,
+    tiles: TileModel,
+) -> f64 {
+    let cycles = engine_cycles(batch, shape, params, p, tiles) + pipeline_depth as f64 - 1.0;
+    cycles / freq_hz
+}
+
+/// System throughput (Eq. 10): `O_S / T_t`, in GOPS.
+pub fn throughput_gops(spatial_ops_total: f64, latency_s: f64) -> f64 {
+    spatial_ops_total / latency_s / 1e9
+}
+
+/// Implementation-level transform overhead of the shared-transform design
+/// (Eq. 7): `O_T = (N·H·W·C·K/m²)·(β/P + δ)`.
+pub fn implementation_overhead(
+    batch: usize,
+    shape: &ConvShape,
+    params: WinogradParams,
+    ops: TransformOps,
+    p: f64,
+    tiles: TileModel,
+) -> f64 {
+    let tile_kernel_count =
+        batch as f64 * output_tiles(shape, params.m(), tiles) * shape.c as f64 * shape.k as f64;
+    tile_kernel_count * (ops.beta as f64 / p + ops.delta as f64)
+}
+
+/// Per-tile transform overhead of the shared-transform design relative to
+/// the spatial multiplications for the same tile (Sec. IV-C): with
+/// Lavin's `F(2×2,3×3)` counts and `P = 16` this is the paper's 1.5×.
+pub fn overhead_ratio_shared(params: WinogradParams, ops: TransformOps, p: f64) -> f64 {
+    let transform = ops.beta as f64 / p + ops.gamma as f64 + ops.delta as f64;
+    transform / params.spatial_mults_per_tile_2d() as f64
+}
+
+/// Same ratio for the per-PE-transform reference design [3] (data
+/// transform replicated in every PE): the paper's 2.33×.
+pub fn overhead_ratio_per_pe(params: WinogradParams, ops: TransformOps) -> f64 {
+    let transform = (ops.beta + ops.gamma + ops.delta) as f64;
+    transform / params.spatial_mults_per_tile_2d() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(m: usize) -> WinogradParams {
+        WinogradParams::new(m, 3).unwrap()
+    }
+
+    #[test]
+    fn vgg_conv1_group_mult_complexity_matches_fig1() {
+        // Fig. 1, "Conv1" bar: spatial 1.936e9 mults (conv1_1 + conv1_2).
+        let c11 = ConvShape::same_padded(224, 224, 3, 64, 3);
+        let c12 = ConvShape::same_padded(224, 224, 64, 64, 3);
+        let spatial = spatial_mults(1, &c11) + spatial_mults(1, &c12);
+        assert_eq!(spatial, 1_936_392_192, "Fig. 1 spatial Conv1 = 1.936e9");
+
+        // F(2x2,3x3): 0.861e9.
+        let wino: f64 = winograd_mults(1, &c11, p(2), TileModel::Fractional)
+            + winograd_mults(1, &c12, p(2), TileModel::Fractional);
+        assert!((wino - 0.861e9).abs() / 0.861e9 < 0.01, "Fig. 1 F(2) Conv1, got {wino}");
+
+        // F(7x7,3x3): 0.356e9.
+        let wino7: f64 = winograd_mults(1, &c11, p(7), TileModel::Fractional)
+            + winograd_mults(1, &c12, p(7), TileModel::Fractional);
+        assert!((wino7 - 0.356e9).abs() / 0.356e9 < 0.01, "Fig. 1 F(7) Conv1, got {wino7}");
+    }
+
+    #[test]
+    fn tile_models_agree_when_m_divides_extent() {
+        let s = ConvShape::same_padded(224, 224, 8, 8, 3);
+        assert_eq!(output_tiles(&s, 2, TileModel::Fractional), output_tiles(&s, 2, TileModel::Ceil));
+        // 224 % 3 != 0: ceil mode over-counts.
+        assert!(output_tiles(&s, 3, TileModel::Ceil) > output_tiles(&s, 3, TileModel::Fractional));
+    }
+
+    #[test]
+    fn spatial_ops_doubles_mults() {
+        let s = ConvShape::same_padded(14, 14, 512, 512, 3);
+        assert_eq!(spatial_ops(1, &s), 2 * spatial_mults(1, &s));
+        assert_eq!(spatial_ops(4, &s), 4 * spatial_ops(1, &s));
+    }
+
+    #[test]
+    fn transform_breakdown_eq5() {
+        let s = ConvShape::same_padded(8, 8, 2, 4, 3);
+        let ops = TransformOps { beta: 32, gamma: 28, delta: 24 };
+        let b = transform_complexity(1, &s, p(2), ops, TileModel::Fractional);
+        // tiles = 64/4 = 16
+        assert_eq!(b.data, 16.0 * 2.0 * 32.0);
+        assert_eq!(b.filter, 2.0 * 4.0 * 28.0);
+        assert_eq!(b.inverse, 16.0 * 4.0 * 24.0);
+        assert_eq!(b.total(), b.data + b.filter + b.inverse);
+        assert_eq!(b.online_total(), b.data + b.inverse);
+        let sum = b + b;
+        assert_eq!(sum.data, 2.0 * b.data);
+    }
+
+    #[test]
+    fn pe_count_eq8_matches_table2() {
+        // Table II: 688 mults -> 43 PEs at m=2; 700 -> 28 at m=3; 684 -> 19 at m=4.
+        assert_eq!(pe_count(688, p(2)), 43);
+        assert_eq!(pe_count(700, p(3)), 28);
+        assert_eq!(pe_count(684, p(4)), 19);
+        // Spatial engine: 256 multipliers, 9 per PE -> 28 (Fig. 6 uses this).
+        assert_eq!(pe_count(256, WinogradParams::new(1, 3).unwrap()), 28);
+        assert!((pe_count_continuous(256, p(3)) - 10.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_eq9_reproduces_table2_conv1_for_podili() {
+        // [3]: F(2x2,3x3), P = 16, 200 MHz: Conv1 = 16.81 ms.
+        let c11 = ConvShape::same_padded(224, 224, 3, 64, 3);
+        let c12 = ConvShape::same_padded(224, 224, 64, 64, 3);
+        let f = 200e6;
+        let lat: f64 = [c11, c12]
+            .iter()
+            .map(|s| latency_seconds(1, s, p(2), 16.0, 1, f, TileModel::Fractional))
+            .sum();
+        assert!((lat * 1e3 - 16.81).abs() < 0.01, "got {} ms", lat * 1e3);
+    }
+
+    #[test]
+    fn throughput_eq10() {
+        // 30.69 GOP in 49.57 ms -> 619.2 GOPS (Table II, [3]^a column).
+        let gops = throughput_gops(30.69e9, 49.57e-3);
+        assert!((gops - 619.2).abs() < 1.0, "got {gops}");
+    }
+
+    #[test]
+    fn section_iv_c_overhead_ratios() {
+        // Paper: "for F(2x2,3x3) using 16 parallel PEs, the increase in
+        // transform complexity of our design relative to spatial
+        // convolutions is only 1.5x while for [3] this increase is 2.33x".
+        let ops = TransformOps::LAVIN_F2X2_3X3;
+        let ours = overhead_ratio_shared(p(2), ops, 16.0);
+        let theirs = overhead_ratio_per_pe(p(2), ops);
+        assert!((ours - 1.5).abs() < 1e-12, "got {ours}");
+        assert!((theirs - 7.0 / 3.0).abs() < 1e-12, "got {theirs}");
+    }
+
+    #[test]
+    fn implementation_overhead_eq7_scales_with_p() {
+        let s = ConvShape::same_padded(56, 56, 128, 128, 3);
+        let ops = TransformOps { beta: 32, gamma: 28, delta: 24 };
+        let o16 = implementation_overhead(1, &s, p(2), ops, 16.0, TileModel::Fractional);
+        let o32 = implementation_overhead(1, &s, p(2), ops, 32.0, TileModel::Fractional);
+        assert!(o32 < o16, "amortizing over more PEs reduces overhead");
+        // In the P -> infinity limit only delta remains.
+        let o_inf = implementation_overhead(1, &s, p(2), ops, 1e12, TileModel::Fractional);
+        let tiles = 56.0 * 56.0 / 4.0 * 128.0 * 128.0;
+        assert!((o_inf - tiles * 24.0).abs() / o_inf < 1e-9);
+    }
+
+    #[test]
+    fn engine_cycles_ceil_mode_counts_kernel_groups() {
+        let s = ConvShape::same_padded(8, 8, 4, 10, 3);
+        // m=2: 16 tiles; K=10 with P=4 -> 3 groups; C=4.
+        let cycles = engine_cycles(1, &s, p(2), 4.0, TileModel::Ceil);
+        assert_eq!(cycles, 16.0 * 4.0 * 3.0);
+        let frac = engine_cycles(1, &s, p(2), 4.0, TileModel::Fractional);
+        assert_eq!(frac, 16.0 * 4.0 * 10.0 / 4.0);
+    }
+}

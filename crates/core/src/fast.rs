@@ -1,0 +1,468 @@
+//! Hand-scheduled fast paths for the paper's two workhorse algorithms.
+//!
+//! The generic [`WinogradAlgorithm`](crate::WinogradAlgorithm) multiplies
+//! by the transform matrices; production kernels (cuDNN, NNPACK, Lavin's
+//! reference code) instead hard-code the transform arithmetic. This
+//! module provides those kernels for `F(2×2, 3×3)` and `F(4×4, 3×3)` —
+//! the exact expressions a synthesized datapath evaluates (Fig. 4's adder
+//! network, in software) — plus an allocation-free layer driver.
+//!
+//! The expressions are transcriptions of this crate's *generated*
+//! matrices (for `F(4×4,3×3)` these equal Lavin's published ones), and
+//! tests pin them against the generic path.
+
+use wino_tensor::{Shape4, Tensor2, Tensor4};
+
+/// `F(2×2, 3×3)` data transform `U = BᵀdB` on a flat 4×4 tile.
+///
+/// Per 1-D application: `t0 = d0 − d2, t1 = d1 + d2, t2 = d2 − d1,
+/// t3 = d3 − d1` (this crate's canonical `Bᵀ`).
+pub fn f23_data_transform(d: &[f32; 16], u: &mut [f32; 16]) {
+    let mut tmp = [0f32; 16];
+    // Columns.
+    for c in 0..4 {
+        let (d0, d1, d2, d3) = (d[c], d[4 + c], d[8 + c], d[12 + c]);
+        tmp[c] = d0 - d2;
+        tmp[4 + c] = d1 + d2;
+        tmp[8 + c] = d2 - d1;
+        tmp[12 + c] = d3 - d1;
+    }
+    // Rows.
+    for r in 0..4 {
+        let (d0, d1, d2, d3) = (tmp[4 * r], tmp[4 * r + 1], tmp[4 * r + 2], tmp[4 * r + 3]);
+        u[4 * r] = d0 - d2;
+        u[4 * r + 1] = d1 + d2;
+        u[4 * r + 2] = d2 - d1;
+        u[4 * r + 3] = d3 - d1;
+    }
+}
+
+/// `F(2×2, 3×3)` filter transform `V = GgGᵀ` from a flat 3×3 kernel.
+pub fn f23_kernel_transform(g: &[f32; 9], v: &mut [f32; 16]) {
+    let mut tmp = [0f32; 12]; // 4x3 intermediate
+    for c in 0..3 {
+        let (g0, g1, g2) = (g[c], g[3 + c], g[6 + c]);
+        tmp[c] = g0;
+        tmp[3 + c] = 0.5 * (g0 + g1 + g2);
+        tmp[6 + c] = 0.5 * (g0 - g1 + g2);
+        tmp[9 + c] = g2;
+    }
+    for r in 0..4 {
+        let (g0, g1, g2) = (tmp[3 * r], tmp[3 * r + 1], tmp[3 * r + 2]);
+        v[4 * r] = g0;
+        v[4 * r + 1] = 0.5 * (g0 + g1 + g2);
+        v[4 * r + 2] = 0.5 * (g0 - g1 + g2);
+        v[4 * r + 3] = g2;
+    }
+}
+
+/// `F(2×2, 3×3)` inverse transform `Y = AᵀMA`: 4×4 products → 2×2 outputs.
+///
+/// Per 1-D application: `y0 = m0 + m1 + m2, y1 = m1 − m2 + m3`.
+pub fn f23_inverse_transform(m: &[f32; 16], y: &mut [f32; 4]) {
+    let mut tmp = [0f32; 8]; // 2x4 intermediate
+    for c in 0..4 {
+        let (m0, m1, m2, m3) = (m[c], m[4 + c], m[8 + c], m[12 + c]);
+        tmp[c] = m0 + m1 + m2;
+        tmp[4 + c] = m1 - m2 + m3;
+    }
+    for r in 0..2 {
+        let (m0, m1, m2, m3) = (tmp[4 * r], tmp[4 * r + 1], tmp[4 * r + 2], tmp[4 * r + 3]);
+        y[2 * r] = m0 + m1 + m2;
+        y[2 * r + 1] = m1 - m2 + m3;
+    }
+}
+
+fn f43_data_1d(d: &[f32; 6]) -> [f32; 6] {
+    [
+        4.0 * d[0] - 5.0 * d[2] + d[4],
+        -4.0 * d[1] - 4.0 * d[2] + d[3] + d[4],
+        4.0 * d[1] - 4.0 * d[2] - d[3] + d[4],
+        -2.0 * d[1] - d[2] + 2.0 * d[3] + d[4],
+        2.0 * d[1] - d[2] - 2.0 * d[3] + d[4],
+        4.0 * d[1] - 5.0 * d[3] + d[5],
+    ]
+}
+
+/// `F(4×4, 3×3)` data transform on a flat 6×6 tile (Lavin's `Bᵀ`).
+pub fn f43_data_transform(d: &[f32; 36], u: &mut [f32; 36]) {
+    let mut tmp = [0f32; 36];
+    for c in 0..6 {
+        let col = [d[c], d[6 + c], d[12 + c], d[18 + c], d[24 + c], d[30 + c]];
+        let t = f43_data_1d(&col);
+        for r in 0..6 {
+            tmp[6 * r + c] = t[r];
+        }
+    }
+    for r in 0..6 {
+        let row: [f32; 6] = tmp[6 * r..6 * r + 6].try_into().expect("row of 6");
+        let t = f43_data_1d(&row);
+        u[6 * r..6 * r + 6].copy_from_slice(&t);
+    }
+}
+
+fn f43_kernel_1d(g: &[f32; 3]) -> [f32; 6] {
+    let (g0, g1, g2) = (g[0], g[1], g[2]);
+    [
+        0.25 * g0,
+        (-g0 - g1 - g2) / 6.0,
+        (-g0 + g1 - g2) / 6.0,
+        g0 / 24.0 + g1 / 12.0 + g2 / 6.0,
+        g0 / 24.0 - g1 / 12.0 + g2 / 6.0,
+        g2,
+    ]
+}
+
+/// `F(4×4, 3×3)` filter transform from a flat 3×3 kernel (Lavin's `G`).
+pub fn f43_kernel_transform(g: &[f32; 9], v: &mut [f32; 36]) {
+    let mut tmp = [0f32; 18]; // 6x3 intermediate
+    for c in 0..3 {
+        let col = [g[c], g[3 + c], g[6 + c]];
+        let t = f43_kernel_1d(&col);
+        for r in 0..6 {
+            tmp[3 * r + c] = t[r];
+        }
+    }
+    for r in 0..6 {
+        let row: [f32; 3] = tmp[3 * r..3 * r + 3].try_into().expect("row of 3");
+        let t = f43_kernel_1d(&row);
+        v[6 * r..6 * r + 6].copy_from_slice(&t);
+    }
+}
+
+fn f43_inverse_1d(m: &[f32; 6]) -> [f32; 4] {
+    [
+        m[0] + m[1] + m[2] + m[3] + m[4],
+        m[1] - m[2] + 2.0 * m[3] - 2.0 * m[4],
+        m[1] + m[2] + 4.0 * m[3] + 4.0 * m[4],
+        m[1] - m[2] + 8.0 * m[3] - 8.0 * m[4] + m[5],
+    ]
+}
+
+/// `F(4×4, 3×3)` inverse transform: 6×6 products → 4×4 outputs
+/// (Lavin's `Aᵀ`).
+pub fn f43_inverse_transform(m: &[f32; 36], y: &mut [f32; 16]) {
+    let mut tmp = [0f32; 24]; // 4x6 intermediate
+    for c in 0..6 {
+        let col = [m[c], m[6 + c], m[12 + c], m[18 + c], m[24 + c], m[30 + c]];
+        let t = f43_inverse_1d(&col);
+        for r in 0..4 {
+            tmp[6 * r + c] = t[r];
+        }
+    }
+    for r in 0..4 {
+        let row: [f32; 6] = tmp[6 * r..6 * r + 6].try_into().expect("row of 6");
+        let t = f43_inverse_1d(&row);
+        y[4 * r..4 * r + 4].copy_from_slice(&t);
+    }
+}
+
+/// Which hand-scheduled kernel a [`fast_convolve_layer`] call uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FastKernel {
+    /// `F(2×2, 3×3)` — 16 multiplies per tile.
+    F2x2,
+    /// `F(4×4, 3×3)` — 36 multiplies per tile.
+    F4x4,
+}
+
+impl FastKernel {
+    /// Output tile size `m`.
+    pub fn m(&self) -> usize {
+        match self {
+            FastKernel::F2x2 => 2,
+            FastKernel::F4x4 => 4,
+        }
+    }
+
+    /// Input tile size `n = m + 2`.
+    pub fn n(&self) -> usize {
+        self.m() + 2
+    }
+}
+
+/// Allocation-free tiled layer convolution with the hand-scheduled
+/// kernels (stride 1, 3×3 kernels, symmetric `pad`).
+///
+/// Functionally equivalent to
+/// [`WinogradAlgorithm::convolve_layer`](crate::WinogradAlgorithm::convolve_layer)
+/// with the same parameters, but ~an order of magnitude faster: fixed-size
+/// stack tiles, no per-tile heap traffic, transforms as straight-line
+/// code.
+///
+/// # Panics
+///
+/// Panics if kernels are not `3×3` or channel counts disagree.
+pub fn fast_convolve_layer(
+    kernel: FastKernel,
+    input: &Tensor4<f32>,
+    kernels: &Tensor4<f32>,
+    pad: usize,
+) -> Tensor4<f32> {
+    let is = input.shape();
+    let ks = kernels.shape();
+    assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
+    assert_eq!((ks.h, ks.w), (3, 3), "fast kernels are specialized for 3x3");
+    let m = kernel.m();
+    let n = kernel.n();
+    let n2 = n * n;
+    let out_h = is.h + 2 * pad - 2;
+    let out_w = is.w + 2 * pad - 2;
+    let tiles_y = out_h.div_ceil(m);
+    let tiles_x = out_w.div_ceil(m);
+
+    // Transform the whole kernel bank once, flat.
+    let mut v_bank = vec![0f32; ks.n * ks.c * n2];
+    for k in 0..ks.n {
+        for c in 0..ks.c {
+            let mut g = [0f32; 9];
+            for v in 0..3 {
+                for u in 0..3 {
+                    g[3 * v + u] = kernels.at(k, c, v, u);
+                }
+            }
+            let dst = &mut v_bank[(k * ks.c + c) * n2..(k * ks.c + c + 1) * n2];
+            match kernel {
+                FastKernel::F2x2 => {
+                    let mut v16 = [0f32; 16];
+                    f23_kernel_transform(&g, &mut v16);
+                    dst.copy_from_slice(&v16);
+                }
+                FastKernel::F4x4 => {
+                    let mut v36 = [0f32; 36];
+                    f43_kernel_transform(&g, &mut v36);
+                    dst.copy_from_slice(&v36);
+                }
+            }
+        }
+    }
+
+    let mut output = Tensor4::zeros(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w });
+    let input_flat = input.as_slice();
+    let plane_stride = is.h * is.w;
+
+    // Reused scratch buffers.
+    let mut d16 = [0f32; 16];
+    let mut u16 = [0f32; 16];
+    let mut y4 = [0f32; 4];
+    let mut d36 = [0f32; 36];
+    let mut u36 = [0f32; 36];
+    let mut y16 = [0f32; 16];
+    let mut acc = vec![0f32; ks.n * n2];
+
+    for img in 0..is.n {
+        let img_base = img * is.c * plane_stride;
+        let mut out_planes: Vec<Tensor2<f32>> =
+            (0..ks.n).map(|_| Tensor2::zeros(out_h, out_w)).collect();
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                acc.iter_mut().for_each(|x| *x = 0.0);
+                let top = (ty * m) as isize - pad as isize;
+                let left = (tx * m) as isize - pad as isize;
+                for c in 0..is.c {
+                    let plane = &input_flat[img_base + c * plane_stride..][..plane_stride];
+                    // Gather the padded tile.
+                    let gather = |d: &mut [f32]| {
+                        for r in 0..n {
+                            let rr = top + r as isize;
+                            for col in 0..n {
+                                let cc = left + col as isize;
+                                d[n * r + col] = if rr >= 0
+                                    && cc >= 0
+                                    && (rr as usize) < is.h
+                                    && (cc as usize) < is.w
+                                {
+                                    plane[rr as usize * is.w + cc as usize]
+                                } else {
+                                    0.0
+                                };
+                            }
+                        }
+                    };
+                    let u: &[f32] = match kernel {
+                        FastKernel::F2x2 => {
+                            gather(&mut d16);
+                            f23_data_transform(&d16, &mut u16);
+                            &u16
+                        }
+                        FastKernel::F4x4 => {
+                            gather(&mut d36);
+                            f43_data_transform(&d36, &mut u36);
+                            &u36
+                        }
+                    };
+                    for k in 0..ks.n {
+                        let v = &v_bank[(k * ks.c + c) * n2..(k * ks.c + c + 1) * n2];
+                        let a = &mut acc[k * n2..(k + 1) * n2];
+                        for i in 0..n2 {
+                            a[i] += u[i] * v[i];
+                        }
+                    }
+                }
+                for k in 0..ks.n {
+                    let a = &acc[k * n2..(k + 1) * n2];
+                    let y: &[f32] = match kernel {
+                        FastKernel::F2x2 => {
+                            f23_inverse_transform(a.try_into().expect("16"), &mut y4);
+                            &y4
+                        }
+                        FastKernel::F4x4 => {
+                            f43_inverse_transform(a.try_into().expect("36"), &mut y16);
+                            &y16
+                        }
+                    };
+                    let plane = &mut out_planes[k];
+                    for r in 0..m {
+                        let rr = ty * m + r;
+                        if rr >= out_h {
+                            break;
+                        }
+                        for col in 0..m {
+                            let cc = tx * m + col;
+                            if cc >= out_w {
+                                break;
+                            }
+                            plane[(rr, cc)] = y[m * r + col];
+                        }
+                    }
+                }
+            }
+        }
+        for (k, plane) in out_planes.into_iter().enumerate() {
+            output.set_plane(img, k, &plane);
+        }
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TransformSet, WinogradAlgorithm, WinogradParams};
+    use wino_tensor::{ErrorStats, SplitMix64};
+
+    fn generic(m: usize) -> WinogradAlgorithm<f32> {
+        WinogradAlgorithm::new(&TransformSet::generate(WinogradParams::new(m, 3).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn f23_transforms_match_generic_matrices() {
+        let algo = generic(2);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..20 {
+            let d = Tensor2::from_fn(4, 4, |_, _| rng.uniform_f32(-2.0, 2.0));
+            let mut flat = [0f32; 16];
+            flat.copy_from_slice(d.as_slice());
+            let mut u = [0f32; 16];
+            f23_data_transform(&flat, &mut u);
+            let expect = algo.transform_data(&d);
+            for (a, b) in u.iter().zip(expect.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn f43_transforms_match_generic_matrices() {
+        let algo = generic(4);
+        let mut rng = SplitMix64::new(2);
+        let d = Tensor2::from_fn(6, 6, |_, _| rng.uniform_f32(-2.0, 2.0));
+        let mut flat = [0f32; 36];
+        flat.copy_from_slice(d.as_slice());
+        let mut u = [0f32; 36];
+        f43_data_transform(&flat, &mut u);
+        for (a, b) in u.iter().zip(algo.transform_data(&d).as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+
+        let g = Tensor2::from_fn(3, 3, |_, _| rng.uniform_f32(-1.0, 1.0));
+        let mut gflat = [0f32; 9];
+        gflat.copy_from_slice(g.as_slice());
+        let mut v = [0f32; 36];
+        f43_kernel_transform(&gflat, &mut v);
+        for (a, b) in v.iter().zip(algo.transform_kernel(&g).as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+
+        let m = Tensor2::from_fn(6, 6, |_, _| rng.uniform_f32(-2.0, 2.0));
+        let mut mflat = [0f32; 36];
+        mflat.copy_from_slice(m.as_slice());
+        let mut y = [0f32; 16];
+        f43_inverse_transform(&mflat, &mut y);
+        for (a, b) in y.iter().zip(algo.inverse_transform(&m).as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f23_layer_is_exact_on_small_integers() {
+        // F(2,3) uses only dyadic constants: on small integer inputs the
+        // whole pipeline is exact in f32.
+        let mut rng = SplitMix64::new(3);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 3, h: 10, w: 9 }, |_, _, _, _| {
+            (rng.below(9) as f32) - 4.0
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 4, c: 3, h: 3, w: 3 }, |_, _, _, _| {
+            (rng.below(9) as f32) - 4.0
+        });
+        let fast = fast_convolve_layer(FastKernel::F2x2, &input, &kernels, 1);
+        // Direct reference.
+        let is = input.shape();
+        for k in 0..4 {
+            for y in 0..is.h {
+                for x in 0..is.w {
+                    let mut acc = 0f32;
+                    for c in 0..3 {
+                        for v in 0..3usize {
+                            for u in 0..3usize {
+                                let iy = y as isize + v as isize - 1;
+                                let ix = x as isize + u as isize - 1;
+                                if iy >= 0 && ix >= 0 && (iy as usize) < is.h && (ix as usize) < is.w {
+                                    acc += input.at(0, c, iy as usize, ix as usize)
+                                        * kernels.at(k, c, v, u);
+                                }
+                            }
+                        }
+                    }
+                    assert_eq!(fast.at(0, k, y, x), acc, "(k={k},{y},{x})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_layers_match_generic_path() {
+        let mut rng = SplitMix64::new(4);
+        let input = Tensor4::from_fn(Shape4 { n: 2, c: 4, h: 13, w: 11 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 5, c: 4, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        for (fast_kind, m) in [(FastKernel::F2x2, 2usize), (FastKernel::F4x4, 4)] {
+            for pad in [0usize, 1] {
+                let fast = fast_convolve_layer(fast_kind, &input, &kernels, pad);
+                let slow = generic(m).convolve_layer(&input, &kernels, pad);
+                assert_eq!(fast.shape(), slow.shape());
+                let stats = ErrorStats::between(fast.as_slice(), slow.as_slice());
+                assert!(stats.within_abs(1e-4), "{fast_kind:?} pad={pad}: {stats}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_metadata() {
+        assert_eq!(FastKernel::F2x2.m(), 2);
+        assert_eq!(FastKernel::F2x2.n(), 4);
+        assert_eq!(FastKernel::F4x4.m(), 4);
+        assert_eq!(FastKernel::F4x4.n(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "specialized for 3x3")]
+    fn non_3x3_kernels_rejected() {
+        let input = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 1, h: 8, w: 8 });
+        let kernels = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 1, h: 5, w: 5 });
+        let _ = fast_convolve_layer(FastKernel::F2x2, &input, &kernels, 0);
+    }
+}

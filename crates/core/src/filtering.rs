@@ -1,0 +1,412 @@
+//! Functional Winograd convolution — the algorithm the hardware engine
+//! implements, runnable on any [`Scalar`] type.
+//!
+//! The 1-D algorithm is `Y = Aᵀ[(Gg) ⊙ (Bᵀd)]` (Eq. 2); the 2-D algorithm
+//! nests it: `Y = Aᵀ[(GgGᵀ) ⊙ (BᵀdB)]A` (Eq. 3). [`WinogradAlgorithm`]
+//! also provides the full layer-level tiled convolution with channel
+//! accumulation, used as the functional reference for the cycle-level
+//! engine and as the fast path in its own right.
+
+use crate::{TransformError, TransformSet, WinogradParams};
+use wino_tensor::{Ratio, Scalar, Shape4, Tensor2, Tensor4};
+
+/// A ready-to-run Winograd minimal filtering algorithm over scalar type
+/// `T`.
+///
+/// ```
+/// use wino_core::{WinogradAlgorithm, WinogradParams};
+/// use wino_tensor::Tensor2;
+///
+/// let algo = WinogradAlgorithm::<f32>::for_params(WinogradParams::new(2, 3)?)?;
+/// let d = Tensor2::from_rows(&[&[1.0f32, 2.0, 3.0, 4.0]]);
+/// let y = algo.convolve_1d(d.row(0), &[1.0, 1.0, 1.0]);
+/// assert_eq!(y, vec![6.0, 9.0]); // sliding window sums
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WinogradAlgorithm<T> {
+    params: WinogradParams,
+    at: Tensor2<T>,
+    g: Tensor2<T>,
+    bt: Tensor2<T>,
+    a: Tensor2<T>,
+    b: Tensor2<T>,
+    gt: Tensor2<T>,
+}
+
+impl<T: Scalar> WinogradAlgorithm<T> {
+    /// Builds the algorithm from an exact transform set, converting the
+    /// rational matrices to `T` (±1 ULP for non-dyadic entries).
+    pub fn new(set: &TransformSet) -> WinogradAlgorithm<T> {
+        let real = set.to_scalar::<T>();
+        let a = real.at.transposed();
+        let b = real.bt.transposed();
+        let gt = real.g.transposed();
+        WinogradAlgorithm { params: set.params(), at: real.at, g: real.g, bt: real.bt, a, b, gt }
+    }
+
+    /// Generates canonical transforms for `params` and builds the
+    /// algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TransformError`] from generation.
+    pub fn for_params(params: WinogradParams) -> Result<WinogradAlgorithm<T>, TransformError> {
+        Ok(WinogradAlgorithm::new(&TransformSet::generate(params)?))
+    }
+
+    /// The `F(m, r)` parameters.
+    pub fn params(&self) -> WinogradParams {
+        self.params
+    }
+
+    /// Filter transform: `V = G g Gᵀ` (`n × n` from an `r × r` kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is not `r × r`.
+    pub fn transform_kernel(&self, kernel: &Tensor2<T>) -> Tensor2<T> {
+        let r = self.params.r();
+        assert_eq!((kernel.rows(), kernel.cols()), (r, r), "kernel must be {r}x{r}");
+        self.g.matmul(kernel).matmul(&self.gt)
+    }
+
+    /// Data transform: `U = Bᵀ d B` (`n × n` from an `n × n` input tile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is not `n × n`.
+    pub fn transform_data(&self, tile: &Tensor2<T>) -> Tensor2<T> {
+        let n = self.params.input_tile();
+        assert_eq!((tile.rows(), tile.cols()), (n, n), "input tile must be {n}x{n}");
+        self.bt.matmul(tile).matmul(&self.b)
+    }
+
+    /// Inverse transform: `Y = Aᵀ M A` (`m × m` from the `n × n`
+    /// element-wise product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elementwise` is not `n × n`.
+    pub fn inverse_transform(&self, elementwise: &Tensor2<T>) -> Tensor2<T> {
+        let n = self.params.input_tile();
+        assert_eq!((elementwise.rows(), elementwise.cols()), (n, n), "product must be {n}x{n}");
+        self.at.matmul(elementwise).matmul(&self.a)
+    }
+
+    /// Full single-tile 2-D convolution (Eq. 3): transforms, element-wise
+    /// multiply, inverse transform.
+    pub fn convolve_tile(&self, tile: &Tensor2<T>, kernel: &Tensor2<T>) -> Tensor2<T> {
+        let u = self.transform_data(tile);
+        let v = self.transform_kernel(kernel);
+        self.inverse_transform(&u.hadamard(&v))
+    }
+
+    /// 1-D minimal filtering (Eq. 2): `m` outputs from `n` data points and
+    /// `r` taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n` or `taps.len() != r`.
+    pub fn convolve_1d(&self, data: &[T], taps: &[T]) -> Vec<T> {
+        let n = self.params.input_tile();
+        let r = self.params.r();
+        assert_eq!(data.len(), n, "data must have n = {n} elements");
+        assert_eq!(taps.len(), r, "filter must have r = {r} taps");
+        let d = Tensor2::from_vec(n, 1, data.to_vec());
+        let g = Tensor2::from_vec(r, 1, taps.to_vec());
+        let u = self.bt.matmul(&d);
+        let v = self.g.matmul(&g);
+        let prod = u.hadamard(&v);
+        self.at.matmul(&prod).into_vec()
+    }
+
+    /// Transforms a whole kernel bank `(K, C, r, r)` once — the paper's
+    /// precomputed `V` buffers (Sec. IV-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel spatial dims are not `r × r`.
+    pub fn transform_kernel_bank(&self, kernels: &Tensor4<T>) -> Vec<Vec<Tensor2<T>>> {
+        let ks = kernels.shape();
+        let r = self.params.r();
+        assert_eq!((ks.h, ks.w), (r, r), "kernels must be {r}x{r}");
+        (0..ks.n)
+            .map(|k| (0..ks.c).map(|c| self.transform_kernel(&kernels.plane(k, c))).collect())
+            .collect()
+    }
+
+    /// Layer-level tiled Winograd convolution.
+    ///
+    /// `input` is `(N, C, H, W)`, `kernels` is `(K, C, r, r)`; the result
+    /// is `(N, K, H_out, W_out)` with `H_out = H + 2·pad − r + 1` (stride
+    /// 1, symmetric zero padding — the only mode Winograd engines
+    /// support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts disagree, kernels are not `r × r`, or the
+    /// padded input is smaller than the kernel.
+    pub fn convolve_layer(&self, input: &Tensor4<T>, kernels: &Tensor4<T>, pad: usize) -> Tensor4<T> {
+        let is = input.shape();
+        let ks = kernels.shape();
+        let m = self.params.m();
+        let r = self.params.r();
+        let n = self.params.input_tile();
+        assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
+        assert_eq!((ks.h, ks.w), (r, r), "kernels must be {r}x{r}");
+        assert!(is.h + 2 * pad >= r && is.w + 2 * pad >= r, "input too small for kernel");
+
+        let out_h = is.h + 2 * pad - r + 1;
+        let out_w = is.w + 2 * pad - r + 1;
+        let mut output = Tensor4::zeros(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w });
+
+        let v_bank = self.transform_kernel_bank(kernels);
+        let tiles_y = out_h.div_ceil(m);
+        let tiles_x = out_w.div_ceil(m);
+
+        for img in 0..is.n {
+            let planes: Vec<Tensor2<T>> = (0..is.c).map(|c| input.plane(img, c)).collect();
+            let mut out_planes: Vec<Tensor2<T>> =
+                (0..ks.n).map(|_| Tensor2::zeros(out_h, out_w)).collect();
+            for ty in 0..tiles_y {
+                for tx in 0..tiles_x {
+                    let top = (ty * m) as isize - pad as isize;
+                    let left = (tx * m) as isize - pad as isize;
+                    // Accumulate M = sum_c U_c ⊙ V[k][c] per kernel.
+                    let mut acc: Vec<Tensor2<T>> =
+                        (0..ks.n).map(|_| Tensor2::zeros(n, n)).collect();
+                    for (c, plane) in planes.iter().enumerate() {
+                        let tile = plane.padded_tile(top, left, n);
+                        let u = self.transform_data(&tile);
+                        for (k, acc_k) in acc.iter_mut().enumerate() {
+                            let prod = u.hadamard(&v_bank[k][c]);
+                            for (dst, src) in
+                                acc_k.as_mut_slice().iter_mut().zip(prod.as_slice())
+                            {
+                                *dst += *src;
+                            }
+                        }
+                    }
+                    for (k, acc_k) in acc.iter().enumerate() {
+                        let y = self.inverse_transform(acc_k);
+                        out_planes[k].write_tile(ty * m, tx * m, &y);
+                    }
+                }
+            }
+            for (k, plane) in out_planes.into_iter().enumerate() {
+                output.set_plane(img, k, &plane);
+            }
+        }
+        output
+    }
+}
+
+impl WinogradAlgorithm<Ratio> {
+    /// Builds an *exact* rational algorithm directly from the transform
+    /// set (no float round-trip), for algebraic verification.
+    pub fn exact(set: &TransformSet) -> WinogradAlgorithm<Ratio> {
+        WinogradAlgorithm {
+            params: set.params(),
+            at: set.at().clone(),
+            g: set.g().clone(),
+            bt: set.bt().clone(),
+            a: set.at().transposed(),
+            b: set.bt().transposed(),
+            gt: set.g().transposed(),
+        }
+    }
+}
+
+/// Direct correlation of a 1-D signal (used as the test oracle for
+/// [`WinogradAlgorithm::convolve_1d`]).
+pub fn direct_correlate_1d<T: Scalar>(data: &[T], taps: &[T]) -> Vec<T> {
+    let outputs = data.len() + 1 - taps.len();
+    (0..outputs)
+        .map(|j| {
+            taps.iter()
+                .enumerate()
+                .fold(T::zero(), |acc, (i, &g)| acc + data[j + i] * g)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_tensor::{ratio, SplitMix64};
+
+    fn algo_f32(m: usize, r: usize) -> WinogradAlgorithm<f32> {
+        WinogradAlgorithm::for_params(WinogradParams::new(m, r).unwrap()).unwrap()
+    }
+
+    fn algo_exact(m: usize, r: usize) -> WinogradAlgorithm<Ratio> {
+        let set = TransformSet::generate(WinogradParams::new(m, r).unwrap()).unwrap();
+        WinogradAlgorithm::exact(&set)
+    }
+
+    /// Naive spatial reference for layers (independent of the baselines
+    /// crate to avoid dependency cycles in tests).
+    fn spatial_reference<T: Scalar>(input: &Tensor4<T>, kernels: &Tensor4<T>, pad: usize) -> Tensor4<T> {
+        let is = input.shape();
+        let ks = kernels.shape();
+        let out_h = is.h + 2 * pad - ks.h + 1;
+        let out_w = is.w + 2 * pad - ks.w + 1;
+        Tensor4::from_fn(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w }, |n, k, y, x| {
+            let mut acc = T::zero();
+            for c in 0..is.c {
+                for v in 0..ks.h {
+                    for u in 0..ks.w {
+                        let iy = y as isize + v as isize - pad as isize;
+                        let ix = x as isize + u as isize - pad as isize;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < is.h && (ix as usize) < is.w {
+                            acc += input.at(n, c, iy as usize, ix as usize) * kernels.at(k, c, v, u);
+                        }
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn exact_1d_equals_direct_for_all_configs() {
+        let mut rng = SplitMix64::new(11);
+        for r in 2..=4 {
+            for m in 2..=6 {
+                let algo = algo_exact(m, r);
+                let n = m + r - 1;
+                let data: Vec<Ratio> =
+                    (0..n).map(|_| ratio(rng.below(19) as i128 - 9, 1 + rng.below(4) as i128)).collect();
+                let taps: Vec<Ratio> =
+                    (0..r).map(|_| ratio(rng.below(19) as i128 - 9, 1 + rng.below(4) as i128)).collect();
+                assert_eq!(
+                    algo.convolve_1d(&data, &taps),
+                    direct_correlate_1d(&data, &taps),
+                    "F({m},{r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_2d_tile_equals_direct() {
+        let mut rng = SplitMix64::new(22);
+        for (m, r) in [(2, 3), (3, 3), (4, 3), (2, 5), (6, 3)] {
+            let algo = algo_exact(m, r);
+            let n = m + r - 1;
+            let tile = Tensor2::from_fn(n, n, |_, _| ratio(rng.below(13) as i128 - 6, 1));
+            let kernel = Tensor2::from_fn(r, r, |_, _| ratio(rng.below(13) as i128 - 6, 1));
+            let y = algo.convolve_tile(&tile, &kernel);
+            // Direct valid correlation of the n x n tile: m x m outputs.
+            for oy in 0..m {
+                for ox in 0..m {
+                    let mut acc = Ratio::ZERO;
+                    for v in 0..r {
+                        for u in 0..r {
+                            acc += tile[(oy + v, ox + u)] * kernel[(v, u)];
+                        }
+                    }
+                    assert_eq!(y[(oy, ox)], acc, "F({m},{r}) at ({oy},{ox})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_1d_quickstart_example_values() {
+        let algo = algo_f32(2, 3);
+        let y = algo.convolve_1d(&[1.0, 2.0, 3.0, 4.0], &[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]); // 1-3, 2-4
+    }
+
+    #[test]
+    fn exact_layer_equals_spatial_reference_padded() {
+        let mut rng = SplitMix64::new(33);
+        let algo = algo_exact(2, 3);
+        let input = Tensor4::from_fn(Shape4 { n: 2, c: 3, h: 7, w: 6 }, |_, _, _, _| {
+            ratio(rng.below(9) as i128 - 4, 1)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 4, c: 3, h: 3, w: 3 }, |_, _, _, _| {
+            ratio(rng.below(9) as i128 - 4, 1)
+        });
+        let wino = algo.convolve_layer(&input, &kernels, 1);
+        let refr = spatial_reference(&input, &kernels, 1);
+        assert_eq!(wino.shape(), refr.shape());
+        assert_eq!(wino, refr, "exact Winograd must equal direct convolution");
+    }
+
+    #[test]
+    fn exact_layer_equals_spatial_reference_valid_odd_sizes() {
+        // 7x5 output with m=3 forces ragged tiles on both axes.
+        let mut rng = SplitMix64::new(44);
+        let algo = algo_exact(3, 3);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 9, w: 7 }, |_, _, _, _| {
+            ratio(rng.below(9) as i128 - 4, 1)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 2, c: 2, h: 3, w: 3 }, |_, _, _, _| {
+            ratio(rng.below(9) as i128 - 4, 1)
+        });
+        assert_eq!(algo.convolve_layer(&input, &kernels, 0), spatial_reference(&input, &kernels, 0));
+    }
+
+    #[test]
+    fn f32_layer_close_to_spatial_reference() {
+        let mut rng = SplitMix64::new(55);
+        for m in [2usize, 4] {
+            let algo = algo_f32(m, 3);
+            let input = Tensor4::from_fn(Shape4 { n: 1, c: 4, h: 12, w: 12 }, |_, _, _, _| {
+                rng.uniform_f32(-1.0, 1.0)
+            });
+            let kernels = Tensor4::from_fn(Shape4 { n: 3, c: 4, h: 3, w: 3 }, |_, _, _, _| {
+                rng.uniform_f32(-1.0, 1.0)
+            });
+            let wino = algo.convolve_layer(&input, &kernels, 1);
+            let refr = spatial_reference(&input, &kernels, 1);
+            let stats = wino_tensor::ErrorStats::between(wino.as_slice(), refr.as_slice());
+            assert!(stats.within_abs(1e-4), "F({m},3): {stats}");
+        }
+    }
+
+    #[test]
+    fn kernel_bank_matches_individual_transforms() {
+        let algo = algo_f32(2, 3);
+        let kernels = Tensor4::from_fn(Shape4 { n: 2, c: 2, h: 3, w: 3 }, |k, c, h, w| {
+            (k * 27 + c * 9 + h * 3 + w) as f32 * 0.1
+        });
+        let bank = algo.transform_kernel_bank(&kernels);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank[0].len(), 2);
+        assert_eq!(bank[1][0], algo.transform_kernel(&kernels.plane(1, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be 3x3")]
+    fn wrong_kernel_size_panics() {
+        let algo = algo_f32(2, 3);
+        let bad = Tensor2::<f32>::zeros(2, 2);
+        let _ = algo.transform_kernel(&bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel counts must match")]
+    fn channel_mismatch_panics() {
+        let algo = algo_f32(2, 3);
+        let input = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 2, h: 6, w: 6 });
+        let kernels = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 3, h: 3, w: 3 });
+        let _ = algo.convolve_layer(&input, &kernels, 1);
+    }
+
+    #[test]
+    fn direct_correlate_1d_oracle() {
+        let y = direct_correlate_1d(&[1.0f32, 2.0, 3.0, 4.0, 5.0], &[1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn trivial_m1_algorithm_is_dot_product() {
+        let algo = algo_f32(1, 3);
+        let y = algo.convolve_1d(&[2.0, 3.0, 4.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![20.0]);
+    }
+}

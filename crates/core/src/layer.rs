@@ -1,0 +1,257 @@
+//! Convolutional-layer shape descriptors and Winograd algorithm parameters.
+
+use std::fmt;
+
+/// Shape of a single convolutional layer (one image of the minibatch).
+///
+/// Follows the paper's Sec. II notation: input feature map `H × W × C`,
+/// `K` kernels of `r × r × C`. `stride`/`pad` generalize beyond the paper
+/// (VGG16-D uses stride 1, pad 1 everywhere).
+///
+/// ```
+/// use wino_core::ConvShape;
+///
+/// let conv1_1 = ConvShape::same_padded(224, 224, 3, 64, 3);
+/// assert_eq!(conv1_1.out_h(), 224);
+/// assert_eq!(conv1_1.out_w(), 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input feature-map height `H`.
+    pub h: usize,
+    /// Input feature-map width `W`.
+    pub w: usize,
+    /// Input channels `C`.
+    pub c: usize,
+    /// Number of kernels (output channels) `K`.
+    pub k: usize,
+    /// Kernel side `r` (square kernels).
+    pub r: usize,
+    /// Convolution stride (Winograd engines require 1).
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// A stride-1 layer with "same" padding `(r − 1)/2`, the VGG16-D case.
+    pub fn same_padded(h: usize, w: usize, c: usize, k: usize, r: usize) -> ConvShape {
+        ConvShape { h, w, c, k, r, stride: 1, pad: (r - 1) / 2 }
+    }
+
+    /// A stride-1 layer with no padding ("valid" convolution).
+    pub fn valid(h: usize, w: usize, c: usize, k: usize, r: usize) -> ConvShape {
+        ConvShape { h, w, c, k, r, stride: 1, pad: 0 }
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.r) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.r) / self.stride + 1
+    }
+
+    /// Output pixels per image per kernel.
+    pub fn out_pixels(&self) -> u128 {
+        self.out_h() as u128 * self.out_w() as u128
+    }
+
+    /// `true` when a Winograd engine can run this layer (unit stride).
+    pub fn winograd_compatible(&self) -> bool {
+        self.stride == 1
+    }
+}
+
+impl fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{} -> {} kernels {}x{} (stride {}, pad {})",
+            self.h, self.w, self.c, self.k, self.r, self.r, self.stride, self.pad
+        )
+    }
+}
+
+/// Error returned for invalid `F(m, r)` parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// `m` must be at least 1.
+    ZeroOutputTile,
+    /// `r` must be at least 1.
+    ZeroKernel,
+    /// The parameters are too large for exact `i128` transform generation.
+    TooLarge {
+        /// Requested output tile size.
+        m: usize,
+        /// Requested kernel size.
+        r: usize,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::ZeroOutputTile => write!(f, "output tile size m must be >= 1"),
+            ParamError::ZeroKernel => write!(f, "kernel size r must be >= 1"),
+            ParamError::TooLarge { m, r } => {
+                write!(f, "F({m}, {r}) exceeds the supported transform size (m + r - 1 <= 16)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Parameters of a Winograd minimal filtering algorithm `F(m, r)`
+/// (1-D) or `F(m×m, r×r)` (2-D, by nesting).
+///
+/// `m` is the output tile size, `r` the kernel size; the algorithm uses
+/// `n = m + r − 1` multiplications per 1-D application and `n²` per 2-D
+/// tile (Sec. II-B of the paper).
+///
+/// ```
+/// use wino_core::WinogradParams;
+///
+/// let p = WinogradParams::new(4, 3)?;
+/// assert_eq!(p.input_tile(), 6);
+/// assert_eq!(p.mults_per_tile_2d(), 36);
+/// assert_eq!(p.to_string(), "F(4x4, 3x3)");
+/// # Ok::<(), wino_core::ParamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WinogradParams {
+    m: usize,
+    r: usize,
+}
+
+impl WinogradParams {
+    /// Creates parameters for `F(m, r)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `m` or `r` is zero, or when
+    /// `m + r − 1 > 16` (beyond which exact generation and fp32 evaluation
+    /// are both meaningless — the paper stops at `m = 7`).
+    pub fn new(m: usize, r: usize) -> Result<WinogradParams, ParamError> {
+        if m == 0 {
+            return Err(ParamError::ZeroOutputTile);
+        }
+        if r == 0 {
+            return Err(ParamError::ZeroKernel);
+        }
+        if m + r - 1 > 16 {
+            return Err(ParamError::TooLarge { m, r });
+        }
+        Ok(WinogradParams { m, r })
+    }
+
+    /// Output tile size `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Kernel size `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Input tile size `n = m + r − 1` (also multiplications per 1-D tile).
+    pub fn input_tile(&self) -> usize {
+        self.m + self.r - 1
+    }
+
+    /// Multiplications per 2-D output tile, `(m + r − 1)²` — the number of
+    /// multipliers one PE instantiates (Sec. III-A).
+    pub fn mults_per_tile_2d(&self) -> usize {
+        self.input_tile() * self.input_tile()
+    }
+
+    /// Output pixels per 2-D tile, `m²`.
+    pub fn outputs_per_tile_2d(&self) -> usize {
+        self.m * self.m
+    }
+
+    /// Multiplications a spatial convolution needs for the same `m²`
+    /// outputs: `m² r²`.
+    pub fn spatial_mults_per_tile_2d(&self) -> usize {
+        self.m * self.m * self.r * self.r
+    }
+}
+
+impl fmt::Display for WinogradParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F({m}x{m}, {r}x{r})", m = self.m, r = self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_padding_preserves_dims() {
+        let s = ConvShape::same_padded(224, 224, 64, 64, 3);
+        assert_eq!(s.out_h(), 224);
+        assert_eq!(s.out_w(), 224);
+        assert_eq!(s.out_pixels(), 224 * 224);
+        assert!(s.winograd_compatible());
+    }
+
+    #[test]
+    fn valid_padding_shrinks_dims() {
+        let s = ConvShape::valid(8, 10, 1, 1, 3);
+        assert_eq!(s.out_h(), 6);
+        assert_eq!(s.out_w(), 8);
+    }
+
+    #[test]
+    fn strided_layers_are_not_winograd_compatible() {
+        let mut s = ConvShape::same_padded(56, 56, 64, 64, 3);
+        s.stride = 2;
+        assert!(!s.winograd_compatible());
+        assert_eq!(s.out_h(), 28);
+    }
+
+    #[test]
+    fn params_accessors() {
+        let p = WinogradParams::new(2, 3).unwrap();
+        assert_eq!(p.m(), 2);
+        assert_eq!(p.r(), 3);
+        assert_eq!(p.input_tile(), 4);
+        assert_eq!(p.mults_per_tile_2d(), 16);
+        assert_eq!(p.outputs_per_tile_2d(), 4);
+        assert_eq!(p.spatial_mults_per_tile_2d(), 36);
+    }
+
+    #[test]
+    fn params_validation() {
+        assert_eq!(WinogradParams::new(0, 3), Err(ParamError::ZeroOutputTile));
+        assert_eq!(WinogradParams::new(2, 0), Err(ParamError::ZeroKernel));
+        assert!(matches!(WinogradParams::new(15, 3), Err(ParamError::TooLarge { .. })));
+        assert!(WinogradParams::new(14, 3).is_ok());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(WinogradParams::new(3, 3).unwrap().to_string(), "F(3x3, 3x3)");
+        let s = ConvShape::same_padded(14, 14, 512, 512, 3);
+        assert!(s.to_string().contains("14x14x512"));
+    }
+
+    #[test]
+    fn paper_pe_multiplier_counts() {
+        // Sec. IV-A: F(3x3,3x3) uses 25 multipliers per PE, 9 outputs/cycle;
+        // [3]'s F(2x2,3x3) uses 16 and 4. Ratios 1.56x and 2.25x.
+        let ours = WinogradParams::new(3, 3).unwrap();
+        let podili = WinogradParams::new(2, 3).unwrap();
+        assert_eq!(ours.mults_per_tile_2d(), 25);
+        assert_eq!(podili.mults_per_tile_2d(), 16);
+        let mult_ratio = ours.mults_per_tile_2d() as f64 / podili.mults_per_tile_2d() as f64;
+        let thr_ratio = ours.outputs_per_tile_2d() as f64 / podili.outputs_per_tile_2d() as f64;
+        assert!((mult_ratio - 1.5625).abs() < 1e-12);
+        assert!((thr_ratio - 2.25).abs() < 1e-12);
+    }
+}

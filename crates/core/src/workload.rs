@@ -1,0 +1,261 @@
+//! Multi-layer workloads: named convolution layers with group structure.
+//!
+//! The paper reports everything at two granularities — per "group layer"
+//! (Conv1…Conv5 of VGG16-D, Fig. 1 and the latency rows of Table II) and
+//! whole-network (Fig. 2/3/6, throughput rows). [`Workload`] carries both.
+
+use crate::{
+    spatial_mults, spatial_ops, transform_complexity, winograd_mults, ConvShape, TileModel,
+    TransformBreakdown, TransformOps, WinogradParams,
+};
+use std::fmt;
+
+/// One named convolutional layer inside a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer name, e.g. `"conv4_2"`.
+    pub name: String,
+    /// Reporting group, e.g. `"Conv4"` (the paper's group layers).
+    pub group: String,
+    /// Geometry.
+    pub shape: ConvShape,
+}
+
+/// A named sequence of convolutional layers evaluated together.
+///
+/// ```
+/// use wino_core::{ConvShape, Workload};
+///
+/// let mut wl = Workload::new("toy", 1);
+/// wl.push("conv1", "Conv1", ConvShape::same_padded(8, 8, 3, 16, 3));
+/// wl.push("conv2", "Conv2", ConvShape::same_padded(4, 4, 16, 32, 3));
+/// assert_eq!(wl.layers().len(), 2);
+/// assert!(wl.spatial_gop() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    name: String,
+    batch: usize,
+    layers: Vec<Layer>,
+}
+
+impl Workload {
+    /// Creates an empty workload with minibatch size `batch` (the paper's
+    /// `N`; Table II uses `N = 1`).
+    pub fn new(name: impl Into<String>, batch: usize) -> Workload {
+        Workload { name: name.into(), batch, layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, name: impl Into<String>, group: impl Into<String>, shape: ConvShape) {
+        self.layers.push(Layer { name: name.into(), group: group.into(), shape });
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Minibatch size `N`.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Groups in first-appearance order, each with its member layers.
+    pub fn groups(&self) -> Vec<(&str, Vec<&Layer>)> {
+        let mut out: Vec<(&str, Vec<&Layer>)> = Vec::new();
+        for layer in &self.layers {
+            match out.iter_mut().find(|(g, _)| *g == layer.group) {
+                Some((_, members)) => members.push(layer),
+                None => out.push((&layer.group, vec![layer])),
+            }
+        }
+        out
+    }
+
+    /// Total spatial-convolution multiplications (Eq. 4, `m = 1`).
+    pub fn spatial_mults(&self) -> u128 {
+        self.layers.iter().map(|l| spatial_mults(self.batch, &l.shape)).sum()
+    }
+
+    /// Total spatial operations `O_S` (multiply + add).
+    pub fn spatial_ops(&self) -> u128 {
+        self.layers.iter().map(|l| spatial_ops(self.batch, &l.shape)).sum()
+    }
+
+    /// `O_S` in GOP — the paper's "30.69 GOP" for VGG16-D.
+    pub fn spatial_gop(&self) -> f64 {
+        self.spatial_ops() as f64 / 1e9
+    }
+
+    /// Total element-wise–stage multiplications under `F(m×m, r×r)`
+    /// (Eq. 4 summed over layers).
+    pub fn winograd_mults(&self, params: WinogradParams, tiles: TileModel) -> f64 {
+        self.layers.iter().map(|l| winograd_mults(self.batch, &l.shape, params, tiles)).sum()
+    }
+
+    /// Net transform complexity (Eq. 5–6 summed over layers).
+    pub fn transform_complexity(
+        &self,
+        params: WinogradParams,
+        ops: TransformOps,
+        tiles: TileModel,
+    ) -> TransformBreakdown {
+        self.layers
+            .iter()
+            .map(|l| transform_complexity(self.batch, &l.shape, params, ops, tiles))
+            .fold(TransformBreakdown::default(), |acc, b| acc + b)
+    }
+
+    /// Per-group multiplication complexity: the series of one Fig. 1 bar
+    /// color. `m = 1` gives the spatial bars.
+    pub fn group_mults(&self, params: WinogradParams, tiles: TileModel) -> Vec<(String, f64)> {
+        self.groups()
+            .into_iter()
+            .map(|(g, layers)| {
+                let total = layers
+                    .iter()
+                    .map(|l| winograd_mults(self.batch, &l.shape, params, tiles))
+                    .sum();
+                (g.to_owned(), total)
+            })
+            .collect()
+    }
+
+    /// Per-group latency in seconds (Eq. 9 summed within groups; the
+    /// pipeline-fill term is charged once per layer).
+    pub fn group_latency_seconds(
+        &self,
+        params: WinogradParams,
+        p: f64,
+        pipeline_depth: usize,
+        freq_hz: f64,
+        tiles: TileModel,
+    ) -> Vec<(String, f64)> {
+        self.groups()
+            .into_iter()
+            .map(|(g, layers)| {
+                let total = layers
+                    .iter()
+                    .map(|l| {
+                        crate::latency_seconds(
+                            self.batch,
+                            &l.shape,
+                            params,
+                            p,
+                            pipeline_depth,
+                            freq_hz,
+                            tiles,
+                        )
+                    })
+                    .sum();
+                (g.to_owned(), total)
+            })
+            .collect()
+    }
+
+    /// Whole-workload latency in seconds.
+    pub fn latency_seconds(
+        &self,
+        params: WinogradParams,
+        p: f64,
+        pipeline_depth: usize,
+        freq_hz: f64,
+        tiles: TileModel,
+    ) -> f64 {
+        self.group_latency_seconds(params, p, pipeline_depth, freq_hz, tiles)
+            .into_iter()
+            .map(|(_, s)| s)
+            .sum()
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (N={}, {} conv layers):", self.name, self.batch, self.layers.len())?;
+        for l in &self.layers {
+            writeln!(f, "  {:<10} [{}] {}", l.name, l.group, l.shape)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Workload {
+        let mut wl = Workload::new("toy", 2);
+        wl.push("a1", "A", ConvShape::same_padded(8, 8, 3, 4, 3));
+        wl.push("a2", "A", ConvShape::same_padded(8, 8, 4, 4, 3));
+        wl.push("b1", "B", ConvShape::same_padded(4, 4, 4, 8, 3));
+        wl
+    }
+
+    #[test]
+    fn groups_preserve_order_and_membership() {
+        let wl = toy();
+        let groups = wl.groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "A");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, "B");
+        assert_eq!(groups[1].1[0].name, "b1");
+    }
+
+    #[test]
+    fn totals_sum_layers_and_scale_with_batch() {
+        let wl = toy();
+        let per_layer: u128 = wl.layers().iter().map(|l| spatial_mults(2, &l.shape)).sum();
+        assert_eq!(wl.spatial_mults(), per_layer);
+        assert_eq!(wl.spatial_ops(), 2 * per_layer);
+
+        let mut single = Workload::new("toy1", 1);
+        for l in wl.layers() {
+            single.push(l.name.clone(), l.group.clone(), l.shape);
+        }
+        assert_eq!(wl.spatial_mults(), 2 * single.spatial_mults());
+    }
+
+    #[test]
+    fn group_mults_cover_all_layers() {
+        let wl = toy();
+        let p = WinogradParams::new(2, 3).unwrap();
+        let by_group: f64 =
+            wl.group_mults(p, TileModel::Fractional).into_iter().map(|(_, v)| v).sum();
+        assert!((by_group - wl.winograd_mults(p, TileModel::Fractional)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_decomposes_over_groups() {
+        let wl = toy();
+        let p = WinogradParams::new(2, 3).unwrap();
+        let groups = wl.group_latency_seconds(p, 4.0, 10, 100e6, TileModel::Fractional);
+        let total: f64 = groups.iter().map(|(_, s)| s).sum();
+        assert!((total - wl.latency_seconds(p, 4.0, 10, 100e6, TileModel::Fractional)).abs() < 1e-15);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn transform_complexity_sums() {
+        let wl = toy();
+        let p = WinogradParams::new(2, 3).unwrap();
+        let ops = TransformOps { beta: 32, gamma: 28, delta: 24 };
+        let b = wl.transform_complexity(p, ops, TileModel::Fractional);
+        assert!(b.data > 0.0 && b.filter > 0.0 && b.inverse > 0.0);
+        assert_eq!(b.total(), b.data + b.filter + b.inverse);
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let text = toy().to_string();
+        assert!(text.contains("toy (N=2, 3 conv layers)"));
+        assert!(text.contains("a1"));
+        assert!(text.contains("[B]"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the hand-scheduled F(2,3)/F(4,3) kernels: they must
+//! agree with the generic matrix path on arbitrary shapes and paddings.
+
+use proptest::prelude::*;
+use wino_core::{fast_convolve_layer, FastKernel, WinogradAlgorithm, WinogradParams};
+use wino_tensor::{ErrorStats, Shape4, SplitMix64, Tensor4};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fast_equals_generic_on_arbitrary_layers(
+        use_f43 in any::<bool>(),
+        n in 1usize..3,
+        c in 1usize..4,
+        k in 1usize..5,
+        h in 3usize..12,
+        w in 3usize..12,
+        pad in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let (kind, m) = if use_f43 { (FastKernel::F4x4, 4) } else { (FastKernel::F2x2, 2) };
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n, c, h, w }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let fast = fast_convolve_layer(kind, &input, &kernels, pad);
+        let generic = WinogradAlgorithm::<f32>::for_params(WinogradParams::new(m, 3).expect("valid"))
+            .expect("generates")
+            .convolve_layer(&input, &kernels, pad);
+        prop_assert_eq!(fast.shape(), generic.shape());
+        let stats = ErrorStats::between(fast.as_slice(), generic.as_slice());
+        prop_assert!(stats.within_abs(1e-4), "{}", stats);
+    }
+
+    #[test]
+    fn fast_f23_linearity(seed in 0u64..10_000) {
+        // conv(a + b) == conv(a) + conv(b) within fp32 tolerance.
+        let mut rng = SplitMix64::new(seed);
+        let shape = Shape4 { n: 1, c: 2, h: 8, w: 8 };
+        let a = Tensor4::from_fn(shape, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+        let b = Tensor4::from_fn(shape, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+        let sum = Tensor4::from_fn(shape, |n, c, y, x| a.at(n, c, y, x) + b.at(n, c, y, x));
+        let kernels = Tensor4::from_fn(Shape4 { n: 2, c: 2, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let ca = fast_convolve_layer(FastKernel::F2x2, &a, &kernels, 1);
+        let cb = fast_convolve_layer(FastKernel::F2x2, &b, &kernels, 1);
+        let cs = fast_convolve_layer(FastKernel::F2x2, &sum, &kernels, 1);
+        let recombined: Vec<f32> = ca
+            .as_slice()
+            .iter()
+            .zip(cb.as_slice())
+            .map(|(x, y)| x + y)
+            .collect();
+        let stats = ErrorStats::between(cs.as_slice(), &recombined);
+        prop_assert!(stats.within_abs(1e-4), "{}", stats);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests: generated Winograd algorithms compute exact
+//! correlations for *all* inputs, arbitrary valid (m, r) and point sets.
+
+use proptest::prelude::*;
+use wino_core::{
+    canonical_points, direct_correlate_1d, TransformSet, WinogradAlgorithm, WinogradParams,
+};
+use wino_tensor::{ratio, Ratio, Shape4, Tensor2, Tensor4};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_1d_algorithm_is_exact(
+        m in 2usize..7,
+        r in 2usize..5,
+        data in prop::collection::vec((-9i128..10, 1i128..4), 16),
+        taps in prop::collection::vec((-9i128..10, 1i128..4), 8),
+    ) {
+        let params = WinogradParams::new(m, r).expect("valid");
+        let set = TransformSet::generate(params).expect("generates");
+        let algo = WinogradAlgorithm::<Ratio>::exact(&set);
+        let n = params.input_tile();
+        let d: Vec<Ratio> = data.iter().take(n).map(|&(a, b)| ratio(a, b)).collect();
+        let g: Vec<Ratio> = taps.iter().take(r).map(|&(a, b)| ratio(a, b)).collect();
+        prop_assume!(d.len() == n && g.len() == r);
+        prop_assert_eq!(algo.convolve_1d(&d, &g), direct_correlate_1d(&d, &g));
+    }
+
+    #[test]
+    fn generated_2d_tile_is_exact(m in 2usize..6, r in 2usize..4, seed in 0u64..500) {
+        let params = WinogradParams::new(m, r).expect("valid");
+        let set = TransformSet::generate(params).expect("generates");
+        let algo = WinogradAlgorithm::<Ratio>::exact(&set);
+        let n = params.input_tile();
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ratio(((s >> 33) % 17) as i128 - 8, 1)
+        };
+        let tile = Tensor2::from_fn(n, n, |_, _| next());
+        let kernel = Tensor2::from_fn(r, r, |_, _| next());
+        let y = algo.convolve_tile(&tile, &kernel);
+        for oy in 0..m {
+            for ox in 0..m {
+                let mut acc = Ratio::ZERO;
+                for v in 0..r {
+                    for u in 0..r {
+                        acc += tile[(oy + v, ox + u)] * kernel[(v, u)];
+                    }
+                }
+                prop_assert_eq!(y[(oy, ox)], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_distinct_points_still_generate_valid_algorithms(
+        perm_seed in 0u64..10_000,
+    ) {
+        // Shuffle/perturb the canonical points: any distinct set works.
+        let params = WinogradParams::new(3, 3).expect("valid");
+        let mut pts = canonical_points(4);
+        let a = (perm_seed % 4) as usize;
+        let b = ((perm_seed / 4) % 4) as usize;
+        pts.swap(a, b);
+        // Perturb one point to a fresh value not already present.
+        let fresh = ratio(5 + (perm_seed % 7) as i128, 1 + (perm_seed % 3) as i128);
+        if !pts.contains(&fresh) {
+            pts[(perm_seed % 4) as usize] = fresh;
+        }
+        let set = TransformSet::with_points(params, &pts).expect("distinct points generate");
+        prop_assert!(set.verify().is_ok());
+    }
+
+    #[test]
+    fn f32_layer_conv_stays_close_to_direct(
+        m in 2usize..5,
+        c in 1usize..4,
+        k in 1usize..4,
+        hw in 4usize..10,
+        seed in 0u64..1000,
+    ) {
+        let params = WinogradParams::new(m, 3).expect("valid");
+        let algo = WinogradAlgorithm::<f32>::for_params(params).expect("generates");
+        let mut rng = wino_tensor::SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c, h: hw, w: hw }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let wino = algo.convolve_layer(&input, &kernels, 1);
+        // Direct reference computed inline in f64.
+        let out_h = hw;
+        for y in 0..out_h.min(3) {
+            for x in 0..out_h.min(3) {
+                let mut acc = 0f64;
+                for ci in 0..c {
+                    for v in 0..3 {
+                        for u in 0..3 {
+                            let iy = y as isize + v as isize - 1;
+                            let ix = x as isize + u as isize - 1;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < hw && (ix as usize) < hw {
+                                acc += input.at(0, ci, iy as usize, ix as usize) as f64
+                                    * kernels.at(0, ci, v as usize, u as usize) as f64;
+                            }
+                        }
+                    }
+                }
+                let got = wino.at(0, 0, y, x) as f64;
+                prop_assert!((got - acc).abs() < 1e-3, "({y},{x}): {got} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_identity_survives_transposition_of_nesting(
+        m in 2usize..6, seed in 0u64..100
+    ) {
+        // U = B^T d B nests column-then-row; row-then-column must agree
+        // because the transforms are linear.
+        let params = WinogradParams::new(m, 3).expect("valid");
+        let set = TransformSet::generate(params).expect("generates");
+        let algo = WinogradAlgorithm::<Ratio>::exact(&set);
+        let n = params.input_tile();
+        let mut s = seed;
+        let tile = Tensor2::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ratio(((s >> 35) % 11) as i128 - 5, 1)
+        });
+        let u = algo.transform_data(&tile);
+        let bt = set.bt().clone();
+        let b = bt.transposed();
+        let via_rows = bt.matmul(&tile.matmul(&b));
+        prop_assert_eq!(u, via_rows);
+    }
+}

@@ -1,0 +1,239 @@
+//! Mapping whole networks onto a Winograd engine with spatial fallback.
+//!
+//! The paper evaluates VGG16-D, where every layer is 3×3 stride-1 and the
+//! Winograd engine covers 100% of the work. Real networks (AlexNet,
+//! ResNet) contain strided and non-3×3 layers the engine cannot run; this
+//! module maps each layer to the Winograd engine or to a spatial MAC
+//! engine built from the same multiplier budget, and reports the
+//! end-to-end picture — the Amdahl view of the paper's speedup.
+
+use crate::DesignPoint;
+use std::fmt;
+use wino_core::{engine_cycles, spatial_ops, Layer, TileModel, Workload, WinogradParams};
+
+/// Where one layer executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerTarget {
+    /// The `F(m×m, r×r)` Winograd engine.
+    Winograd,
+    /// The spatial MAC fallback engine.
+    SpatialFallback,
+}
+
+/// One mapped layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedLayer {
+    /// Layer name.
+    pub name: String,
+    /// Execution target.
+    pub target: LayerTarget,
+    /// Latency in seconds on its target.
+    pub latency_s: f64,
+    /// Spatial-equivalent operations.
+    pub ops: f64,
+}
+
+/// End-to-end mapping of a workload onto one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMapping {
+    /// Per-layer assignments in execution order.
+    pub layers: Vec<MappedLayer>,
+    /// Seconds spent on the Winograd engine.
+    pub winograd_seconds: f64,
+    /// Seconds spent on the spatial fallback.
+    pub fallback_seconds: f64,
+    /// Fraction of total operations served by the Winograd engine.
+    pub ops_coverage: f64,
+    /// End-to-end throughput in GOPS.
+    pub throughput_gops: f64,
+}
+
+impl WorkloadMapping {
+    /// Total end-to-end latency.
+    pub fn total_seconds(&self) -> f64 {
+        self.winograd_seconds + self.fallback_seconds
+    }
+}
+
+impl fmt::Display for WorkloadMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:.2} ms total ({:.2} ms Winograd + {:.2} ms fallback), {:.1}% ops covered, {:.1} GOPS",
+            self.total_seconds() * 1e3,
+            self.winograd_seconds * 1e3,
+            self.fallback_seconds * 1e3,
+            self.ops_coverage * 100.0,
+            self.throughput_gops
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "  {:<12} {:<9} {:>9.3} ms",
+                l.name,
+                match l.target {
+                    LayerTarget::Winograd => "winograd",
+                    LayerTarget::SpatialFallback => "spatial",
+                },
+                l.latency_s * 1e3
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// `true` when `layer` can run on the `F(m×m, r×r)` engine of `point`.
+pub fn winograd_eligible(layer: &Layer, point: &DesignPoint) -> bool {
+    layer.shape.winograd_compatible() && layer.shape.r == point.params.r()
+}
+
+/// Maps every layer of `workload` onto `point`'s Winograd engine or a
+/// spatial fallback engine reusing the same multipliers
+/// (`P_s = ⌊mults/r²⌋` per layer kernel size).
+///
+/// # Panics
+///
+/// Panics if a fallback layer's kernel exceeds the supported size
+/// (`r > 16`) or the multiplier budget cannot fit even one spatial PE.
+pub fn map_workload(workload: &Workload, point: &DesignPoint, tiles: TileModel) -> WorkloadMapping {
+    let tc = 1.0 / point.freq_hz;
+    let mults = point.multipliers();
+    let mut layers = Vec::new();
+    let (mut wino_s, mut fall_s) = (0.0f64, 0.0f64);
+    let (mut wino_ops, mut total_ops) = (0.0f64, 0.0f64);
+
+    for layer in workload.layers() {
+        let ops = spatial_ops(workload.batch(), &layer.shape) as f64;
+        total_ops += ops;
+        if winograd_eligible(layer, point) {
+            let cycles = engine_cycles(
+                workload.batch(),
+                &layer.shape,
+                point.params,
+                point.pe_count as f64,
+                tiles,
+            ) + point.pipeline_depth as f64
+                - 1.0;
+            let latency = cycles * tc;
+            wino_s += latency;
+            wino_ops += ops;
+            layers.push(MappedLayer {
+                name: layer.name.clone(),
+                target: LayerTarget::Winograd,
+                latency_s: latency,
+                ops,
+            });
+        } else {
+            // Spatial fallback: each PE holds r^2 multipliers and emits
+            // one output per cycle (the m = 1 engine of Fig. 6).
+            let spatial = WinogradParams::new(1, layer.shape.r)
+                .expect("fallback kernel within supported size");
+            let p = (mults / (layer.shape.r * layer.shape.r)).max(1) as f64;
+            let cycles =
+                engine_cycles(workload.batch(), &layer.shape, spatial, p, tiles)
+                    + point.pipeline_depth as f64
+                    - 1.0;
+            let latency = cycles * tc;
+            fall_s += latency;
+            layers.push(MappedLayer {
+                name: layer.name.clone(),
+                target: LayerTarget::SpatialFallback,
+                latency_s: latency,
+                ops,
+            });
+        }
+    }
+    WorkloadMapping {
+        layers,
+        winograd_seconds: wino_s,
+        fallback_seconds: fall_s,
+        ops_coverage: if total_ops > 0.0 { wino_ops / total_ops } else { 0.0 },
+        throughput_gops: total_ops / (wino_s + fall_s) / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_fpga::Architecture;
+    use wino_models::{alexnet, resnet18, vgg16d};
+
+    fn paper_point() -> DesignPoint {
+        DesignPoint {
+            params: WinogradParams::new(4, 3).unwrap(),
+            arch: Architecture::SharedTransform,
+            pe_count: 19,
+            freq_hz: 200e6,
+            pipeline_depth: 8,
+        }
+    }
+
+    #[test]
+    fn vgg16_maps_entirely_to_winograd() {
+        let mapping = map_workload(&vgg16d(1), &paper_point(), TileModel::Fractional);
+        assert!(mapping.layers.iter().all(|l| l.target == LayerTarget::Winograd));
+        assert_eq!(mapping.fallback_seconds, 0.0);
+        assert!((mapping.ops_coverage - 1.0).abs() < 1e-12);
+        // End-to-end equals Table II's 28.05 ms (pipeline fill is in the
+        // sub-microsecond noise).
+        assert!((mapping.total_seconds() * 1e3 - 28.05).abs() < 0.05);
+        assert!((mapping.throughput_gops - 1094.3).abs() < 2.0);
+    }
+
+    #[test]
+    fn resnet18_strided_layers_fall_back() {
+        let mapping = map_workload(&resnet18(1), &paper_point(), TileModel::Ceil);
+        let fallback: Vec<&str> = mapping
+            .layers
+            .iter()
+            .filter(|l| l.target == LayerTarget::SpatialFallback)
+            .map(|l| l.name.as_str())
+            .collect();
+        assert_eq!(fallback, vec!["conv1", "s2_conv1", "s3_conv1", "s4_conv1"]);
+        // The 3x3 stride-1 body dominates ResNet-18's conv ops.
+        assert!(mapping.ops_coverage > 0.75, "coverage {:.2}", mapping.ops_coverage);
+        assert!(mapping.fallback_seconds > 0.0);
+    }
+
+    #[test]
+    fn alexnet_large_kernels_fall_back() {
+        let mapping = map_workload(&alexnet(1), &paper_point(), TileModel::Ceil);
+        let by_name = |n: &str| mapping.layers.iter().find(|l| l.name == n).unwrap();
+        assert_eq!(by_name("conv1").target, LayerTarget::SpatialFallback); // 11x11/4
+        assert_eq!(by_name("conv2").target, LayerTarget::SpatialFallback); // 5x5
+        assert_eq!(by_name("conv3").target, LayerTarget::Winograd);
+        // AlexNet's 3x3 share is smaller: Amdahl bites.
+        assert!(mapping.ops_coverage < 0.65, "coverage {:.2}", mapping.ops_coverage);
+    }
+
+    #[test]
+    fn amdahl_effect_caps_end_to_end_throughput() {
+        // End-to-end GOPS on mixed networks is below the engine's 1094
+        // GOPS peak because fallback layers run at spatial rates.
+        let resnet = map_workload(&resnet18(1), &paper_point(), TileModel::Ceil);
+        assert!(resnet.throughput_gops < 1094.0);
+        // But still well above an all-spatial design of the same budget.
+        let all_spatial = DesignPoint {
+            params: WinogradParams::new(1, 3).unwrap(),
+            pe_count: 76, // 684/9
+            ..paper_point()
+        };
+        let spatial_map = map_workload(&resnet18(1), &all_spatial, TileModel::Ceil);
+        assert!(
+            resnet.throughput_gops > 1.5 * spatial_map.throughput_gops,
+            "{} vs {}",
+            resnet.throughput_gops,
+            spatial_map.throughput_gops
+        );
+    }
+
+    #[test]
+    fn display_lists_every_layer() {
+        let mapping = map_workload(&resnet18(1), &paper_point(), TileModel::Ceil);
+        let text = mapping.to_string();
+        assert!(text.contains("s2_conv1"));
+        assert!(text.contains("spatial"));
+        assert!(text.contains("winograd"));
+        assert!(text.contains("ops covered"));
+    }
+}

@@ -1,0 +1,550 @@
+//! The cycle-level Winograd convolution engine (Figs. 4, 5, 7).
+//!
+//! One engine instance models the paper's system: an image buffer feeding
+//! one `(m+r−1)²` input tile per clock, a pipelined data transform stage
+//! (shared across PEs in the proposed design, replicated per PE in the
+//! [3] baseline), `P` parallel PEs performing the element-wise multiply
+//! and inverse transform, and per-PE accumulation buffers that sum over
+//! the `C` input channels (Sec. IV-B). Kernel (`V`) buffers are double
+//! buffered; bandwidth below the double-buffering requirement inserts
+//! stall bubbles between kernel groups while in-flight work keeps
+//! draining, exactly like real back-pressure.
+//!
+//! The simulator is *functional and timed*: it produces the actual layer
+//! output (validated against direct convolution) and a cycle count that
+//! must agree with the paper's Eq. 9.
+
+use crate::Pipeline;
+use std::collections::HashMap;
+use wino_core::{TransformError, WinogradAlgorithm, WinogradParams};
+use wino_fpga::{Architecture, EngineResources, ResourceUsage};
+use wino_tensor::{Shape4, Tensor2, Tensor4};
+
+/// Static configuration of one engine instance.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Winograd algorithm parameters `F(m×m, r×r)`.
+    pub params: WinogradParams,
+    /// Data-transform placement (proposed vs [3]).
+    pub arch: Architecture,
+    /// Number of parallel PEs (`P` of Eq. 8).
+    pub pe_count: usize,
+    /// Pipeline stages of the data transform (two 1-D passes).
+    pub dt_latency: usize,
+    /// Pipeline stages of the element-wise fp32 multiply.
+    pub mult_latency: usize,
+    /// Pipeline stages of the inverse transform.
+    pub inv_latency: usize,
+    /// Kernel-buffer fill bandwidth in bytes/cycle (`f64::INFINITY`
+    /// reproduces the paper's "enough memory bandwidth" assumption).
+    pub kernel_bandwidth: f64,
+}
+
+impl EngineConfig {
+    /// A configuration with the paper's assumptions: shared transform,
+    /// unlimited bandwidth, representative stage depths.
+    pub fn proposed(params: WinogradParams, pe_count: usize) -> EngineConfig {
+        EngineConfig {
+            params,
+            arch: Architecture::SharedTransform,
+            pe_count,
+            dt_latency: 2,
+            mult_latency: 3,
+            inv_latency: 2,
+            kernel_bandwidth: f64::INFINITY,
+        }
+    }
+
+    /// The [3]-style baseline: identical timing (the paper notes moving
+    /// the data transform does not change latency), different structure.
+    pub fn reference(params: WinogradParams, pe_count: usize) -> EngineConfig {
+        EngineConfig { arch: Architecture::PerPeTransform, ..EngineConfig::proposed(params, pe_count) }
+    }
+
+    /// Total pipeline depth `D_p` of Eq. 9: the three register chains plus
+    /// one for Eq. 9's convention that the issue cycle itself counts (the
+    /// accumulator write-back happens within the retire cycle).
+    pub fn pipeline_depth(&self) -> usize {
+        self.dt_latency + self.mult_latency + self.inv_latency + 1
+    }
+}
+
+/// Timing and activity results of one simulated layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Total clock cycles from first issue to last output write-back.
+    pub cycles: u64,
+    /// Issued (tile, channel) pairs — the steady-state term of Eq. 9.
+    pub issues: u64,
+    /// Stall bubbles inserted waiting for kernel-buffer fills.
+    pub stall_cycles: u64,
+    /// Output pixels written (counts only real kernels in ragged groups).
+    pub outputs_written: u64,
+    /// Bytes of transformed kernels loaded into the V buffers.
+    pub kernel_bytes_loaded: u64,
+    /// Minimum bandwidth (bytes/cycle) that avoids every stall.
+    pub required_bandwidth: f64,
+    /// Fraction of PE-cycles doing useful work.
+    pub pe_utilization: f64,
+}
+
+impl SimReport {
+    /// Wall-clock latency at a given clock frequency.
+    pub fn latency_seconds(&self, freq_hz: f64) -> f64 {
+        self.cycles as f64 / freq_hz
+    }
+}
+
+/// One scheduled input: a (image, kernel-group, tile, channel) issue or a
+/// stall bubble.
+#[derive(Debug, Clone, Copy)]
+enum FeedEvent {
+    Work { img: usize, k_lo: usize, active: usize, tile: usize, channel: usize },
+    Bubble,
+}
+
+/// An item flowing from the data transform to the PEs.
+struct DtItem {
+    img: usize,
+    k_lo: usize,
+    active: usize,
+    tile: usize,
+    channel: usize,
+    u: Tensor2<f32>,
+}
+
+/// Per-PE results of the multiply + inverse stages for one input tile.
+struct PeItem {
+    img: usize,
+    k_lo: usize,
+    tile: usize,
+    channel: usize,
+    /// One `m × m` partial output per active PE.
+    ys: Vec<Tensor2<f32>>,
+}
+
+/// The cycle-level engine.
+///
+/// ```
+/// use wino_core::WinogradParams;
+/// use wino_engine::{EngineConfig, WinogradEngine};
+/// use wino_tensor::{Shape4, Tensor4};
+///
+/// let engine = WinogradEngine::new(EngineConfig::proposed(WinogradParams::new(2, 3)?, 2))?;
+/// let input = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 6, w: 6 }, |_, c, h, w| (c + h + w) as f32);
+/// let kernels = Tensor4::from_fn(Shape4 { n: 2, c: 2, h: 3, w: 3 }, |_, _, _, _| 0.5f32);
+/// let (output, report) = engine.run_layer(&input, &kernels, 1);
+/// assert_eq!(output.shape(), Shape4 { n: 1, c: 2, h: 6, w: 6 });
+/// assert_eq!(report.cycles, engine.predicted_cycles(input.shape(), 2, 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WinogradEngine {
+    config: EngineConfig,
+    algo: WinogradAlgorithm<f32>,
+    resources: EngineResources,
+}
+
+impl WinogradEngine {
+    /// Builds an engine, generating the canonical transforms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transform-generation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe_count == 0` or a stage latency is zero.
+    pub fn new(config: EngineConfig) -> Result<WinogradEngine, TransformError> {
+        assert!(config.pe_count > 0, "engine needs at least one PE");
+        assert!(
+            config.dt_latency > 0 && config.mult_latency > 0 && config.inv_latency > 0,
+            "pipeline stages must have at least one register"
+        );
+        let set = wino_core::TransformSet::generate(config.params)?;
+        let algo = WinogradAlgorithm::new(&set);
+        let resources = EngineResources::from_transforms(&set);
+        Ok(WinogradEngine { config, algo, resources })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Estimated FPGA resources of this engine instance.
+    pub fn resources(&self) -> ResourceUsage {
+        self.resources.estimate(self.config.arch, self.config.pe_count)
+    }
+
+    /// Analytical cycle count (Eq. 9 with exact tiling and unlimited
+    /// bandwidth): steady-state issues plus pipeline fill.
+    pub fn predicted_cycles(&self, shape: Shape4, kernels: usize, pad: usize) -> u64 {
+        let m = self.config.params.m();
+        let r = self.config.params.r();
+        let out_h = shape.h + 2 * pad - r + 1;
+        let out_w = shape.w + 2 * pad - r + 1;
+        let tiles = (out_h.div_ceil(m) * out_w.div_ceil(m)) as u64;
+        let groups = (kernels as u64).div_ceil(self.config.pe_count as u64);
+        let issues = shape.n as u64 * groups * tiles * shape.c as u64;
+        issues + self.config.pipeline_depth() as u64 - 1
+    }
+
+    /// Builds the full issue schedule, inserting stall bubbles where the
+    /// kernel-buffer fill cannot hide behind the previous group's compute.
+    fn schedule(&self, is: Shape4, ks: Shape4, tiles: usize) -> (Vec<FeedEvent>, u64, f64) {
+        let p = self.config.pe_count;
+        let groups = ks.n.div_ceil(p);
+        let n2 = self.config.params.mults_per_tile_2d();
+        let v_tile_bytes = (n2 * 4) as u64;
+        let group_compute = (tiles * is.c) as u64;
+
+        let mut feed = Vec::new();
+        let mut kernel_bytes = 0u64;
+        let mut required_bw = 0f64;
+        for img in 0..is.n {
+            for group in 0..groups {
+                let k_lo = group * p;
+                let active = (k_lo + p).min(ks.n) - k_lo;
+                let load_bytes = (active * is.c) as u64 * v_tile_bytes;
+                kernel_bytes += load_bytes;
+                required_bw = required_bw.max(load_bytes as f64 / group_compute as f64);
+                if self.config.kernel_bandwidth.is_finite() {
+                    let load_cycles =
+                        (load_bytes as f64 / self.config.kernel_bandwidth).ceil() as u64;
+                    // Double buffering: the first fill has nothing to hide
+                    // behind; later fills overlap the previous group.
+                    let overlap = if img == 0 && group == 0 { 0 } else { group_compute };
+                    for _ in 0..load_cycles.saturating_sub(overlap) {
+                        feed.push(FeedEvent::Bubble);
+                    }
+                }
+                for tile in 0..tiles {
+                    for channel in 0..is.c {
+                        feed.push(FeedEvent::Work { img, k_lo, active, tile, channel });
+                    }
+                }
+            }
+        }
+        (feed, kernel_bytes, required_bw)
+    }
+
+    /// Runs one convolutional layer through the engine, cycle by cycle.
+    ///
+    /// Shapes follow
+    /// [`WinogradAlgorithm::convolve_layer`]: `(N, C, H, W)` input,
+    /// `(K, C, r, r)` kernels, stride 1, symmetric `pad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (same contract as the functional path).
+    pub fn run_layer(
+        &self,
+        input: &Tensor4<f32>,
+        kernels: &Tensor4<f32>,
+        pad: usize,
+    ) -> (Tensor4<f32>, SimReport) {
+        let is = input.shape();
+        let ks = kernels.shape();
+        assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
+        let m = self.config.params.m();
+        let r = self.config.params.r();
+        let n = self.config.params.input_tile();
+        assert_eq!((ks.h, ks.w), (r, r), "kernels must be {r}x{r}");
+        let p = self.config.pe_count;
+        let out_h = is.h + 2 * pad - r + 1;
+        let out_w = is.w + 2 * pad - r + 1;
+        let tiles_x = out_w.div_ceil(m);
+        let tiles = out_h.div_ceil(m) * tiles_x;
+
+        // Precomputed filter transforms (Sec. IV-B: V "can be precomputed
+        // even before running a forward pass of the CNN").
+        let v_bank = self.algo.transform_kernel_bank(kernels);
+        let planes: Vec<Vec<Tensor2<f32>>> = (0..is.n)
+            .map(|img| (0..is.c).map(|c| input.plane(img, c)).collect())
+            .collect();
+        let mut out_planes: Vec<Vec<Tensor2<f32>>> = (0..is.n)
+            .map(|_| (0..ks.n).map(|_| Tensor2::zeros(out_h, out_w)).collect())
+            .collect();
+
+        let (schedule, kernel_bytes_loaded, required_bandwidth) = self.schedule(is, ks, tiles);
+
+        let mut dt: Pipeline<DtItem> = Pipeline::new(self.config.dt_latency);
+        let mut pe: Pipeline<PeItem> =
+            Pipeline::new(self.config.mult_latency + self.config.inv_latency);
+        // Post-inverse channel accumulators (Fig. 7), keyed by
+        // (image, kernel group, tile).
+        let mut acc: HashMap<(usize, usize, usize), (usize, Vec<Tensor2<f32>>)> = HashMap::new();
+
+        let mut cycles: u64 = 0;
+        let mut issues: u64 = 0;
+        let mut stall_cycles: u64 = 0;
+        let mut outputs_written: u64 = 0;
+        let mut busy_pe_cycles: u64 = 0;
+
+        let mut feed = schedule.into_iter();
+        let mut exhausted = false;
+        loop {
+            // 1. Image buffer -> data transform.
+            let dt_in = match feed.next() {
+                Some(FeedEvent::Work { img, k_lo, active, tile, channel }) => {
+                    issues += 1;
+                    let ty = tile / tiles_x;
+                    let tx = tile % tiles_x;
+                    let top = (ty * m) as isize - pad as isize;
+                    let left = (tx * m) as isize - pad as isize;
+                    let d = planes[img][channel].padded_tile(top, left, n);
+                    Some(DtItem { img, k_lo, active, tile, channel, u: self.algo.transform_data(&d) })
+                }
+                Some(FeedEvent::Bubble) => {
+                    stall_cycles += 1;
+                    None
+                }
+                None => {
+                    exhausted = true;
+                    None
+                }
+            };
+            if exhausted && dt.is_empty() && pe.is_empty() {
+                break;
+            }
+            cycles += 1;
+
+            // 2. Data transform -> PE array (multiply + inverse).
+            let pe_in = dt.tick(dt_in).map(|item| {
+                busy_pe_cycles += item.active as u64;
+                let ys = (item.k_lo..item.k_lo + item.active)
+                    .map(|k| {
+                        let prod = item.u.hadamard(&v_bank[k][item.channel]);
+                        self.algo.inverse_transform(&prod)
+                    })
+                    .collect();
+                PeItem { img: item.img, k_lo: item.k_lo, tile: item.tile, channel: item.channel, ys }
+            });
+
+            // 3. PE array -> accumulation buffers -> output registers.
+            if let Some(item) = pe.tick(pe_in) {
+                let key = (item.img, item.k_lo, item.tile);
+                let slot = acc
+                    .entry(key)
+                    .or_insert_with(|| (0, item.ys.iter().map(|y| Tensor2::zeros(y.rows(), y.cols())).collect()));
+                for (sum, y) in slot.1.iter_mut().zip(&item.ys) {
+                    for (dst, src) in sum.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *dst += *src;
+                    }
+                }
+                slot.0 += 1;
+                debug_assert_eq!(slot.0, item.channel + 1, "channel arrivals must be in order");
+                if slot.0 == is.c {
+                    let (_, sums) = acc.remove(&key).expect("slot exists");
+                    let ty = item.tile / tiles_x;
+                    let tx = item.tile % tiles_x;
+                    for (pi, sum) in sums.iter().enumerate() {
+                        out_planes[item.img][item.k_lo + pi].write_tile(ty * m, tx * m, sum);
+                        let h_clip = (out_h - (ty * m).min(out_h)).min(m);
+                        let w_clip = (out_w - (tx * m).min(out_w)).min(m);
+                        outputs_written += (h_clip * w_clip) as u64;
+                    }
+                }
+            }
+        }
+
+        let mut output = Tensor4::zeros(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w });
+        for (img, planes) in out_planes.into_iter().enumerate() {
+            for (k, plane) in planes.into_iter().enumerate() {
+                output.set_plane(img, k, &plane);
+            }
+        }
+
+        let report = SimReport {
+            cycles,
+            issues,
+            stall_cycles,
+            outputs_written,
+            kernel_bytes_loaded,
+            required_bandwidth,
+            pe_utilization: busy_pe_cycles as f64 / (cycles.max(1) * p as u64) as f64,
+        };
+        (output, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_baselines::spatial_convolve;
+    use wino_tensor::{ErrorStats, SplitMix64};
+
+    fn engine(m: usize, p: usize) -> WinogradEngine {
+        WinogradEngine::new(EngineConfig::proposed(WinogradParams::new(m, 3).unwrap(), p)).unwrap()
+    }
+
+    fn random_case(
+        rng: &mut SplitMix64,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+    ) -> (Tensor4<f32>, Tensor4<f32>) {
+        let input = Tensor4::from_fn(Shape4 { n, c, h, w }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+        let kernels =
+            Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+        (input, kernels)
+    }
+
+    #[test]
+    fn output_matches_spatial_convolution() {
+        let mut rng = SplitMix64::new(1);
+        for (m, p) in [(2, 2), (3, 2), (4, 3)] {
+            let (input, kernels) = random_case(&mut rng, 2, 3, 10, 9, 5);
+            let eng = engine(m, p);
+            let (out, report) = eng.run_layer(&input, &kernels, 1);
+            let refr = spatial_convolve(&input, &kernels, 1);
+            let stats = ErrorStats::between(out.as_slice(), refr.as_slice());
+            assert!(stats.within_abs(1e-4), "F({m},3) P={p}: {stats}");
+            assert_eq!(report.stall_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn cycle_count_matches_eq9() {
+        let mut rng = SplitMix64::new(2);
+        // K divisible by P, dims divisible by m: the clean Eq. 9 case.
+        let (input, kernels) = random_case(&mut rng, 1, 4, 8, 8, 6);
+        let eng = engine(2, 3);
+        let (_, report) = eng.run_layer(&input, &kernels, 1);
+        // tiles = (8/2)^2 = 16, groups = 2, C = 4: issues = 2*16*4 = 128.
+        assert_eq!(report.issues, 128);
+        let dp = eng.config().pipeline_depth() as u64;
+        assert_eq!(report.cycles, 128 + dp - 1, "Eq. 9: issues + Dp - 1");
+        assert_eq!(report.cycles, eng.predicted_cycles(input.shape(), 6, 1));
+    }
+
+    #[test]
+    fn cycle_count_with_ragged_groups_and_tiles() {
+        let mut rng = SplitMix64::new(3);
+        // K = 5 with P = 3 -> groups of 3 and 2; 7x9 output with m = 3.
+        let (input, kernels) = random_case(&mut rng, 1, 2, 7, 9, 5);
+        let eng = engine(3, 3);
+        let (out, report) = eng.run_layer(&input, &kernels, 1);
+        assert_eq!(report.cycles, eng.predicted_cycles(input.shape(), 5, 1));
+        let refr = spatial_convolve(&input, &kernels, 1);
+        let stats = ErrorStats::between(out.as_slice(), refr.as_slice());
+        assert!(stats.within_abs(1e-4), "{stats}");
+        // Ragged group leaves one PE idle in the second group.
+        assert!(report.pe_utilization < 1.0);
+    }
+
+    #[test]
+    fn per_pe_architecture_same_timing_different_resources() {
+        let mut rng = SplitMix64::new(4);
+        let (input, kernels) = random_case(&mut rng, 1, 2, 6, 6, 4);
+        let params = WinogradParams::new(2, 3).unwrap();
+        let ours = WinogradEngine::new(EngineConfig::proposed(params, 2)).unwrap();
+        let refr = WinogradEngine::new(EngineConfig::reference(params, 2)).unwrap();
+        let (_, rep_ours) = ours.run_layer(&input, &kernels, 1);
+        let (_, rep_ref) = refr.run_layer(&input, &kernels, 1);
+        // Sec. V-B: "our design ... gives the same latency ... as [3]".
+        assert_eq!(rep_ours.cycles, rep_ref.cycles);
+        // But [3] burns more logic (Table I).
+        assert!(ours.resources().luts < refr.resources().luts);
+        assert_eq!(ours.resources().dsps, refr.resources().dsps);
+    }
+
+    #[test]
+    fn limited_bandwidth_inserts_stalls() {
+        let mut rng = SplitMix64::new(5);
+        let (input, kernels) = random_case(&mut rng, 1, 2, 6, 6, 8);
+        let params = WinogradParams::new(2, 3).unwrap();
+        let mut config = EngineConfig::proposed(params, 2);
+        config.kernel_bandwidth = 1.0; // 1 byte/cycle: absurdly slow
+        let slow = WinogradEngine::new(config).unwrap();
+        let (out, report) = slow.run_layer(&input, &kernels, 1);
+        assert!(report.stall_cycles > 0, "1 B/cycle must stall");
+        assert!(report.required_bandwidth > 1.0);
+        // Stalls never corrupt data.
+        let refr = spatial_convolve(&input, &kernels, 1);
+        let stats = ErrorStats::between(out.as_slice(), refr.as_slice());
+        assert!(stats.within_abs(1e-4), "{stats}");
+    }
+
+    #[test]
+    fn adequate_bandwidth_never_stalls() {
+        let mut rng = SplitMix64::new(6);
+        let (input, kernels) = random_case(&mut rng, 1, 3, 8, 8, 4);
+        let params = WinogradParams::new(2, 3).unwrap();
+        let mut config = EngineConfig::proposed(params, 2);
+        // First measure the requirement, then configure just above it.
+        let probe = WinogradEngine::new(config.clone()).unwrap();
+        let (_, rep) = probe.run_layer(&input, &kernels, 1);
+        config.kernel_bandwidth = rep.required_bandwidth * 1.01;
+        let eng = WinogradEngine::new(config).unwrap();
+        let (_, rep2) = eng.run_layer(&input, &kernels, 1);
+        // Only the very first fill (nothing to hide behind) may stall.
+        let first_fill =
+            (rep2.kernel_bytes_loaded as f64 / 2.0 / eng.config().kernel_bandwidth).ceil() as u64;
+        assert!(rep2.stall_cycles <= first_fill, "{} > {first_fill}", rep2.stall_cycles);
+    }
+
+    #[test]
+    fn outputs_written_counts_clipped_tiles_once() {
+        let mut rng = SplitMix64::new(7);
+        let (input, kernels) = random_case(&mut rng, 1, 1, 5, 5, 1);
+        let eng = engine(4, 1); // 5x5 output, m=4: tiles cover 8x8, clipped
+        let (_, report) = eng.run_layer(&input, &kernels, 1);
+        assert_eq!(report.outputs_written, 25);
+    }
+
+    #[test]
+    fn batch_processing_multiplies_issues() {
+        let mut rng = SplitMix64::new(8);
+        let (single, kernels) = random_case(&mut rng, 1, 2, 6, 6, 2);
+        let (double, _) = random_case(&mut rng, 2, 2, 6, 6, 2);
+        let eng = engine(2, 2);
+        let (_, r1) = eng.run_layer(&single, &kernels, 1);
+        let (_, r2) = eng.run_layer(&double, &kernels, 1);
+        assert_eq!(r2.issues, 2 * r1.issues);
+        assert!(r2.cycles > r1.cycles);
+        assert_eq!(r2.cycles, eng.predicted_cycles(double.shape(), 2, 1));
+    }
+
+    #[test]
+    fn throughput_per_pe_is_m_squared_per_cycle() {
+        // Sec. IV-A: 9 outputs per clock per PE for F(3x3,3x3) at steady
+        // state. With C channels accumulated, the engine writes m^2
+        // outputs per PE every C cycles => m^2/C per cycle per PE; with
+        // C = 1 the full rate is visible.
+        let mut rng = SplitMix64::new(9);
+        let (input, kernels) = random_case(&mut rng, 1, 1, 12, 12, 2);
+        let eng = engine(3, 2);
+        let (_, report) = eng.run_layer(&input, &kernels, 1);
+        // 16 tiles * 9 outputs * 2 kernels, in ~16 + Dp cycles.
+        assert_eq!(report.outputs_written, 16 * 9 * 2);
+        let steady = report.cycles - eng.config().pipeline_depth() as u64 + 1;
+        assert_eq!(steady, 16, "one tile issue per cycle");
+    }
+
+    #[test]
+    fn latency_seconds_uses_frequency() {
+        let report = SimReport {
+            cycles: 200_000_000,
+            issues: 0,
+            stall_cycles: 0,
+            outputs_written: 0,
+            kernel_bytes_loaded: 0,
+            required_bandwidth: 0.0,
+            pe_utilization: 0.0,
+        };
+        assert!((report.latency_seconds(200e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let params = WinogradParams::new(2, 3).unwrap();
+        let mut config = EngineConfig::proposed(params, 1);
+        config.pe_count = 0;
+        let _ = WinogradEngine::new(config);
+    }
+}

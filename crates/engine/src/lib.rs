@@ -1,0 +1,37 @@
+//! # wino-engine
+//!
+//! Cycle-level simulator of the pipelined Winograd convolution engine of
+//! Ahmad & Pasha (DATE 2019) — the substitution for their RTL + Vivado
+//! flow (DESIGN.md §2).
+//!
+//! [`WinogradEngine`] executes a convolutional layer clock by clock
+//! through the Fig. 7 system: image buffer → (shared or per-PE) data
+//! transform → `P` parallel PEs (element-wise multiply + inverse
+//! transform) → channel accumulation buffers, with double-buffered kernel
+//! loads. It returns both the computed output tensor and a [`SimReport`]
+//! whose cycle count provably matches the paper's Eq. 9.
+//!
+//! ```
+//! use wino_core::WinogradParams;
+//! use wino_engine::{EngineConfig, WinogradEngine};
+//! use wino_tensor::{Shape4, Tensor4};
+//!
+//! let engine = WinogradEngine::new(EngineConfig::proposed(WinogradParams::new(3, 3)?, 4))?;
+//! let x = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 9, w: 9 }, |_, c, h, w| (c + h * w) as f32);
+//! let k = Tensor4::from_fn(Shape4 { n: 4, c: 2, h: 3, w: 3 }, |_, _, _, _| 0.25f32);
+//! let (y, report) = engine.run_layer(&x, &k, 1);
+//! assert_eq!(y.shape().h, 9);
+//! assert_eq!(report.cycles, engine.predicted_cycles(x.shape(), 4, 1)); // Eq. 9
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod pipeline;
+mod structure;
+
+pub use engine::{EngineConfig, SimReport, WinogradEngine};
+pub use pipeline::Pipeline;
+pub use structure::{pe_structure, structure_1d, PeStructure, Structure1d};

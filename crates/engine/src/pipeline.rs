@@ -1,0 +1,134 @@
+//! A generic clocked pipeline register chain.
+//!
+//! Every stage of the Winograd engine (data transform, element-wise
+//! multiply, inverse transform) is pipelined with initiation interval 1
+//! (Sec. IV-A: "the three stages are pipelined to optimize the
+//! throughput"). [`Pipeline`] models exactly that: a fixed-depth chain of
+//! registers advanced once per clock edge.
+
+use std::collections::VecDeque;
+
+/// A `depth`-stage pipeline carrying items of type `T`.
+///
+/// One [`tick`](Pipeline::tick) is one clock edge: the input enters stage
+/// 0 and the item in the final stage (if any) retires. A bubble (`None`)
+/// input propagates like any other slot, so latency is always exactly
+/// `depth` cycles.
+///
+/// ```
+/// use wino_engine::Pipeline;
+///
+/// let mut p = Pipeline::new(3);
+/// assert_eq!(p.tick(Some(1)), None);
+/// assert_eq!(p.tick(Some(2)), None);
+/// assert_eq!(p.tick(Some(3)), None);
+/// assert_eq!(p.tick(Some(4)), Some(1)); // retires after `depth` ticks
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline<T> {
+    stages: VecDeque<Option<T>>,
+}
+
+impl<T> Pipeline<T> {
+    /// Creates an empty pipeline with `depth` register stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` (combinational paths are modelled by the
+    /// caller, not by a zero-length pipeline).
+    pub fn new(depth: usize) -> Pipeline<T> {
+        assert!(depth > 0, "pipeline depth must be at least 1");
+        let mut stages = VecDeque::with_capacity(depth);
+        for _ in 0..depth {
+            stages.push_back(None);
+        }
+        Pipeline { stages }
+    }
+
+    /// Number of register stages.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Advances one clock: shifts every stage forward, inserts `input`,
+    /// returns the retiring item.
+    pub fn tick(&mut self, input: Option<T>) -> Option<T> {
+        self.stages.push_front(input);
+        self.stages.pop_back().flatten()
+    }
+
+    /// `true` when no stage holds an item (drained).
+    pub fn is_empty(&self) -> bool {
+        self.stages.iter().all(|s| s.is_none())
+    }
+
+    /// Number of occupied stages.
+    pub fn occupancy(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_equals_depth() {
+        // An item inserted on tick t retires on tick t + depth (one tick
+        // per register stage).
+        for depth in 1..6 {
+            let mut p = Pipeline::new(depth);
+            let mut out = None;
+            for cycle in 0.. {
+                out = p.tick(if cycle == 0 { Some(99) } else { None });
+                if out.is_some() {
+                    assert_eq!(cycle, depth, "item must retire depth ticks after insertion");
+                    break;
+                }
+                assert!(cycle < 10, "item never retired");
+            }
+            assert_eq!(out, Some(99));
+        }
+    }
+
+    #[test]
+    fn initiation_interval_is_one() {
+        let mut p = Pipeline::new(2);
+        let mut retired = Vec::new();
+        for i in 0..5 {
+            if let Some(x) = p.tick(Some(i)) {
+                retired.push(x);
+            }
+        }
+        // After 5 ticks through depth 2, items 0..3 have retired in order.
+        assert_eq!(retired, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bubbles_propagate() {
+        let mut p = Pipeline::new(2);
+        assert_eq!(p.tick(Some(1)), None);
+        assert_eq!(p.tick(None), None);
+        assert_eq!(p.tick(Some(2)), Some(1));
+        assert_eq!(p.tick(None), None); // the bubble retires invisibly
+        assert_eq!(p.tick(None), Some(2));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn occupancy_tracks_items() {
+        let mut p = Pipeline::<u32>::new(4);
+        assert_eq!(p.occupancy(), 0);
+        p.tick(Some(1));
+        p.tick(Some(2));
+        assert_eq!(p.occupancy(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.depth(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn zero_depth_rejected() {
+        let _ = Pipeline::<u8>::new(0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Structural introspection of the engine — the data behind Figs. 4 and 5.
+//!
+//! Fig. 4 compares the proposed 1-D `F(3, 3)` convolution engine with the
+//! one of Podili et al. [3]: identical multiply + inverse datapath, but
+//! [3] embeds the data transform in every engine. Fig. 5 shows the 2-D PE
+//! as `n` nested 1-D engines plus a second-dimension inverse transform.
+//! These functions expose the exact operator counts of both.
+
+use wino_core::{matrix_apply_ops, CostModel, OpCount, TransformError, TransformSet, WinogradParams};
+use wino_fpga::Architecture;
+
+/// Operator inventory of one 1-D Winograd convolution engine (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Structure1d {
+    /// fp32 multipliers in the element-wise stage (`n`).
+    pub multipliers: usize,
+    /// Adds/shift-adds of the 1-D inverse transform.
+    pub inverse_ops: OpCount,
+    /// Adds/shift-adds of the 1-D data transform *inside this engine*
+    /// (zero in the proposed design, which hoists it out).
+    pub data_transform_ops: OpCount,
+}
+
+impl Structure1d {
+    /// Total FLOP-costing operators in the engine.
+    pub fn total_flops(&self) -> u64 {
+        self.multipliers as u64 + self.inverse_ops.flops() + self.data_transform_ops.flops()
+    }
+}
+
+/// Structural summary of one 2-D PE (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeStructure {
+    /// Nested 1-D engines (`n`, one per transformed row).
+    pub nested_1d_engines: usize,
+    /// Total fp32 multipliers (`n²`).
+    pub multipliers: usize,
+    /// Outputs produced per clock at steady state (`m²`).
+    pub outputs_per_cycle: usize,
+    /// Adds of the second-dimension inverse transform (`m` applications
+    /// of the 1-D inverse over the first dimension's outputs).
+    pub second_dim_inverse_ops: OpCount,
+}
+
+/// Builds the Fig. 4 inventory for one architecture.
+///
+/// # Errors
+///
+/// Propagates transform-generation failures.
+pub fn structure_1d(params: WinogradParams, arch: Architecture) -> Result<Structure1d, TransformError> {
+    let set = TransformSet::generate(params)?;
+    let inverse_ops = matrix_apply_ops(set.at(), CostModel::ShiftFree);
+    let data_ops = matrix_apply_ops(set.bt(), CostModel::ShiftFree);
+    Ok(Structure1d {
+        multipliers: params.input_tile(),
+        inverse_ops,
+        data_transform_ops: match arch {
+            Architecture::SharedTransform => OpCount::default(),
+            Architecture::PerPeTransform => data_ops,
+        },
+    })
+}
+
+/// Builds the Fig. 5 summary of a 2-D PE.
+///
+/// # Errors
+///
+/// Propagates transform-generation failures.
+pub fn pe_structure(params: WinogradParams) -> Result<PeStructure, TransformError> {
+    let set = TransformSet::generate(params)?;
+    let inv_1d = matrix_apply_ops(set.at(), CostModel::ShiftFree);
+    let m = params.m() as u64;
+    Ok(PeStructure {
+        nested_1d_engines: params.input_tile(),
+        multipliers: params.mults_per_tile_2d(),
+        outputs_per_cycle: params.outputs_per_tile_2d(),
+        second_dim_inverse_ops: OpCount {
+            adds: m * inv_1d.adds,
+            mults: m * inv_1d.mults,
+            shifts: m * inv_1d.shifts,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(m: usize) -> WinogradParams {
+        WinogradParams::new(m, 3).unwrap()
+    }
+
+    #[test]
+    fn fig4_ours_vs_podili_f33() {
+        // Fig. 4: our F(3,3) 1-D engine drops the per-engine data
+        // transform that [3] carries.
+        let ours = structure_1d(params(3), Architecture::SharedTransform).unwrap();
+        let theirs = structure_1d(params(3), Architecture::PerPeTransform).unwrap();
+        assert_eq!(ours.multipliers, 5);
+        assert_eq!(theirs.multipliers, 5);
+        assert_eq!(ours.inverse_ops, theirs.inverse_ops);
+        assert_eq!(ours.data_transform_ops.flops(), 0);
+        assert!(theirs.data_transform_ops.flops() > 0);
+        assert!(ours.total_flops() < theirs.total_flops());
+    }
+
+    #[test]
+    fn fig5_pe_composition_f3x3() {
+        // Sec. IV-A: F(3x3,3x3) PE = 25 multipliers, 9 outputs per cycle,
+        // built from 5 nested 1-D engines (Fig. 5).
+        let pe = pe_structure(params(3)).unwrap();
+        assert_eq!(pe.nested_1d_engines, 5);
+        assert_eq!(pe.multipliers, 25);
+        assert_eq!(pe.outputs_per_cycle, 9);
+        assert!(pe.second_dim_inverse_ops.adds > 0);
+    }
+
+    #[test]
+    fn paper_ratios_vs_podilis_pe() {
+        // Sec. IV-A: 9/4 = 2.25x throughput for 25/16 = 1.5625x mults.
+        let ours = pe_structure(params(3)).unwrap();
+        let podili = pe_structure(params(2)).unwrap();
+        let thr = ours.outputs_per_cycle as f64 / podili.outputs_per_cycle as f64;
+        let mul = ours.multipliers as f64 / podili.multipliers as f64;
+        assert!((thr - 2.25).abs() < 1e-12);
+        assert!((mul - 1.5625).abs() < 1e-12);
+    }
+}

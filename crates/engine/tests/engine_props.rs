@@ -1,0 +1,90 @@
+//! Property tests: the cycle-level engine matches Eq. 9 and direct
+//! convolution for arbitrary layer/engine geometry.
+
+use proptest::prelude::*;
+use wino_baselines::spatial_convolve;
+use wino_core::WinogradParams;
+use wino_engine::{EngineConfig, WinogradEngine};
+use wino_tensor::{ErrorStats, Shape4, SplitMix64, Tensor4};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cycles_always_match_eq9(
+        m in 2usize..5,
+        pes in 1usize..5,
+        c in 1usize..4,
+        k in 1usize..7,
+        hw in 4usize..10,
+        dt in 1usize..4,
+        mul in 1usize..4,
+        inv in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let params = WinogradParams::new(m, 3).expect("valid");
+        let mut config = EngineConfig::proposed(params, pes);
+        config.dt_latency = dt;
+        config.mult_latency = mul;
+        config.inv_latency = inv;
+        let engine = WinogradEngine::new(config).expect("builds");
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c, h: hw, w: hw }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let (out, report) = engine.run_layer(&input, &kernels, 1);
+        prop_assert_eq!(report.cycles, engine.predicted_cycles(input.shape(), k, 1));
+        prop_assert_eq!(report.stall_cycles, 0);
+        let refr = spatial_convolve(&input, &kernels, 1);
+        let stats = ErrorStats::between(out.as_slice(), refr.as_slice());
+        prop_assert!(stats.within_abs(1e-3), "{}", stats);
+    }
+
+    #[test]
+    fn stalls_only_slow_never_corrupt(
+        bw in 1.0f64..64.0,
+        seed in 0u64..500,
+    ) {
+        let params = WinogradParams::new(2, 3).expect("valid");
+        let mut config = EngineConfig::proposed(params, 2);
+        config.kernel_bandwidth = bw;
+        let engine = WinogradEngine::new(config).expect("builds");
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 6, w: 6 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 4, c: 2, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let (out, report) = engine.run_layer(&input, &kernels, 1);
+        let ideal = engine.predicted_cycles(input.shape(), 4, 1);
+        prop_assert!(report.cycles >= ideal);
+        prop_assert_eq!(report.cycles - ideal, report.stall_cycles);
+        let refr = spatial_convolve(&input, &kernels, 1);
+        let stats = ErrorStats::between(out.as_slice(), refr.as_slice());
+        prop_assert!(stats.within_abs(1e-3), "{}", stats);
+    }
+
+    #[test]
+    fn outputs_written_equals_output_volume(
+        m in 2usize..5,
+        k in 1usize..5,
+        hw in 4usize..9,
+        seed in 0u64..200,
+    ) {
+        let params = WinogradParams::new(m, 3).expect("valid");
+        let engine = WinogradEngine::new(EngineConfig::proposed(params, 2)).expect("builds");
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: hw, w: hw }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c: 2, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let (_, report) = engine.run_layer(&input, &kernels, 1);
+        prop_assert_eq!(report.outputs_written, (hw * hw * k) as u64);
+    }
+}

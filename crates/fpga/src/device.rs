@@ -1,0 +1,120 @@
+//! FPGA device catalog.
+//!
+//! Resource ceilings for the devices appearing in the paper's evaluation:
+//! the Virtex-7 the proposed designs target (Table I "Available
+//! resources"), the Stratix V GT of Podili et al. [3] and the Zynq-7045 of
+//! Qiu et al. [12].
+
+use std::fmt;
+
+/// Static resource capacity of one FPGA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    /// Marketing/device name.
+    pub name: &'static str,
+    /// 6-input LUT (or LE-equivalent) count.
+    pub luts: u64,
+    /// Flip-flop count.
+    pub registers: u64,
+    /// Hard DSP block count.
+    pub dsps: u64,
+    /// DSP blocks consumed by one single-precision floating-point
+    /// multiplier on this architecture (Table I: 2736 DSP / 684 mults = 4
+    /// on Virtex-7).
+    pub dsps_per_f32_mult: u64,
+    /// Typical design clock in Hz for the paper's comparisons.
+    pub nominal_freq_hz: f64,
+}
+
+impl FpgaDevice {
+    /// Largest number of fp32 multipliers the DSP budget supports.
+    pub fn max_f32_mults(&self) -> u64 {
+        self.dsps / self.dsps_per_f32_mult
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} LUTs, {} FFs, {} DSPs, {} fp32 mults)",
+            self.name,
+            self.luts,
+            self.registers,
+            self.dsps,
+            self.max_f32_mults()
+        )
+    }
+}
+
+/// The paper's target: Xilinx Virtex-7 XC7VX485T (Table I "Available
+/// resources": 303,600 LUTs / 607,200 registers / 2,800 DSPs → 700 fp32
+/// multipliers).
+pub fn virtex7_485t() -> FpgaDevice {
+    FpgaDevice {
+        name: "Xilinx Virtex-7 XC7VX485T",
+        luts: 303_600,
+        registers: 607_200,
+        dsps: 2_800,
+        dsps_per_f32_mult: 4,
+        nominal_freq_hz: 200e6,
+    }
+}
+
+/// Podili et al. [3]'s device: Altera Stratix V GT (capacities are
+/// LE-equivalent approximations; used only for baseline feasibility, all
+/// baseline performance numbers are taken from the publication).
+pub fn stratix_v_gt() -> FpgaDevice {
+    FpgaDevice {
+        name: "Altera Stratix V GT",
+        luts: 622_000,
+        registers: 938_880,
+        dsps: 512,
+        dsps_per_f32_mult: 2,
+        nominal_freq_hz: 200e6,
+    }
+}
+
+/// Qiu et al. [12]'s device: Xilinx Zynq XC7Z045 (16-bit fixed-point
+/// datapath; one 16-bit multiplier per DSP).
+pub fn zynq_7045() -> FpgaDevice {
+    FpgaDevice {
+        name: "Xilinx Zynq XC7Z045",
+        luts: 218_600,
+        registers: 437_200,
+        dsps: 900,
+        dsps_per_f32_mult: 1,
+        nominal_freq_hz: 150e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex7_matches_table1_available_row() {
+        let d = virtex7_485t();
+        assert_eq!(d.luts, 303_600);
+        assert_eq!(d.registers, 607_200);
+        assert_eq!(d.dsps, 2_800);
+        assert_eq!(d.max_f32_mults(), 700, "Table I: 700 multipliers available");
+    }
+
+    #[test]
+    fn display_mentions_key_capacities() {
+        let text = virtex7_485t().to_string();
+        assert!(text.contains("Virtex-7"));
+        assert!(text.contains("700 fp32"));
+    }
+
+    #[test]
+    fn catalog_devices_are_distinct() {
+        let names: Vec<&str> = [virtex7_485t(), stratix_v_gt(), zynq_7045()]
+            .iter()
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.windows(2).all(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,37 @@
+//! # wino-fpga
+//!
+//! FPGA device models, resource estimation and power modelling for the
+//! `winofpga` reproduction of Ahmad & Pasha (DATE 2019).
+//!
+//! The crate substitutes for the paper's Vivado synthesis flow (see
+//! DESIGN.md §2): [`EngineResources`] turns the generated transform
+//! matrices into LUT/register/DSP estimates using coefficients calibrated
+//! once against Table I, and [`PowerModel`] reproduces the Table II power
+//! column with a power law fitted to the paper's own three designs.
+//!
+//! ```
+//! use wino_fpga::{virtex7_485t, Architecture, EngineResources};
+//! use wino_core::WinogradParams;
+//!
+//! let est = EngineResources::new(WinogradParams::new(4, 3)?)?;
+//! let ours = est.estimate(Architecture::SharedTransform, 19);
+//! let theirs = est.estimate(Architecture::PerPeTransform, 19);
+//! // The paper's headline logic saving: ~53.6% fewer LUTs.
+//! assert!(ours.luts * 2 < theirs.luts);
+//! assert!(ours.fits(&virtex7_485t()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod device;
+mod power;
+mod resources;
+
+pub use device::{stratix_v_gt, virtex7_485t, zynq_7045, FpgaDevice};
+pub use power::{paper_calibrated_model, paper_power_points, PowerModel};
+pub use resources::{
+    Architecture, EngineResources, ResourceUsage, DATA_BITS, LUT_PER_F32_MULT,
+    LUT_PER_TRANSFORM_OP, REG_PE_OVERHEAD,
+};

@@ -1,0 +1,215 @@
+//! Power modelling — substitution for Vivado power reports.
+//!
+//! The paper publishes the synthesized power of its three Virtex-7 designs
+//! (Table II: 13.03 W / 23.96 W / 36.32 W for `m = 2/3/4`). Those three
+//! points are *superlinear* in every static resource count — they fit a
+//! power law `P = k·LUT^α` within ±2% (α ≈ 1.34), which is how physical
+//! designs behave once routing and switching density grow with
+//! utilization. [`PowerModel::fit_power_law`] performs that calibration in
+//! closed form (log-log least squares) so the constants are reproducible
+//! from the paper's numbers, and a linear XPE-style model is provided for
+//! what-if studies.
+//!
+//! Baseline designs ([3], [3]ᵃ, [12]) keep their *published* power values
+//! — [3]ᵃ's 21.61 W is the paper's own multiplier-count scaling of [3]'s
+//! 8.04 W on a different device, which no Virtex-7 resource model can (or
+//! should) reproduce.
+
+use crate::ResourceUsage;
+use std::fmt;
+
+/// A model mapping resource usage to total on-chip power (watts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerModel {
+    /// Empirical `P = k·LUTs^α` (the paper-calibrated default).
+    PowerLaw {
+        /// Scale factor `k`.
+        k: f64,
+        /// Exponent `α`.
+        alpha: f64,
+    },
+    /// XPE-style linear model
+    /// `P = static + f·(e_lut·LUT + e_reg·REG + e_dsp·DSP)`, coefficients
+    /// in W/(resource·Hz).
+    Linear {
+        /// Static (leakage) power in watts.
+        static_w: f64,
+        /// Dynamic energy coefficient per LUT.
+        e_lut: f64,
+        /// Dynamic energy coefficient per register.
+        e_reg: f64,
+        /// Dynamic energy coefficient per DSP block.
+        e_dsp: f64,
+    },
+}
+
+impl PowerModel {
+    /// Fits `P = k·LUT^α` through log-log least squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two points or non-positive inputs.
+    pub fn fit_power_law(points: &[(u64, f64)]) -> PowerModel {
+        assert!(points.len() >= 2, "power-law fit needs at least two points");
+        let logs: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(luts, watts)| {
+                assert!(luts > 0 && watts > 0.0, "power-law fit needs positive data");
+                ((luts as f64).ln(), watts.ln())
+            })
+            .collect();
+        let n = logs.len() as f64;
+        let mean_x = logs.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = logs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov: f64 = logs.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+        let var: f64 = logs.iter().map(|p| (p.0 - mean_x) * (p.0 - mean_x)).sum();
+        assert!(var > 0.0, "power-law fit needs distinct LUT counts");
+        let alpha = cov / var;
+        let k = (mean_y - alpha * mean_x).exp();
+        PowerModel::PowerLaw { k, alpha }
+    }
+
+    /// Predicted power for a design at clock `freq_hz`.
+    pub fn power_w(&self, usage: &ResourceUsage, freq_hz: f64) -> f64 {
+        match *self {
+            PowerModel::PowerLaw { k, alpha } => {
+                // Calibrated at the paper's 200 MHz; dynamic power scales
+                // linearly with clock, so other frequencies scale the
+                // prediction.
+                k * (usage.luts as f64).powf(alpha) * (freq_hz / 200e6)
+            }
+            PowerModel::Linear { static_w, e_lut, e_reg, e_dsp } => {
+                static_w
+                    + freq_hz
+                        * (e_lut * usage.luts as f64
+                            + e_reg * usage.registers as f64
+                            + e_dsp * usage.dsps as f64)
+            }
+        }
+    }
+
+    /// Power efficiency in GOPS/W (the paper's Table II metric).
+    pub fn power_efficiency(&self, throughput_gops: f64, usage: &ResourceUsage, freq_hz: f64) -> f64 {
+        throughput_gops / self.power_w(usage, freq_hz)
+    }
+}
+
+impl fmt::Display for PowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PowerModel::PowerLaw { k, alpha } => {
+                write!(f, "P = {k:.3e} * LUT^{alpha:.3} (paper-calibrated)")
+            }
+            PowerModel::Linear { static_w, e_lut, e_reg, e_dsp } => write!(
+                f,
+                "P = {static_w:.2} + f*({e_lut:.2e}*LUT + {e_reg:.2e}*REG + {e_dsp:.2e}*DSP)"
+            ),
+        }
+    }
+}
+
+/// The published Table II power points for the paper's own Virtex-7
+/// designs: `(m, LUT estimate source, watts)`. The LUT counts come from
+/// [`EngineResources`](crate::EngineResources) at the Table II PE counts
+/// (43/28/19).
+pub fn paper_power_points() -> Vec<(u64, f64)> {
+    use crate::{Architecture, EngineResources};
+    use wino_core::WinogradParams;
+    [(2usize, 43usize, 13.03f64), (3, 28, 23.96), (4, 19, 36.32)]
+        .iter()
+        .map(|&(m, p, w)| {
+            let est = EngineResources::new(WinogradParams::new(m, 3).expect("valid params"))
+                .expect("generation cannot fail");
+            (est.estimate(Architecture::SharedTransform, p).luts, w)
+        })
+        .collect()
+}
+
+/// The paper-calibrated default power model (power law fitted to the
+/// three published design powers).
+pub fn paper_calibrated_model() -> PowerModel {
+    PowerModel::fit_power_law(&paper_power_points())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Architecture, EngineResources};
+    use wino_core::WinogradParams;
+
+    fn usage(m: usize, p: usize) -> ResourceUsage {
+        EngineResources::new(WinogradParams::new(m, 3).unwrap())
+            .unwrap()
+            .estimate(Architecture::SharedTransform, p)
+    }
+
+    #[test]
+    fn calibrated_model_reproduces_table2_powers() {
+        let model = paper_calibrated_model();
+        for (m, p, watts) in [(2, 43, 13.03), (3, 28, 23.96), (4, 19, 36.32)] {
+            let predicted = model.power_w(&usage(m, p), 200e6);
+            let rel = (predicted - watts).abs() / watts;
+            assert!(rel < 0.025, "m={m}: predicted {predicted:.2} W vs paper {watts} W");
+        }
+    }
+
+    #[test]
+    fn fitted_exponent_is_superlinear() {
+        match paper_calibrated_model() {
+            PowerModel::PowerLaw { alpha, .. } => {
+                assert!((1.2..1.5).contains(&alpha), "alpha = {alpha}");
+            }
+            PowerModel::Linear { .. } => panic!("expected power law"),
+        }
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let model = paper_calibrated_model();
+        let u = usage(4, 19);
+        let p200 = model.power_w(&u, 200e6);
+        let p100 = model.power_w(&u, 100e6);
+        assert!((p200 / p100 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_model_arithmetic() {
+        let model = PowerModel::Linear {
+            static_w: 1.0,
+            e_lut: 1e-12,
+            e_reg: 5e-13,
+            e_dsp: 1e-11,
+        };
+        let u = ResourceUsage { luts: 1000, registers: 2000, dsps: 100, multipliers: 25 };
+        let p = model.power_w(&u, 1e8);
+        // 1.0 + 1e8*(1e-9 + 1e-9 + 1e-9) = 1.3
+        assert!((p - 1.3).abs() < 1e-9, "got {p}");
+        assert!((model.power_efficiency(130.0, &u, 1e8) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_efficiency_ordering_matches_paper() {
+        // Table II power efficiency: ours m=2 (41.34) > m=3 (37.87) >
+        // m=4 (30.13): smaller tiles are more power-efficient, bigger
+        // tiles are faster.
+        let model = paper_calibrated_model();
+        let gops = [619.2, 907.2, 1094.3];
+        let effs: Vec<f64> = [(2, 43), (3, 28), (4, 19)]
+            .iter()
+            .zip(&gops)
+            .map(|(&(m, p), &g)| model.power_efficiency(g, &usage(m, p), 200e6))
+            .collect();
+        assert!(effs[0] > effs[1] && effs[1] > effs[2], "{effs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_rejects_single_point() {
+        let _ = PowerModel::fit_power_law(&[(100, 1.0)]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(paper_calibrated_model().to_string().contains("LUT^"));
+    }
+}

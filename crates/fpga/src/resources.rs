@@ -1,0 +1,302 @@
+//! Operator-level resource estimation for Winograd convolution engines.
+//!
+//! Substitution for Vivado synthesis reports (see DESIGN.md §2): every
+//! adder/shift-add in the transform stages and every fp32 multiplier is
+//! counted from the generated matrices, and three cost coefficients map
+//! op counts to LUTs/registers. The coefficients are *calibrated once*
+//! against Table I of the paper and then fixed:
+//!
+//! * `LUT_PER_TRANSFORM_OP = 32` — Table I gives the per-PE data-transform
+//!   LUT delta as 12224 − 5312 = 6912 for `F(4×4,3×3)`, whose data
+//!   transform has 216 shift-free ops: 6912 / 216 = 32 exactly; the shared
+//!   stage (6911 LUTs) confirms it.
+//! * `LUT_PER_F32_MULT = 832/36 ≈ 23.1` — the remainder of the 5312-LUT
+//!   PE after its 140-op inverse transform (`5312 − 140·32 = 832`) spread
+//!   over 36 multipliers.
+//! * register banks hold `2n²` values in the shared data-transform stage
+//!   and `2n² + 2m²` per PE (tile/product and output/accumulator pairs) at
+//!   32 bits each, plus a fitted 577-FF per-PE control overhead that
+//!   reproduces Table I's 76,500 registers.
+
+use crate::FpgaDevice;
+use std::fmt;
+use wino_core::{matrix_apply_ops, CostModel, TransformSet, WinogradParams};
+
+/// LUTs per transform add/shift-add operation (Table I calibration).
+pub const LUT_PER_TRANSFORM_OP: f64 = 32.0;
+/// LUTs of glue per fp32 multiplier beside its 4 DSP blocks.
+pub const LUT_PER_F32_MULT: f64 = 832.0 / 36.0;
+/// Datapath width in bits (the paper uses single-precision floats).
+pub const DATA_BITS: u64 = 32;
+/// Fitted per-PE control/valid-chain register overhead.
+pub const REG_PE_OVERHEAD: u64 = 577;
+
+/// Where the data transform stage lives (the paper's first contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// One data transform shared by all PEs (the proposed design, Fig. 7).
+    SharedTransform,
+    /// Data transform replicated inside every PE (Podili et al. [3]).
+    PerPeTransform,
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Architecture::SharedTransform => write!(f, "shared-transform (proposed)"),
+            Architecture::PerPeTransform => write!(f, "per-PE transform [3]"),
+        }
+    }
+}
+
+/// Estimated (or measured) resource usage of one engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUsage {
+    /// Slice LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub registers: u64,
+    /// DSP blocks.
+    pub dsps: u64,
+    /// fp32 multipliers (DSP groups).
+    pub multipliers: u64,
+}
+
+impl ResourceUsage {
+    /// `true` when this usage fits on `device`.
+    pub fn fits(&self, device: &FpgaDevice) -> bool {
+        self.luts <= device.luts && self.registers <= device.registers && self.dsps <= device.dsps
+    }
+
+    /// Fraction of the device's LUTs consumed.
+    pub fn lut_utilization(&self, device: &FpgaDevice) -> f64 {
+        self.luts as f64 / device.luts as f64
+    }
+}
+
+impl std::ops::Add for ResourceUsage {
+    type Output = ResourceUsage;
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            luts: self.luts + rhs.luts,
+            registers: self.registers + rhs.registers,
+            dsps: self.dsps + rhs.dsps,
+            multipliers: self.multipliers + rhs.multipliers,
+        }
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} DSPs, {} mults",
+            self.luts, self.registers, self.dsps, self.multipliers
+        )
+    }
+}
+
+/// Resource estimator for one `F(m×m, r×r)` engine.
+///
+/// ```
+/// use wino_fpga::{Architecture, EngineResources};
+/// use wino_core::WinogradParams;
+///
+/// let est = EngineResources::new(WinogradParams::new(4, 3)?)?;
+/// let ours = est.estimate(Architecture::SharedTransform, 19);
+/// // Table I row "Our proposed design": 107,839 LUTs (model: 107,840).
+/// assert!((ours.luts as i64 - 107_839).abs() <= 2);
+/// assert_eq!(ours.dsps, 2_736);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineResources {
+    params: WinogradParams,
+    /// Shift-free op count of the 2-D data transform (`2n·ops(Bᵀ)`).
+    data_ops: u64,
+    /// Shift-free op count of the 2-D inverse transform (`(n+m)·ops(Aᵀ)`).
+    inverse_ops: u64,
+}
+
+impl EngineResources {
+    /// Builds the estimator, generating transforms for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transform-generation errors.
+    pub fn new(params: WinogradParams) -> Result<EngineResources, wino_core::TransformError> {
+        let set = TransformSet::generate(params)?;
+        Ok(EngineResources::from_transforms(&set))
+    }
+
+    /// Builds the estimator from an existing transform set.
+    pub fn from_transforms(set: &TransformSet) -> EngineResources {
+        let params = set.params();
+        let n = params.input_tile() as u64;
+        let m = params.m() as u64;
+        // Hardware transforms are built from shifters and adders
+        // (Sec. IV-B), so the shift-free cost model is the right basis.
+        let data_1d = matrix_apply_ops(set.bt(), CostModel::ShiftFree).flops();
+        let inverse_1d = matrix_apply_ops(set.at(), CostModel::ShiftFree).flops();
+        EngineResources {
+            params,
+            data_ops: 2 * n * data_1d,
+            inverse_ops: (n + m) * inverse_1d,
+        }
+    }
+
+    /// The algorithm parameters.
+    pub fn params(&self) -> WinogradParams {
+        self.params
+    }
+
+    /// Shift-free 2-D data-transform op count (216 for `F(4×4,3×3)`).
+    pub fn data_transform_ops(&self) -> u64 {
+        self.data_ops
+    }
+
+    /// Shift-free 2-D inverse-transform op count (140 for `F(4×4,3×3)`).
+    pub fn inverse_transform_ops(&self) -> u64 {
+        self.inverse_ops
+    }
+
+    /// LUTs of one data transform stage instance.
+    pub fn data_transform_luts(&self) -> u64 {
+        (self.data_ops as f64 * LUT_PER_TRANSFORM_OP) as u64
+    }
+
+    /// LUTs of one PE *without* a data transform (element-wise multipliers
+    /// + inverse transform) — the paper's "about 5312 LUTs per PE".
+    pub fn pe_luts(&self) -> u64 {
+        let mults = self.params.mults_per_tile_2d() as f64;
+        (self.inverse_ops as f64 * LUT_PER_TRANSFORM_OP + mults * LUT_PER_F32_MULT).round() as u64
+    }
+
+    /// Registers of one PE: V buffer + product bank (`2n²` words) and
+    /// inverse-output + accumulator bank (`2m²` words) plus control.
+    pub fn pe_registers(&self) -> u64 {
+        let n2 = self.params.mults_per_tile_2d() as u64;
+        let m2 = self.params.outputs_per_tile_2d() as u64;
+        DATA_BITS * (2 * n2 + 2 * m2) + REG_PE_OVERHEAD
+    }
+
+    /// Registers of the shared data transform stage (input + output tile
+    /// banks).
+    pub fn data_transform_registers(&self) -> u64 {
+        2 * DATA_BITS * self.params.mults_per_tile_2d() as u64
+    }
+
+    /// Full-engine estimate for `pe_count` parallel PEs.
+    pub fn estimate(&self, arch: Architecture, pe_count: usize) -> ResourceUsage {
+        let p = pe_count as u64;
+        let mults = self.params.mults_per_tile_2d() as u64 * p;
+        let (luts, registers) = match arch {
+            Architecture::SharedTransform => (
+                self.data_transform_luts() + p * self.pe_luts(),
+                self.data_transform_registers() + p * self.pe_registers(),
+            ),
+            Architecture::PerPeTransform => (
+                p * (self.pe_luts() + self.data_transform_luts()),
+                // [3] replicates the transform logic per PE; its pipeline
+                // bank (one n^2 word stage) is also replicated.
+                p * (self.pe_registers() + DATA_BITS * self.params.mults_per_tile_2d() as u64),
+            ),
+        };
+        ResourceUsage { luts, registers, dsps: mults * 4, multipliers: mults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::virtex7_485t;
+
+    fn estimator(m: usize) -> EngineResources {
+        EngineResources::new(WinogradParams::new(m, 3).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn f43_op_counts_behind_table1() {
+        let est = estimator(4);
+        assert_eq!(est.data_transform_ops(), 216, "2*6*18 shift-free data ops");
+        assert_eq!(est.inverse_transform_ops(), 140, "(6+4)*14 shift-free inverse ops");
+        assert_eq!(est.data_transform_luts(), 6912);
+        assert_eq!(est.pe_luts(), 5312, "paper: ~5312 LUTs per PE");
+        assert_eq!(est.pe_luts() + est.data_transform_luts(), 12224, "paper: ~12224 LUTs per [3]-style PE");
+    }
+
+    #[test]
+    fn table1_proposed_design_row() {
+        let est = estimator(4);
+        let ours = est.estimate(Architecture::SharedTransform, 19);
+        assert!((ours.luts as i64 - 107_839).abs() <= 2, "Table I LUTs: {}", ours.luts);
+        assert!(
+            (ours.registers as i64 - 76_500).abs() <= 100,
+            "Table I registers: {}",
+            ours.registers
+        );
+        assert_eq!(ours.dsps, 2_736, "Table I DSPs");
+        assert_eq!(ours.multipliers, 684, "Table I multipliers");
+    }
+
+    #[test]
+    fn table1_reference_design_row() {
+        let est = estimator(4);
+        let refr = est.estimate(Architecture::PerPeTransform, 19);
+        assert_eq!(refr.luts, 232_256, "Table I LUTs for the [3]-based design");
+        assert!(
+            (refr.registers as f64 - 97_052.0).abs() / 97_052.0 < 0.02,
+            "Table I registers within 2%: {}",
+            refr.registers
+        );
+        assert_eq!(refr.dsps, 2_736);
+    }
+
+    #[test]
+    fn lut_savings_match_papers_53_6_percent() {
+        let est = estimator(4);
+        let ours = est.estimate(Architecture::SharedTransform, 19);
+        let refr = est.estimate(Architecture::PerPeTransform, 19);
+        let saving = 1.0 - ours.luts as f64 / refr.luts as f64;
+        assert!((saving - 0.536).abs() < 0.005, "paper: ~53.6% LUT savings, got {saving:.3}");
+    }
+
+    #[test]
+    fn savings_grow_with_pe_count() {
+        // Sec. V-A: "higher savings in slice logic utilization for high
+        // number of parallel PEs".
+        let est = estimator(4);
+        let saving = |p: usize| {
+            let ours = est.estimate(Architecture::SharedTransform, p).luts as f64;
+            let refr = est.estimate(Architecture::PerPeTransform, p).luts as f64;
+            1.0 - ours / refr
+        };
+        assert!(saving(19) > saving(4));
+        assert!(saving(4) > saving(1));
+    }
+
+    #[test]
+    fn feasibility_on_virtex7() {
+        let dev = virtex7_485t();
+        let est = estimator(4);
+        assert!(est.estimate(Architecture::SharedTransform, 19).fits(&dev));
+        // The [3]-style design at 19 PEs does NOT fit in 303,600 LUTs —
+        // 232k fits, but 26 PEs would not.
+        assert!(!est.estimate(Architecture::PerPeTransform, 27).fits(&dev));
+        // DSPs cap PEs at 19 regardless (Sec. V-A).
+        let twenty = est.estimate(Architecture::SharedTransform, 20);
+        assert!(twenty.dsps > dev.dsps, "20 PEs need {} DSPs", twenty.dsps);
+    }
+
+    #[test]
+    fn usage_arithmetic_and_display() {
+        let a = ResourceUsage { luts: 10, registers: 20, dsps: 4, multipliers: 1 };
+        let b = a + a;
+        assert_eq!(b.luts, 20);
+        assert_eq!(b.multipliers, 2);
+        assert!(a.to_string().contains("10 LUTs"));
+        let dev = virtex7_485t();
+        assert!(a.lut_utilization(&dev) < 1e-3);
+        assert_eq!(Architecture::SharedTransform.to_string(), "shared-transform (proposed)");
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for the resource and power models: monotonicity and
+//! architectural invariants must hold across the whole parameter space.
+
+use proptest::prelude::*;
+use wino_core::WinogradParams;
+use wino_fpga::{paper_calibrated_model, Architecture, EngineResources, PowerModel, ResourceUsage};
+
+proptest! {
+    #[test]
+    fn resources_scale_monotonically_with_pes(m in 2usize..7, p in 1usize..40) {
+        let est = EngineResources::new(WinogradParams::new(m, 3).expect("valid")).expect("gen");
+        for arch in [Architecture::SharedTransform, Architecture::PerPeTransform] {
+            let small = est.estimate(arch, p);
+            let large = est.estimate(arch, p + 1);
+            prop_assert!(large.luts > small.luts);
+            prop_assert!(large.registers > small.registers);
+            prop_assert_eq!(large.dsps - small.dsps, 4 * est.params().mults_per_tile_2d() as u64);
+        }
+    }
+
+    #[test]
+    fn shared_transform_never_uses_more_logic(m in 2usize..7, p in 1usize..40) {
+        let est = EngineResources::new(WinogradParams::new(m, 3).expect("valid")).expect("gen");
+        let ours = est.estimate(Architecture::SharedTransform, p);
+        let theirs = est.estimate(Architecture::PerPeTransform, p);
+        // One shared stage vs p replicated stages: equal only at p = 1.
+        if p == 1 {
+            prop_assert_eq!(ours.luts, theirs.luts);
+        } else {
+            prop_assert!(ours.luts < theirs.luts, "p={p}: {} vs {}", ours.luts, theirs.luts);
+        }
+        prop_assert_eq!(ours.dsps, theirs.dsps);
+        prop_assert_eq!(ours.multipliers, theirs.multipliers);
+    }
+
+    #[test]
+    fn power_model_is_monotone_in_luts(luts in 1_000u64..500_000, extra in 1u64..100_000) {
+        let model = paper_calibrated_model();
+        let base = ResourceUsage { luts, registers: 0, dsps: 0, multipliers: 0 };
+        let bigger = ResourceUsage { luts: luts + extra, ..base };
+        prop_assert!(model.power_w(&bigger, 200e6) > model.power_w(&base, 200e6));
+    }
+
+    #[test]
+    fn power_law_fit_interpolates_its_anchor_points(
+        k in 1e-7f64..1e-4,
+        alpha in 1.0f64..1.6,
+        l1 in 10_000u64..50_000,
+        dl in 10_000u64..100_000,
+    ) {
+        // Fitting exact power-law data recovers the generating curve.
+        let l2 = l1 + dl;
+        let p = |l: u64| k * (l as f64).powf(alpha);
+        let model = PowerModel::fit_power_law(&[(l1, p(l1)), (l2, p(l2))]);
+        let mid = l1 + dl / 2;
+        let usage = ResourceUsage { luts: mid, registers: 0, dsps: 0, multipliers: 0 };
+        let predicted = model.power_w(&usage, 200e6);
+        prop_assert!((predicted - p(mid)).abs() / p(mid) < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! # wino-models
+//!
+//! CNN workload definitions for the `winofpga` reproduction of Ahmad &
+//! Pasha (DATE 2019).
+//!
+//! [`vgg16d`] is the paper's evaluation network (all-3×3 kernels, five
+//! conv groups — the "Conv1…Conv5" rows of Table II and the bars of
+//! Fig. 1). [`alexnet`] and [`resnet18`] are included to exercise the
+//! design space beyond the paper: mixed kernel sizes and strided layers
+//! that force a Winograd engine into its spatial fallback.
+//!
+//! ```
+//! use wino_models::vgg16d;
+//!
+//! let wl = vgg16d(1);
+//! assert_eq!(wl.layers().len(), 13);
+//! assert_eq!(wl.groups().len(), 5);
+//! // The paper's headline workload size: 30.69 GOP per image.
+//! assert!((wl.spatial_gop() - 30.69).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use wino_core::{ConvShape, Workload};
+
+/// VGG16 configuration D (Simonyan & Zisserman) — the paper's CNN model.
+///
+/// 13 convolutional layers, all `3×3` stride-1 same-padded, grouped into
+/// the five "group layers" the paper reports (`Conv1`…`Conv5`). `batch`
+/// is the paper's `N` (Table II uses 1).
+pub fn vgg16d(batch: usize) -> Workload {
+    let mut wl = Workload::new("VGG16-D", batch);
+    let groups: [(usize, usize, &[usize]); 5] = [
+        (224, 3, &[64, 64]),
+        (112, 64, &[128, 128]),
+        (56, 128, &[256, 256, 256]),
+        (28, 256, &[512, 512, 512]),
+        (14, 512, &[512, 512, 512]),
+    ];
+    for (gi, &(hw, c_in, ks)) in groups.iter().enumerate() {
+        let group = format!("Conv{}", gi + 1);
+        let mut c = c_in;
+        for (li, &k) in ks.iter().enumerate() {
+            let name = format!("conv{}_{}", gi + 1, li + 1);
+            wl.push(name, group.clone(), ConvShape::same_padded(hw, hw, c, k, 3));
+            c = k;
+        }
+    }
+    wl
+}
+
+/// AlexNet's five convolutional layers (Krizhevsky et al.) — mixed kernel
+/// sizes (11/5/3) and a strided first layer, beyond the paper's all-3×3
+/// evaluation.
+pub fn alexnet(batch: usize) -> Workload {
+    let mut wl = Workload::new("AlexNet", batch);
+    wl.push(
+        "conv1",
+        "Conv1",
+        ConvShape { h: 227, w: 227, c: 3, k: 96, r: 11, stride: 4, pad: 0 },
+    );
+    wl.push("conv2", "Conv2", ConvShape { h: 27, w: 27, c: 96, k: 256, r: 5, stride: 1, pad: 2 });
+    wl.push("conv3", "Conv3", ConvShape::same_padded(13, 13, 256, 384, 3));
+    wl.push("conv4", "Conv4", ConvShape::same_padded(13, 13, 384, 384, 3));
+    wl.push("conv5", "Conv5", ConvShape::same_padded(13, 13, 384, 256, 3));
+    wl
+}
+
+/// ResNet-18's convolutional stack (He et al.): a strided 7×7 stem, then
+/// four stages of 3×3 basic blocks whose first convolution downsamples
+/// with stride 2 — the layers a Winograd engine must run spatially.
+pub fn resnet18(batch: usize) -> Workload {
+    let mut wl = Workload::new("ResNet-18", batch);
+    wl.push("conv1", "Stem", ConvShape { h: 224, w: 224, c: 3, k: 64, r: 7, stride: 2, pad: 3 });
+    let stages: [(usize, usize, usize); 4] =
+        [(56, 64, 64), (56, 64, 128), (28, 128, 256), (14, 256, 512)];
+    for (si, &(h, c_in, c_out)) in stages.iter().enumerate() {
+        let group = format!("Stage{}", si + 1);
+        if si == 0 {
+            // Stage 1 keeps resolution: four 3x3 convolutions.
+            for li in 0..4 {
+                wl.push(
+                    format!("s1_conv{}", li + 1),
+                    group.clone(),
+                    ConvShape::same_padded(h, h, c_in, c_out, 3),
+                );
+            }
+        } else {
+            // Downsampling block: stride-2 entry conv, then three stride-1.
+            wl.push(
+                format!("s{}_conv1", si + 1),
+                group.clone(),
+                ConvShape { h, w: h, c: c_in, k: c_out, r: 3, stride: 2, pad: 1 },
+            );
+            let h2 = h / 2;
+            for li in 1..4 {
+                wl.push(
+                    format!("s{}_conv{}", si + 1, li + 1),
+                    group.clone(),
+                    ConvShape::same_padded(h2, h2, c_out, c_out, 3),
+                );
+            }
+        }
+    }
+    wl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_core::{TileModel, WinogradParams};
+
+    #[test]
+    fn vgg16d_headline_numbers() {
+        let wl = vgg16d(1);
+        assert_eq!(wl.layers().len(), 13);
+        assert_eq!(wl.batch(), 1);
+        // Paper: "30.69 GOP" (derivable from Table II: 619.2 GOPS x 49.57 ms).
+        assert!((wl.spatial_gop() - 30.69).abs() < 0.01, "got {}", wl.spatial_gop());
+        assert_eq!(wl.spatial_mults(), 15_346_630_656);
+    }
+
+    #[test]
+    fn vgg16d_fig1_spatial_bars() {
+        // Fig. 1 spatial series: 1.936, 2.775, 4.624, 4.624, 1.387 (x1e9).
+        let wl = vgg16d(1);
+        let spatial = WinogradParams::new(1, 3).unwrap();
+        let bars = wl.group_mults(spatial, TileModel::Fractional);
+        let expect = [1.936e9, 2.775e9, 4.624e9, 4.624e9, 1.387e9];
+        assert_eq!(bars.len(), 5);
+        for ((name, value), &paper) in bars.iter().zip(&expect) {
+            assert!(
+                (value - paper).abs() / paper < 0.001,
+                "{name}: got {value}, paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn vgg16d_fig1_winograd_bars() {
+        // Fig. 1 F(2x2,3x3) series: 0.861, 1.233, 2.055, 2.055, 0.617 (x1e9)
+        // and F(4x4,3x3): 0.484, 0.694, 1.156, 1.156, 0.347.
+        let wl = vgg16d(1);
+        for (m, expect) in [
+            (2, [0.861e9, 1.233e9, 2.055e9, 2.055e9, 0.617e9]),
+            (4, [0.484e9, 0.694e9, 1.156e9, 1.156e9, 0.347e9]),
+        ] {
+            let p = WinogradParams::new(m, 3).unwrap();
+            let bars = wl.group_mults(p, TileModel::Fractional);
+            for ((name, value), &paper) in bars.iter().zip(&expect) {
+                assert!(
+                    (value - paper).abs() / paper < 0.005,
+                    "m={m} {name}: got {value}, paper {paper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vgg16d_layer_chaining_is_consistent() {
+        // Each layer's input channel count equals the previous layer's K;
+        // every layer is 3x3, stride 1, pad 1 (configuration D).
+        let wl = vgg16d(1);
+        let mut prev_k = None;
+        for l in wl.layers() {
+            if let Some(k) = prev_k {
+                assert_eq!(l.shape.c, k, "channel chain broken at {}", l.name);
+            }
+            prev_k = Some(l.shape.k);
+            assert_eq!(l.shape.r, 3);
+            assert_eq!(l.shape.stride, 1);
+            assert_eq!(l.shape.pad, 1);
+        }
+    }
+
+    #[test]
+    fn batch_scales_vgg_linearly() {
+        assert_eq!(vgg16d(4).spatial_ops(), 4 * vgg16d(1).spatial_ops());
+    }
+
+    #[test]
+    fn alexnet_shapes() {
+        let wl = alexnet(1);
+        assert_eq!(wl.layers().len(), 5);
+        let conv1 = &wl.layers()[0];
+        assert_eq!(conv1.shape.out_h(), 55); // (227 - 11)/4 + 1
+        assert!(!conv1.shape.winograd_compatible());
+        assert!(wl.layers()[2].shape.winograd_compatible());
+        // Ungrouped AlexNet (single-tower, as in most reimplementations):
+        // ~1.08 GMAC = 2.15 GOP of convolution per image. The original
+        // two-GPU grouped variant would be ~35% less.
+        assert!((2.0..2.3).contains(&wl.spatial_gop()), "got {}", wl.spatial_gop());
+    }
+
+    #[test]
+    fn resnet18_stride_structure() {
+        let wl = resnet18(1);
+        assert_eq!(wl.layers().len(), 17);
+        let strided: Vec<&str> = wl
+            .layers()
+            .iter()
+            .filter(|l| !l.shape.winograd_compatible())
+            .map(|l| l.name.as_str())
+            .collect();
+        assert_eq!(strided, vec!["conv1", "s2_conv1", "s3_conv1", "s4_conv1"]);
+        // Stride-1 layers preserve spatial dims.
+        for l in wl.layers().iter().filter(|l| l.shape.stride == 1) {
+            assert_eq!(l.shape.out_h(), l.shape.h, "{}", l.name);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Signed fixed-point arithmetic in Q-format.
+//!
+//! Qiu et al. [12] — one of the baselines the paper compares against — run
+//! their accelerator with 16-bit fixed-point data. [`Fixed<FRAC>`] lets the
+//! functional Winograd pipeline be re-run under quantization to study the
+//! accuracy cost, an ablation the paper leaves as future work ("without any
+//! quantization scheme for the sake of simplicity").
+//!
+//! Values are stored as `i32` raw integers scaled by `2^FRAC`; arithmetic is
+//! performed in `i64` and saturates on overflow, mirroring DSP-block
+//! behaviour on an FPGA.
+//!
+//! ```
+//! use wino_tensor::Fixed;
+//!
+//! type Q16 = Fixed<8>; // 8 fractional bits
+//! let a = Q16::from_f32(1.5);
+//! let b = Q16::from_f32(-0.25);
+//! assert_eq!((a * b).to_f32(), -0.375);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed fixed-point number with `FRAC` fractional bits stored in `i32`.
+///
+/// See the [module documentation](self) for background and an example.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed<const FRAC: u32>(i32);
+
+impl<const FRAC: u32> Fixed<FRAC> {
+    /// The additive identity.
+    pub const ZERO: Fixed<FRAC> = Fixed(0);
+    /// The multiplicative identity (`1.0`).
+    pub const ONE: Fixed<FRAC> = Fixed(1 << FRAC);
+    /// Largest representable value.
+    pub const MAX: Fixed<FRAC> = Fixed(i32::MAX);
+    /// Smallest (most negative) representable value.
+    pub const MIN: Fixed<FRAC> = Fixed(i32::MIN);
+
+    /// Creates a value from its raw scaled representation.
+    pub const fn from_raw(raw: i32) -> Fixed<FRAC> {
+        Fixed(raw)
+    }
+
+    /// Returns the raw scaled representation.
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Quantizes an `f32`, rounding to nearest and saturating out-of-range
+    /// inputs (including NaN, which maps to zero).
+    pub fn from_f32(x: f32) -> Fixed<FRAC> {
+        if x.is_nan() {
+            return Fixed(0);
+        }
+        let scaled = (x as f64 * (1i64 << FRAC) as f64).round();
+        if scaled >= i32::MAX as f64 {
+            Fixed(i32::MAX)
+        } else if scaled <= i32::MIN as f64 {
+            Fixed(i32::MIN)
+        } else {
+            Fixed(scaled as i32)
+        }
+    }
+
+    /// Converts back to `f32` (exact: the raw value fits in the mantissa-
+    /// scaled range for practical `FRAC`).
+    pub fn to_f32(self) -> f32 {
+        self.0 as f64 as f32 / (1i64 << FRAC) as f32
+    }
+
+    /// Converts to `f64` without rounding.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1i64 << FRAC) as f64
+    }
+
+    /// The quantization step `2^-FRAC`.
+    pub fn resolution() -> f32 {
+        1.0 / (1i64 << FRAC) as f32
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        Fixed(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating multiplication with round-to-nearest on the dropped bits.
+    pub fn saturating_mul(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        let wide = self.0 as i64 * rhs.0 as i64;
+        let rounded = (wide + (1i64 << (FRAC - 1))) >> FRAC;
+        Fixed(clamp_i64(rounded))
+    }
+
+    /// Absolute value (saturates `MIN`).
+    pub fn abs(self) -> Fixed<FRAC> {
+        Fixed(self.0.saturating_abs())
+    }
+}
+
+fn clamp_i64(v: i64) -> i32 {
+    if v > i32::MAX as i64 {
+        i32::MAX
+    } else if v < i32::MIN as i64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+impl<const FRAC: u32> Add for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    fn add(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        self.saturating_add(rhs)
+    }
+}
+
+impl<const FRAC: u32> Sub for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    fn sub(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        Fixed(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> Mul for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    fn mul(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl<const FRAC: u32> Div for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
+        assert!(rhs.0 != 0, "fixed-point division by zero");
+        let wide = ((self.0 as i64) << FRAC) / rhs.0 as i64;
+        Fixed(clamp_i64(wide))
+    }
+}
+
+impl<const FRAC: u32> Neg for Fixed<FRAC> {
+    type Output = Fixed<FRAC>;
+    fn neg(self) -> Fixed<FRAC> {
+        Fixed(self.0.saturating_neg())
+    }
+}
+
+impl<const FRAC: u32> AddAssign for Fixed<FRAC> {
+    fn add_assign(&mut self, rhs: Fixed<FRAC>) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> SubAssign for Fixed<FRAC> {
+    fn sub_assign(&mut self, rhs: Fixed<FRAC>) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const FRAC: u32> Sum for Fixed<FRAC> {
+    fn sum<I: Iterator<Item = Fixed<FRAC>>>(iter: I) -> Fixed<FRAC> {
+        iter.fold(Fixed::ZERO, Add::add)
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fixed<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed<{}>({})", FRAC, self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fixed<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+/// 16.16 fixed point (general-purpose).
+pub type Q16_16 = Fixed<16>;
+/// 8 fractional bits in 32: roughly the dynamic range of the 16-bit format
+/// used by Qiu et al. [12] once accumulation headroom is accounted for.
+pub type Q24_8 = Fixed<8>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q = Fixed<16>;
+
+    #[test]
+    fn round_trip_representable_values() {
+        for x in [0.0f32, 1.0, -1.0, 0.5, -0.25, 123.75, -4096.5] {
+            assert_eq!(Q::from_f32(x).to_f32(), x, "round-trip of {x}");
+        }
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest() {
+        let step = Q::resolution();
+        let x = 0.3f32;
+        let q = Q::from_f32(x).to_f32();
+        assert!((q - x).abs() <= step / 2.0 + f32::EPSILON);
+    }
+
+    #[test]
+    fn arithmetic_matches_reals_when_exact() {
+        let a = Q::from_f32(2.5);
+        let b = Q::from_f32(-0.5);
+        assert_eq!((a + b).to_f32(), 2.0);
+        assert_eq!((a - b).to_f32(), 3.0);
+        assert_eq!((a * b).to_f32(), -1.25);
+        assert_eq!((a / b).to_f32(), -5.0);
+        assert_eq!((-a).to_f32(), -2.5);
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        let big = Q::from_f32(30000.0);
+        assert_eq!(big * big, Q::MAX);
+        assert_eq!((-big) * big, Q::MIN);
+        assert_eq!(Q::MAX + Q::ONE, Q::MAX);
+        assert_eq!(Q::MIN - Q::ONE, Q::MIN);
+    }
+
+    #[test]
+    fn from_f32_saturates_and_handles_nan() {
+        assert_eq!(Q::from_f32(f32::INFINITY), Q::MAX);
+        assert_eq!(Q::from_f32(f32::NEG_INFINITY), Q::MIN);
+        assert_eq!(Q::from_f32(f32::NAN), Q::ZERO);
+        assert_eq!(Q::from_f32(1e20), Q::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Q::ONE / Q::ZERO;
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let xs = [Q::from_f32(0.5); 8];
+        assert_eq!(xs.iter().copied().sum::<Q>().to_f32(), 4.0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Q::from_f32(-1.0) < Q::from_f32(-0.5));
+        assert!(Q::from_f32(0.25) < Q::from_f32(0.5));
+    }
+
+    #[test]
+    fn resolution_matches_frac() {
+        assert_eq!(Fixed::<8>::resolution(), 1.0 / 256.0);
+        assert_eq!(Fixed::<16>::resolution(), 1.0 / 65536.0);
+    }
+}

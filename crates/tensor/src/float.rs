@@ -1,0 +1,224 @@
+//! Floating-point comparison and error-statistics utilities.
+//!
+//! Winograd convolution is algebraically exact but numerically different
+//! from direct convolution; every functional test in this workspace compares
+//! the two through the helpers here, and the error-growth study (the paper's
+//! implicit precision discussion in Sec. IV) is built on [`ErrorStats`].
+
+/// Kahan (compensated) summation accumulator for `f64`.
+///
+/// ```
+/// use wino_tensor::KahanSum;
+///
+/// let mut acc = KahanSum::new();
+/// for _ in 0..10 {
+///     acc.add(0.1);
+/// }
+/// assert!((acc.sum() - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty accumulator.
+    pub fn new() -> KahanSum {
+        KahanSum::default()
+    }
+
+    /// Adds a term with error compensation.
+    pub fn add(&mut self, x: f64) {
+        let y = x - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated running total.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+/// Returns `true` if `a` and `b` are equal within `abs_tol` or within
+/// `rel_tol` of the larger magnitude.
+///
+/// ```
+/// use wino_tensor::approx_eq;
+/// assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-9, 1e-6));
+/// assert!(!approx_eq(1.0, 1.1, 1e-9, 1e-6));
+/// ```
+pub fn approx_eq(a: f32, b: f32, abs_tol: f32, rel_tol: f32) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    let diff = (a - b).abs();
+    diff <= abs_tol || diff <= rel_tol * a.abs().max(b.abs())
+}
+
+/// Distance in units-in-the-last-place between two finite floats.
+///
+/// Adjacent representable values are 1 ULP apart; equal values are 0.
+/// Returns `u32::MAX` when either input is NaN.
+pub fn ulp_distance(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    // Map the float ordering onto a monotone integer line.
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        let k = if bits < 0 { i32::MIN.wrapping_sub(bits) } else { bits };
+        k as i64
+    }
+    (key(a) - key(b)).unsigned_abs().min(u32::MAX as u64) as u32
+}
+
+/// Aggregate error statistics between a candidate and a reference sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Maximum absolute difference.
+    pub max_abs: f64,
+    /// Maximum relative difference (guarded against tiny references).
+    pub max_rel: f64,
+    /// Mean absolute difference.
+    pub mean_abs: f64,
+    /// Root-mean-square difference.
+    pub rms: f64,
+    /// Number of samples compared.
+    pub count: usize,
+}
+
+impl ErrorStats {
+    /// Computes statistics of `candidate − reference` element-wise.
+    ///
+    /// Relative error uses `max(|reference|, 1e-6)` as the denominator so a
+    /// zero reference does not blow up the statistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn between(candidate: &[f32], reference: &[f32]) -> ErrorStats {
+        assert_eq!(candidate.len(), reference.len(), "error stats require equal lengths");
+        let mut max_abs = 0f64;
+        let mut max_rel = 0f64;
+        let mut abs_sum = KahanSum::new();
+        let mut sq_sum = KahanSum::new();
+        for (&c, &r) in candidate.iter().zip(reference) {
+            let d = (c as f64 - r as f64).abs();
+            max_abs = max_abs.max(d);
+            max_rel = max_rel.max(d / (r.abs() as f64).max(1e-6));
+            abs_sum.add(d);
+            sq_sum.add(d * d);
+        }
+        let n = candidate.len().max(1) as f64;
+        ErrorStats {
+            max_abs,
+            max_rel,
+            mean_abs: abs_sum.sum() / n,
+            rms: (sq_sum.sum() / n).sqrt(),
+            count: candidate.len(),
+        }
+    }
+
+    /// `true` if every sample matched within the given absolute tolerance.
+    pub fn within_abs(&self, tol: f64) -> bool {
+        self.max_abs <= tol
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max_abs={:.3e} max_rel={:.3e} mean_abs={:.3e} rms={:.3e} (n={})",
+            self.max_abs, self.max_rel, self.mean_abs, self.rms, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_ill_conditioned_sum() {
+        let mut kahan = KahanSum::new();
+        let mut naive = 0f64;
+        // 1 + 1e-16 * 1e6 : naive summation loses the small terms entirely.
+        kahan.add(1.0);
+        naive += 1.0;
+        for _ in 0..1_000_000 {
+            kahan.add(1e-16);
+            naive += 1e-16;
+        }
+        let exact = 1.0 + 1e-10;
+        assert!((kahan.sum() - exact).abs() < 1e-15);
+        assert!((naive - exact).abs() > (kahan.sum() - exact).abs());
+    }
+
+    #[test]
+    fn kahan_extend() {
+        let mut acc = KahanSum::new();
+        acc.extend([1.0, 2.0, 3.0]);
+        assert_eq!(acc.sum(), 6.0);
+    }
+
+    #[test]
+    fn approx_eq_basics() {
+        assert!(approx_eq(0.0, 0.0, 0.0, 0.0));
+        assert!(approx_eq(1e-12, 0.0, 1e-9, 0.0));
+        assert!(approx_eq(1000.0, 1000.001, 0.0, 1e-5));
+        assert!(!approx_eq(1.0, 2.0, 0.1, 0.1));
+        assert!(!approx_eq(f32::NAN, f32::NAN, 1.0, 1.0));
+    }
+
+    #[test]
+    fn ulp_distance_adjacent() {
+        let a = 1.0f32;
+        let b = f32::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_distance(a, b), 1);
+        assert_eq!(ulp_distance(a, a), 0);
+        // Across zero: -0.0 and +0.0 are 0 or 1 apart depending on mapping;
+        // at minimum the call must not overflow.
+        assert!(ulp_distance(-0.0, 0.0) <= 1);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u32::MAX);
+    }
+
+    #[test]
+    fn error_stats_simple() {
+        let cand = [1.0f32, 2.0, 3.0];
+        let refr = [1.0f32, 2.5, 3.0];
+        let s = ErrorStats::between(&cand, &refr);
+        assert_eq!(s.max_abs, 0.5);
+        assert!((s.mean_abs - 0.5 / 3.0).abs() < 1e-12);
+        assert!((s.max_rel - 0.2).abs() < 1e-9);
+        assert_eq!(s.count, 3);
+        assert!(s.within_abs(0.5));
+        assert!(!s.within_abs(0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn error_stats_length_mismatch_panics() {
+        let _ = ErrorStats::between(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn error_stats_zero_reference_guard() {
+        let s = ErrorStats::between(&[1e-7], &[0.0]);
+        assert!(s.max_rel.is_finite());
+    }
+}

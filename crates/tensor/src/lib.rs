@@ -1,0 +1,48 @@
+//! # wino-tensor
+//!
+//! Numeric substrate for the `winofpga` workspace — the reproduction of
+//! *"Towards Design Space Exploration and Optimization of Fast Algorithms
+//! for CNNs on FPGAs"* (Ahmad & Pasha, DATE 2019).
+//!
+//! This crate provides the value types and containers every other crate
+//! builds on:
+//!
+//! * [`Ratio`] — exact `i128` rationals, used to generate and *prove*
+//!   Winograd transform matrices symbolically;
+//! * [`Fixed`] — saturating Q-format fixed point for the quantization
+//!   ablation (the 16-bit datapath of Qiu et al. [12]);
+//! * [`Scalar`] — the trait that lets convolution code run over `f32`,
+//!   `f64`, [`Ratio`] and [`Fixed`] alike;
+//! * [`Tensor2`] / [`Tensor4`] — dense matrices and NCHW feature maps with
+//!   the zero-padded tile extraction the Winograd tiler needs;
+//! * float utilities ([`approx_eq`], [`ulp_distance`], [`KahanSum`],
+//!   [`ErrorStats`]) used by every numerical test in the workspace.
+//!
+//! ```
+//! use wino_tensor::{ratio, Tensor2};
+//!
+//! // Exact algebra: (B^T d) with rational entries has no rounding at all.
+//! let bt = Tensor2::from_rows(&[
+//!     &[ratio(1, 1), ratio(0, 1), ratio(-1, 1)],
+//!     &[ratio(0, 1), ratio(1, 1), ratio(1, 1)],
+//! ]);
+//! let d = Tensor2::from_rows(&[&[ratio(5, 1)], &[ratio(7, 1)], &[ratio(2, 1)]]);
+//! assert_eq!(bt.matmul(&d).as_slice(), &[ratio(3, 1), ratio(9, 1)]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fixed;
+mod float;
+mod ratio;
+mod rng;
+mod scalar;
+mod tensor;
+
+pub use fixed::{Fixed, Q16_16, Q24_8};
+pub use float::{approx_eq, ulp_distance, ErrorStats, KahanSum};
+pub use ratio::{ratio, ParseRatioError, Ratio};
+pub use rng::SplitMix64;
+pub use scalar::Scalar;
+pub use tensor::{Shape4, Tensor2, Tensor4};

@@ -1,0 +1,465 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Winograd transform matrices are generated symbolically; the entries are
+//! small rationals (Lavin-style interpolation points keep numerators and
+//! denominators tiny), so a normalized `i128` fraction is exact for every
+//! `F(m, r)` this crate supports. Overflow is a programming error and panics
+//! with a descriptive message rather than silently wrapping.
+//!
+//! ```
+//! use wino_tensor::Ratio;
+//!
+//! let half = Ratio::new(1, 2);
+//! let third = Ratio::new(1, 3);
+//! assert_eq!(half + third, Ratio::new(5, 6));
+//! assert_eq!((half * third).to_string(), "1/6");
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den`, always stored in lowest terms with
+/// a strictly positive denominator.
+///
+/// See the [module documentation](self) for an overview.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of the absolute values (Euclid).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// The rational number zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a rational from numerator and denominator, normalizing signs
+    /// and reducing to lowest terms.
+    ///
+    /// ```
+    /// use wino_tensor::Ratio;
+    /// assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "rational denominator must be non-zero");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Ratio { num, den }
+    }
+
+    /// Creates an integer-valued rational.
+    pub const fn from_integer(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// Numerator in lowest terms (sign carrier).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator in lowest terms (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if the value is exactly `1` or `-1`.
+    pub fn is_unit(&self) -> bool {
+        self.den == 1 && (self.num == 1 || self.num == -1)
+    }
+
+    /// Returns `true` if `|self|` is a (possibly negative) power of two,
+    /// including `1`, `1/2`, `4`, … — i.e. realizable as a pure binary shift.
+    pub fn is_power_of_two(&self) -> bool {
+        if self.num == 0 {
+            return false;
+        }
+        let n = self.num.unsigned_abs();
+        let d = self.den.unsigned_abs();
+        n.is_power_of_two() && d.is_power_of_two()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio { num: self.num.abs(), den: self.den }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(self.num != 0, "attempt to invert zero rational");
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Raises to an integer power (negative exponents invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics when inverting zero or on overflow.
+    pub fn pow(&self, exp: i32) -> Ratio {
+        if exp == 0 {
+            return Ratio::ONE;
+        }
+        let base = if exp < 0 { self.recip() } else { *self };
+        let mut acc = Ratio::ONE;
+        for _ in 0..exp.unsigned_abs() {
+            acc = acc * base;
+        }
+        acc
+    }
+
+    /// Lossy conversion to `f64` (exact when representable).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Lossy conversion to `f32` (exact when representable).
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    fn checked_add(self, rhs: Ratio) -> Option<Ratio> {
+        // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
+        let g = gcd(self.den, rhs.den);
+        let l = (self.den / g).checked_mul(rhs.den)?;
+        let lhs = self.num.checked_mul(l / self.den)?;
+        let rhs_term = rhs.num.checked_mul(l / rhs.den)?;
+        Some(Ratio::new(lhs.checked_add(rhs_term)?, l))
+    }
+
+    fn checked_mul(self, rhs: Ratio) -> Option<Ratio> {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Ratio::new(num, den))
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Ratio {
+        Ratio::ZERO
+    }
+}
+
+impl From<i128> for Ratio {
+    fn from(n: i128) -> Ratio {
+        Ratio::from_integer(n)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Ratio {
+        Ratio::from_integer(n as i128)
+    }
+}
+
+impl From<i32> for Ratio {
+    fn from(n: i32) -> Ratio {
+        Ratio::from_integer(n as i128)
+    }
+}
+
+/// Error returned when parsing a [`Ratio`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatioError {
+    input: String,
+}
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    /// Parses `"3"`, `"-3"`, `"3/4"` or `"-3/4"`.
+    fn from_str(s: &str) -> Result<Ratio, ParseRatioError> {
+        let err = || ParseRatioError { input: s.to_owned() };
+        match s.split_once('/') {
+            None => s.trim().parse::<i128>().map(Ratio::from_integer).map_err(|_| err()),
+            Some((n, d)) => {
+                let num = n.trim().parse::<i128>().map_err(|_| err())?;
+                let den = d.trim().parse::<i128>().map_err(|_| err())?;
+                if den == 0 {
+                    Err(err())
+                } else {
+                    Ok(Ratio::new(num, den))
+                }
+            }
+        }
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        self.checked_add(rhs).expect("rational addition overflowed i128")
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        self.checked_mul(rhs).expect("rational multiplication overflowed i128")
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num, den: self.den }
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Ratio {
+    fn sub_assign(&mut self, rhs: Ratio) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Ratio {
+    fn mul_assign(&mut self, rhs: Ratio) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Ratio {
+    fn div_assign(&mut self, rhs: Ratio) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, Add::add)
+    }
+}
+
+impl Product for Ratio {
+    fn product<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ONE, Mul::mul)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        let lhs = self.num.checked_mul(other.den).expect("rational comparison overflowed i128");
+        let rhs = other.num.checked_mul(self.den).expect("rational comparison overflowed i128");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Convenience constructor: `ratio(1, 2)` is `Ratio::new(1, 2)`.
+///
+/// ```
+/// use wino_tensor::{ratio, Ratio};
+/// assert_eq!(ratio(3, 6), Ratio::new(1, 2));
+/// ```
+pub fn ratio(num: i128, den: i128) -> Ratio {
+    Ratio::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_reduces_and_fixes_sign() {
+        assert_eq!(Ratio::new(4, 8), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-4, 8), Ratio::new(1, -2));
+        assert_eq!(Ratio::new(3, -9).numer(), -1);
+        assert_eq!(Ratio::new(3, -9).denom(), 3);
+        assert_eq!(Ratio::new(0, -7), Ratio::ZERO);
+        assert_eq!(Ratio::new(0, -7).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn field_operations() {
+        let a = ratio(2, 3);
+        let b = ratio(-1, 6);
+        assert_eq!(a + b, ratio(1, 2));
+        assert_eq!(a - b, ratio(5, 6));
+        assert_eq!(a * b, ratio(-1, 9));
+        assert_eq!(a / b, ratio(-4, 1));
+        assert_eq!(-a, ratio(-2, 3));
+    }
+
+    #[test]
+    fn assign_operators_match_binary_operators() {
+        let mut x = ratio(1, 4);
+        x += ratio(1, 4);
+        assert_eq!(x, ratio(1, 2));
+        x -= ratio(1, 3);
+        assert_eq!(x, ratio(1, 6));
+        x *= ratio(6, 1);
+        assert_eq!(x, Ratio::ONE);
+        x /= ratio(1, 5);
+        assert_eq!(x, ratio(5, 1));
+    }
+
+    #[test]
+    fn recip_and_pow() {
+        assert_eq!(ratio(3, 4).recip(), ratio(4, 3));
+        assert_eq!(ratio(2, 1).pow(10), ratio(1024, 1));
+        assert_eq!(ratio(2, 1).pow(-2), ratio(1, 4));
+        assert_eq!(ratio(5, 7).pow(0), Ratio::ONE);
+        assert_eq!(ratio(-2, 3).pow(3), ratio(-8, 27));
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn recip_of_zero_panics() {
+        let _ = Ratio::ZERO.recip();
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(ratio(1, 3) < ratio(1, 2));
+        assert!(ratio(-1, 2) < ratio(-1, 3));
+        assert!(ratio(7, 7) == Ratio::ONE);
+        let mut v = vec![ratio(1, 2), ratio(-3, 2), Ratio::ZERO, ratio(5, 4)];
+        v.sort();
+        assert_eq!(v, vec![ratio(-3, 2), Ratio::ZERO, ratio(1, 2), ratio(5, 4)]);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Ratio::ZERO.is_zero());
+        assert!(ratio(4, 2).is_integer());
+        assert!(!ratio(1, 2).is_integer());
+        assert!(ratio(-1, 1).is_unit());
+        assert!(!ratio(2, 1).is_unit());
+        assert!(ratio(1, 2).is_power_of_two());
+        assert!(ratio(-4, 1).is_power_of_two());
+        assert!(ratio(8, 2).is_power_of_two()); // normalizes to 4
+        assert!(!ratio(3, 1).is_power_of_two());
+        assert!(!Ratio::ZERO.is_power_of_two());
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in ["0", "5", "-5", "1/2", "-3/4", "22/7"] {
+            let r: Ratio = s.parse().unwrap();
+            assert_eq!(r.to_string(), s);
+        }
+        assert_eq!(" 6 / 8 ".parse::<Ratio>().unwrap(), ratio(3, 4));
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("a/b".parse::<Ratio>().is_err());
+        assert!("".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(ratio(1, 2).to_f64(), 0.5);
+        assert_eq!(ratio(-3, 4).to_f32(), -0.75);
+        assert_eq!(Ratio::from_integer(1 << 20).to_f64(), 1048576.0);
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [ratio(1, 2), ratio(1, 3), ratio(1, 6)];
+        assert_eq!(xs.iter().copied().sum::<Ratio>(), Ratio::ONE);
+        assert_eq!(xs.iter().copied().product::<Ratio>(), ratio(1, 36));
+    }
+
+    #[test]
+    fn cross_reduction_avoids_spurious_overflow() {
+        // (2^100 / 3) * (3 / 2^100) must not overflow even though the naive
+        // numerator product would.
+        let big = Ratio::new(1 << 62, 3);
+        let big = big * big; // (2^124)/9
+        let inv = big.recip();
+        assert_eq!(big * inv, Ratio::ONE);
+    }
+}

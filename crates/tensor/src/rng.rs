@@ -1,0 +1,111 @@
+//! A tiny deterministic PRNG for synthetic data.
+//!
+//! The paper's results depend only on layer *shapes*; tensor values matter
+//! only for functional verification, so a seeded SplitMix64 keeps examples
+//! and the error-growth study reproducible without pulling `rand` into the
+//! library's public dependency set (tests still use `rand`/`proptest`).
+
+/// SplitMix64 pseudo-random generator (Steele et al.), deterministic and
+/// seedable.
+///
+/// ```
+/// use wino_tensor::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f64() as f32
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Modulo bias is irrelevant for test-data generation.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_ranges() {
+        let mut g = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = g.uniform_f32(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&y));
+            let k = g.below(17);
+            assert!(k < 17);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut g = SplitMix64::new(1234);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[(g.next_f64() * 10.0) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        let mut g = SplitMix64::new(0);
+        let _ = g.below(0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Dense row-major matrices and NCHW feature maps.
+//!
+//! These containers are deliberately minimal: the workspace needs exact
+//! shapes, zero-padded tile extraction (the Winograd tiler reads
+//! `(m+r−1)²` tiles with stride `m`, running past the image edge) and
+//! generic element types — not a full linear-algebra library.
+
+use crate::Scalar;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `rows × cols` matrix.
+///
+/// ```
+/// use wino_tensor::Tensor2;
+///
+/// let m = Tensor2::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor2<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor2<T> {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor2<T> {
+        Tensor2 { rows, cols, data: vec![T::zero(); rows * cols] }
+    }
+
+    /// Creates a matrix whose entry `(r, c)` is `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Tensor2<T> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Tensor2<T> {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices (used heavily for literal transform
+    /// matrices in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: &[&[T]]) -> Tensor2<T> {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows are not allowed");
+            data.extend_from_slice(row);
+        }
+        Tensor2 { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Checked element access.
+    pub fn get(&self, r: usize, c: usize) -> Option<&T> {
+        if r < self.rows && c < self.cols {
+            Some(&self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Tensor2<T> {
+        Tensor2::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Element-wise map to a (possibly different) scalar type.
+    pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Tensor2<U> {
+        Tensor2 { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Dense matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Tensor2<T>) -> Tensor2<T> {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch {}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        let mut out = Tensor2::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == T::zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = a * rhs[(k, j)];
+                    out[(i, j)] += prod;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Tensor2<T>) -> Tensor2<T> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        Tensor2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+
+    /// Extracts a `size × size` tile whose top-left corner is `(top, left)`
+    /// in this matrix's coordinates; out-of-bounds reads are zero.
+    ///
+    /// This is the Winograd input tiler: tiles overlap by `r − 1` and the
+    /// last tiles of a row/column may hang off the edge.
+    pub fn padded_tile(&self, top: isize, left: isize, size: usize) -> Tensor2<T> {
+        Tensor2::from_fn(size, size, |r, c| {
+            let rr = top + r as isize;
+            let cc = left + c as isize;
+            if rr >= 0 && cc >= 0 && (rr as usize) < self.rows && (cc as usize) < self.cols {
+                self[(rr as usize, cc as usize)]
+            } else {
+                T::zero()
+            }
+        })
+    }
+
+    /// Writes `tile` into this matrix at `(top, left)`, clipping anything
+    /// that falls outside (the inverse of [`padded_tile`](Self::padded_tile)
+    /// for output assembly).
+    pub fn write_tile(&mut self, top: usize, left: usize, tile: &Tensor2<T>) {
+        for r in 0..tile.rows {
+            let rr = top + r;
+            if rr >= self.rows {
+                break;
+            }
+            for c in 0..tile.cols {
+                let cc = left + c;
+                if cc >= self.cols {
+                    break;
+                }
+                self[(rr, cc)] = tile[(r, c)];
+            }
+        }
+    }
+
+    /// Accumulates `tile` into this matrix at `(top, left)`, clipping.
+    pub fn add_tile(&mut self, top: usize, left: usize, tile: &Tensor2<T>) {
+        for r in 0..tile.rows {
+            let rr = top + r;
+            if rr >= self.rows {
+                break;
+            }
+            for c in 0..tile.cols {
+                let cc = left + c;
+                if cc >= self.cols {
+                    break;
+                }
+                let v = tile[(r, c)];
+                self[(rr, cc)] += v;
+            }
+        }
+    }
+}
+
+impl<T> Index<(usize, usize)> for Tensor2<T> {
+    type Output = T;
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Tensor2<T> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Tensor2<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor2 {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:?} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Shape of an NCHW tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// `true` when any dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// A dense NCHW 4-D tensor (batch, channel, height, width).
+///
+/// ```
+/// use wino_tensor::{Shape4, Tensor4};
+///
+/// let t = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 2, w: 2 }, |_, c, h, w| (c * 4 + h * 2 + w) as f32);
+/// assert_eq!(t.at(0, 1, 1, 0), 6.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor4<T> {
+    shape: Shape4,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor4<T> {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: Shape4) -> Tensor4<T> {
+        Tensor4 { shape, data: vec![T::zero(); shape.len()] }
+    }
+
+    /// Creates a tensor whose entry `(n, c, h, w)` is `f(n, c, h, w)`.
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Tensor4<T> {
+        let mut data = Vec::with_capacity(shape.len());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        data.push(f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        Tensor4 { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Underlying NCHW storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            n < self.shape.n && c < self.shape.c && h < self.shape.h && w < self.shape.w,
+            "index ({n},{c},{h},{w}) out of bounds for {}",
+            self.shape
+        );
+        ((n * self.shape.c + c) * self.shape.h + h) * self.shape.w + w
+    }
+
+    /// Element access.
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> T {
+        self.data[self.offset(n, c, h, w)]
+    }
+
+    /// Mutable element access.
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut T {
+        let off = self.offset(n, c, h, w);
+        &mut self.data[off]
+    }
+
+    /// Copies one `(n, c)` plane out as a matrix.
+    pub fn plane(&self, n: usize, c: usize) -> Tensor2<T> {
+        let base = self.offset(n, c, 0, 0);
+        let hw = self.shape.h * self.shape.w;
+        Tensor2::from_vec(self.shape.h, self.shape.w, self.data[base..base + hw].to_vec())
+    }
+
+    /// Overwrites one `(n, c)` plane from a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is not `h × w`.
+    pub fn set_plane(&mut self, n: usize, c: usize, plane: &Tensor2<T>) {
+        assert_eq!((plane.rows(), plane.cols()), (self.shape.h, self.shape.w), "plane shape mismatch");
+        let base = self.offset(n, c, 0, 0);
+        let hw = self.shape.h * self.shape.w;
+        self.data[base..base + hw].copy_from_slice(plane.as_slice());
+    }
+
+    /// Element-wise map to a (possibly different) scalar type.
+    pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Tensor4<U> {
+        Tensor4 { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+}
+
+impl<T> fmt::Debug for Tensor4<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor4({}, {} elems)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ratio;
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = Tensor2::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_rows_and_transpose() {
+        let m = Tensor2::from_rows(&[&[1.0f32, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t[(0, 2)], 5.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Tensor2::from_rows(&[&[1.0f32, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn matmul_against_hand_result() {
+        let a = Tensor2::from_rows(&[&[1.0f32, 2.0], &[3.0, 4.0]]);
+        let b = Tensor2::from_rows(&[&[5.0f32, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_exact_rationals() {
+        let a = Tensor2::from_fn(3, 3, |r, c| Ratio::new((r * 3 + c + 1) as i128, 7));
+        let id = Tensor2::from_fn(3, 3, |r, c| if r == c { Ratio::ONE } else { Ratio::ZERO });
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = Tensor2::from_rows(&[&[1.0f32, 2.0], &[3.0, 4.0]]);
+        let b = Tensor2::from_rows(&[&[2.0f32, 0.5], &[1.0, 0.25]]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[2.0, 1.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn padded_tile_zero_fills_outside() {
+        let m = Tensor2::from_fn(3, 3, |r, c| (r * 3 + c + 1) as f32);
+        let t = m.padded_tile(-1, -1, 3);
+        // Top-left 3x3 window shifted up-left by one: first row/col zeros.
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 4.0, 5.0]);
+        let t2 = m.padded_tile(2, 2, 2);
+        assert_eq!(t2.as_slice(), &[9.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn write_and_add_tile_clip() {
+        let mut m = Tensor2::<f32>::zeros(3, 3);
+        let tile = Tensor2::from_fn(2, 2, |_, _| 1.0f32);
+        m.write_tile(2, 2, &tile); // only (2,2) lands
+        assert_eq!(m[(2, 2)], 1.0);
+        assert_eq!(m.as_slice().iter().sum::<f32>(), 1.0);
+        m.add_tile(2, 2, &tile);
+        assert_eq!(m[(2, 2)], 2.0);
+    }
+
+    #[test]
+    fn tensor4_indexing_and_planes() {
+        let shape = Shape4 { n: 2, c: 3, h: 4, w: 5 };
+        let t = Tensor4::from_fn(shape, |n, c, h, w| (n * 1000 + c * 100 + h * 10 + w) as f32);
+        assert_eq!(t.at(1, 2, 3, 4), 1234.0);
+        let p = t.plane(1, 2);
+        assert_eq!(p[(3, 4)], 1234.0);
+        assert_eq!(p.rows(), 4);
+        assert_eq!(p.cols(), 5);
+    }
+
+    #[test]
+    fn tensor4_set_plane_round_trip() {
+        let shape = Shape4 { n: 1, c: 2, h: 2, w: 2 };
+        let mut t = Tensor4::<f32>::zeros(shape);
+        let p = Tensor2::from_rows(&[&[1.0f32, 2.0], &[3.0, 4.0]]);
+        t.set_plane(0, 1, &p);
+        assert_eq!(t.plane(0, 1), p);
+        assert_eq!(t.plane(0, 0).as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn shape_len() {
+        let s = Shape4 { n: 2, c: 3, h: 4, w: 5 };
+        assert_eq!(s.len(), 120);
+        assert!(!s.is_empty());
+        assert!(Shape4 { n: 0, c: 1, h: 1, w: 1 }.is_empty());
+        assert_eq!(s.to_string(), "2x3x4x5");
+    }
+
+    #[test]
+    fn map_changes_scalar_type() {
+        let m = Tensor2::from_rows(&[&[1.0f32, 2.0]]);
+        let r = m.map(|x| Ratio::from_integer(x as i128));
+        assert_eq!(r[(0, 1)], Ratio::from_integer(2));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: Ratio is a totally ordered field, Fixed saturates
+//! consistently, tensors round-trip.
+
+use proptest::prelude::*;
+use wino_tensor::{ratio, Fixed, Ratio, Shape4, Tensor2, Tensor4};
+
+/// Small rationals that never overflow i128 under field ops.
+fn small_ratio() -> impl Strategy<Value = Ratio> {
+    (-1000i128..1000, 1i128..100).prop_map(|(n, d)| ratio(n, d))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in small_ratio(), b in small_ratio()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in small_ratio()) {
+        prop_assert_eq!(a + (-a), Ratio::ZERO);
+        prop_assert_eq!(a - a, Ratio::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in small_ratio()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.recip(), Ratio::ONE);
+        prop_assert_eq!(a / a, Ratio::ONE);
+    }
+
+    #[test]
+    fn normalization_is_canonical(n in -10_000i128..10_000, d in 1i128..1000, k in 1i128..50) {
+        // Scaling numerator and denominator by k never changes the value.
+        prop_assert_eq!(ratio(n, d), ratio(n * k, d * k));
+        prop_assert!(ratio(n, d).denom() > 0);
+    }
+
+    #[test]
+    fn ordering_respects_addition(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        if a < b {
+            prop_assert!(a + c < b + c);
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in small_ratio()) {
+        let text = a.to_string();
+        prop_assert_eq!(text.parse::<Ratio>().expect("parses"), a);
+    }
+
+    #[test]
+    fn to_f64_is_monotone(a in small_ratio(), b in small_ratio()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    #[test]
+    fn fixed_round_trip_within_resolution(x in -1000.0f32..1000.0) {
+        let q = Fixed::<16>::from_f32(x);
+        prop_assert!((q.to_f32() - x).abs() <= Fixed::<16>::resolution());
+    }
+
+    #[test]
+    fn fixed_add_matches_float_when_in_range(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let qa = Fixed::<16>::from_f32(a);
+        let qb = Fixed::<16>::from_f32(b);
+        let sum = (qa + qb).to_f32();
+        prop_assert!((sum - (a + b)).abs() <= 2.0 * Fixed::<16>::resolution());
+    }
+
+    #[test]
+    fn tensor2_transpose_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut s = seed;
+        let m = Tensor2::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as f32
+        });
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn tensor4_plane_round_trip(h in 1usize..5, w in 1usize..5) {
+        let shape = Shape4 { n: 2, c: 2, h, w };
+        let t = Tensor4::from_fn(shape, |n, c, y, x| (n * 100 + c * 10 + y * w + x) as f32);
+        let mut copy = Tensor4::zeros(shape);
+        for n in 0..2 {
+            for c in 0..2 {
+                copy.set_plane(n, c, &t.plane(n, c));
+            }
+        }
+        prop_assert_eq!(copy, t);
+    }
+
+    #[test]
+    fn padded_tile_matches_manual_indexing(
+        top in -3isize..6, left in -3isize..6, size in 1usize..5
+    ) {
+        let m = Tensor2::from_fn(4, 4, |r, c| (r * 4 + c + 1) as f32);
+        let tile = m.padded_tile(top, left, size);
+        for r in 0..size {
+            for c in 0..size {
+                let rr = top + r as isize;
+                let cc = left + c as isize;
+                let expect = if (0..4).contains(&rr) && (0..4).contains(&cc) {
+                    m[(rr as usize, cc as usize)]
+                } else {
+                    0.0
+                };
+                prop_assert_eq!(tile[(r, c)], expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Cycle-level simulation of the proposed engine (Fig. 7) on a
+//! VGG16-style layer, cross-checked against the paper's Eq. 9 and against
+//! direct convolution.
+//!
+//! ```sh
+//! cargo run --release --example engine_sim
+//! ```
+
+use winofpga::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A channel-reduced VGG16 conv5-style layer (14x14 feature map). The
+    // full 512x512 layer behaves identically per Eq. 9; 64x64 keeps the
+    // cycle-by-cycle simulation quick.
+    let (c, k) = (64usize, 64usize);
+    let mut rng = SplitMix64::new(7);
+    let input =
+        Tensor4::from_fn(Shape4 { n: 1, c, h: 14, w: 14 }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+    let kernels =
+        Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| rng.uniform_f32(-0.2, 0.2));
+    let reference = spatial_convolve(&input, &kernels, 1);
+
+    println!("Layer: 14x14x{c} -> {k} kernels 3x3 (conv5-style, channels reduced)\n");
+    println!(
+        "{:<14} {:>4} {:>10} {:>10} {:>8} {:>10} {:>12} {:>10}",
+        "design", "PEs", "cycles", "Eq.9", "stalls", "PE util", "max|err|", "us @200MHz"
+    );
+
+    for (m, pes) in [(2usize, 43usize), (3, 28), (4, 19)] {
+        let params = WinogradParams::new(m, 3)?;
+        let engine = WinogradEngine::new(EngineConfig::proposed(params, pes))?;
+        let (output, report) = engine.run_layer(&input, &kernels, 1);
+        let stats = ErrorStats::between(output.as_slice(), reference.as_slice());
+        let predicted = engine.predicted_cycles(input.shape(), k, 1);
+        println!(
+            "{:<14} {:>4} {:>10} {:>10} {:>8} {:>9.1}% {:>12.2e} {:>10.1}",
+            params.to_string(),
+            pes,
+            report.cycles,
+            predicted,
+            report.stall_cycles,
+            report.pe_utilization * 100.0,
+            stats.max_abs,
+            report.latency_seconds(200e6) * 1e6,
+        );
+        assert_eq!(report.cycles, predicted, "simulator must agree with Eq. 9");
+        assert!(stats.within_abs(1e-3), "simulator must agree with direct convolution");
+    }
+
+    // Bandwidth sensitivity: the paper assumes "enough memory bandwidth";
+    // here is what happens when the kernel buffers get less than that.
+    println!("\nKernel-load bandwidth sensitivity, F(4x4,3x3) with 19 PEs:");
+    println!("{:>18} {:>10} {:>8} {:>10}", "bytes/cycle", "cycles", "stalls", "slowdown");
+    let params = WinogradParams::new(4, 3)?;
+    let base = WinogradEngine::new(EngineConfig::proposed(params, 19))?;
+    let (_, ideal) = base.run_layer(&input, &kernels, 1);
+    for bw in [f64::INFINITY, 1024.0, 256.0, 64.0, 16.0] {
+        let mut config = EngineConfig::proposed(params, 19);
+        config.kernel_bandwidth = bw;
+        let engine = WinogradEngine::new(config)?;
+        let (_, report) = engine.run_layer(&input, &kernels, 1);
+        println!(
+            "{:>18} {:>10} {:>8} {:>9.2}x",
+            if bw.is_finite() { format!("{bw:.0}") } else { "unlimited".to_owned() },
+            report.cycles,
+            report.stall_cycles,
+            report.cycles as f64 / ideal.cycles as f64,
+        );
+    }
+    println!(
+        "\n(double buffering hides kernel loads down to {:.0} bytes/cycle on this layer)",
+        ideal.required_bandwidth
+    );
+    Ok(())
+}

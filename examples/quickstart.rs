@@ -1,0 +1,65 @@
+//! Quickstart: generate a Winograd algorithm, convolve an image, and see
+//! why the paper cares.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use winofpga::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Generate F(2x2, 3x3) exactly and show the matrices. --------
+    let params = WinogradParams::new(2, 3)?;
+    let set = TransformSet::generate(params)?;
+    println!("{set}");
+    println!(
+        "F(2,3) does {} multiplications per 2-D tile; direct convolution needs {}.\n",
+        params.mults_per_tile_2d(),
+        params.spatial_mults_per_tile_2d()
+    );
+
+    // --- 2. Convolve a small image and check against direct conv. ------
+    let mut rng = SplitMix64::new(2019);
+    let input = Tensor4::from_fn(Shape4 { n: 1, c: 3, h: 16, w: 16 }, |_, _, _, _| {
+        rng.uniform_f32(-1.0, 1.0)
+    });
+    let kernels = Tensor4::from_fn(Shape4 { n: 8, c: 3, h: 3, w: 3 }, |_, _, _, _| {
+        rng.uniform_f32(-0.5, 0.5)
+    });
+    let algo = WinogradAlgorithm::<f32>::new(&set);
+    let fast = algo.convolve_layer(&input, &kernels, 1);
+    let exact = spatial_convolve(&input, &kernels, 1);
+    let stats = ErrorStats::between(fast.as_slice(), exact.as_slice());
+    println!("Winograd vs direct convolution on a 16x16x3 -> 8 layer: {stats}\n");
+
+    // --- 3. The paper's question: which m is best on a real FPGA? ------
+    let evaluator = Evaluator::new(vgg16d(1), virtex7_485t());
+    println!("Sweeping F(m x m, 3x3) on {} for VGG16-D:", evaluator.device());
+    println!(
+        "{:<14} {:>4} {:>7} {:>12} {:>10} {:>9} {:>9}",
+        "design", "PEs", "mults", "latency(ms)", "GOPS", "W", "GOPS/W"
+    );
+    for (point, metrics) in sweep_m(&evaluator, &[1, 2, 3, 4, 5, 6], 3, 700, 200e6) {
+        println!(
+            "{:<14} {:>4} {:>7} {:>12.2} {:>10.1} {:>9.2} {:>9.2}{}",
+            point.params.to_string(),
+            point.pe_count,
+            point.multipliers(),
+            metrics.total_latency_ms,
+            metrics.throughput_gops,
+            metrics.power_w,
+            metrics.power_efficiency,
+            if metrics.fits_device { "" } else { "  (does not fit!)" },
+        );
+    }
+
+    let (best, metrics) =
+        best_design(&evaluator, &[2, 3, 4], 3, 700, 200e6, Objective::Throughput)
+            .expect("a design fits");
+    println!(
+        "\nBest feasible throughput design: {best} -> {:.1} GOPS, {:.2} ms for VGG16-D",
+        metrics.throughput_gops, metrics.total_latency_ms
+    );
+    println!("(The paper's Table II reports 1094.3 GOPS / 28.05 ms for the same design.)");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! # winofpga
+//!
+//! A full reproduction, as a Rust library, of
+//! *"Towards Design Space Exploration and Optimization of Fast Algorithms
+//! for Convolutional Neural Networks (CNNs) on FPGAs"*
+//! (Afzal Ahmad & Muhammad Adeel Pasha, DATE 2019, arXiv:1903.01811).
+//!
+//! The workspace re-implements everything the paper's evaluation rests
+//! on — Winograd minimal filtering with exact transform generation, the
+//! baseline convolution algorithms, the VGG16-D workload, a cycle-level
+//! simulator of the proposed pipelined engine and of the Podili et al.
+//! baseline, calibrated FPGA resource/power models, and the design space
+//! exploration that regenerates every figure and table. See `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+//!
+//! This crate is the facade: it re-exports the sub-crates under stable
+//! names and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use winofpga::prelude::*;
+//!
+//! // 1. The algorithm: F(4x4, 3x3) does 36 multiplies where direct
+//! //    convolution does 144, exactly.
+//! let params = WinogradParams::new(4, 3)?;
+//! let algo = WinogradAlgorithm::<f32>::for_params(params)?;
+//!
+//! // 2. The design space: the paper's best design on its Virtex-7.
+//! let evaluator = Evaluator::new(vgg16d(1), virtex7_485t());
+//! let (best, metrics) =
+//!     best_design(&evaluator, &[2, 3, 4], 3, 700, 200e6, Objective::Throughput)
+//!         .expect("a design fits");
+//! assert_eq!(best.params.m(), 4);
+//! assert!((metrics.total_latency_ms - 28.05).abs() < 0.05); // Table II
+//! # let _ = algo;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `wino-tensor` | exact rationals, fixed point, tensors |
+//! | [`core`] | `wino-core` | transforms, fast convolution, Eqs. 4–10 |
+//! | [`baselines`] | `wino-baselines` | spatial, im2col+GEMM, FFT |
+//! | [`models`] | `wino-models` | VGG16-D, AlexNet, ResNet-18 |
+//! | [`fpga`] | `wino-fpga` | devices, resources, power |
+//! | [`engine`] | `wino-engine` | cycle-level engine simulator |
+//! | [`dse`] | `wino-dse` | exploration, figures, tables |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use wino_baselines as baselines;
+pub use wino_core as core;
+pub use wino_dse as dse;
+pub use wino_engine as engine;
+pub use wino_fpga as fpga;
+pub use wino_models as models;
+pub use wino_tensor as tensor;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use wino_baselines::{fft_convolve, im2col_convolve, spatial_convolve};
+    pub use wino_core::{
+        canonical_points, cse_optimize, fast_convolve_layer, transform_ops_2d, transform_ops_for,
+        ConvShape, CostModel, FastKernel, TileModel,
+        TransformOps, TransformSet, WinogradAlgorithm, WinogradParams, Workload,
+    };
+    pub use wino_dse::{
+        best_design, fig1, fig2, fig3, fig6, pareto_front, sweep_m, table1, table2, table2_text,
+        DesignPoint, Evaluator, Metrics, Objective,
+    };
+    pub use wino_engine::{EngineConfig, SimReport, WinogradEngine};
+    pub use wino_fpga::{
+        paper_calibrated_model, stratix_v_gt, virtex7_485t, zynq_7045, Architecture,
+        EngineResources, FpgaDevice, PowerModel, ResourceUsage,
+    };
+    pub use wino_models::{alexnet, resnet18, vgg16d};
+    pub use wino_tensor::{ratio, ErrorStats, Ratio, Scalar, Shape4, SplitMix64, Tensor2, Tensor4};
+}

@@ -1,0 +1,167 @@
+//! Integration tests pinning every headline claim of the paper to the
+//! reproduction's output. Each test names the claim it checks.
+
+use winofpga::core::{overhead_ratio_per_pe, overhead_ratio_shared, CostModel, TransformOps};
+use winofpga::dse::figures::{self, paper};
+use winofpga::prelude::*;
+
+fn evaluator() -> Evaluator {
+    Evaluator::new(vgg16d(1), virtex7_485t())
+}
+
+#[test]
+fn abstract_claim_4_75x_throughput_with_2_67x_multipliers() {
+    let ev = evaluator();
+    let sweep = sweep_m(&ev, &[2, 4], 3, 700, 200e6);
+    let (p2, m2) = &sweep[0]; // F(2x2,3x3): paper's [3] baseline geometry at 43 PEs
+    let (p4, m4) = &sweep[1];
+    // Compare against [3]'s original 16-PE configuration (256 mults).
+    let podili = ev.evaluate(&DesignPoint {
+        params: p2.params,
+        arch: Architecture::PerPeTransform,
+        pe_count: 16,
+        freq_hz: 200e6,
+        pipeline_depth: 8,
+    });
+    let speedup = m4.throughput_gops / podili.throughput_gops;
+    assert!((speedup - 4.75).abs() < 0.02, "throughput speedup {speedup:.3}");
+    let mults = p4.multipliers() as f64 / 256.0;
+    assert!((mults - 2.67).abs() < 0.01, "multiplier ratio {mults:.3}");
+    let _ = m2;
+}
+
+#[test]
+fn abstract_claim_53_6_percent_logic_savings() {
+    let t1 = table1(&virtex7_485t());
+    assert!((t1.lut_saving * 100.0 - 53.6).abs() < 0.5, "got {:.2}%", t1.lut_saving * 100.0);
+}
+
+#[test]
+fn abstract_claim_power_efficiency_band() {
+    // Paper: 1.44x better power efficiency at m = 2 vs [3]a (41.34/28.66).
+    // Our calibrated power model brackets the paper's two inconsistent
+    // m = 2 power values (13.03 W printed / 14.98 W implied), so the
+    // improvement lands in [1.44, 1.66].
+    let ev = evaluator();
+    let ours = ev.evaluate(&DesignPoint {
+        params: WinogradParams::new(2, 3).unwrap(),
+        arch: Architecture::SharedTransform,
+        pe_count: 43,
+        freq_hz: 200e6,
+        pipeline_depth: 8,
+    });
+    let improvement = ours.power_efficiency / 28.66;
+    assert!((1.40..1.70).contains(&improvement), "got {improvement:.3}");
+}
+
+#[test]
+fn section3_quadratic_mult_decrease_and_transform_increase() {
+    // Fig. 1 / Fig. 2 directions: multiplications fall, transforms rise.
+    let wl = vgg16d(1);
+    let mut mults = Vec::new();
+    let mut transforms = Vec::new();
+    for m in 2..=7 {
+        let params = WinogradParams::new(m, 3).unwrap();
+        mults.push(wl.winograd_mults(params, TileModel::Fractional));
+        let ops = transform_ops_for(params, CostModel::ShiftFree);
+        transforms.push(wl.transform_complexity(params, ops, TileModel::Fractional).online_total());
+    }
+    assert!(mults.windows(2).all(|w| w[1] < w[0]), "{mults:?}");
+    assert!(transforms.windows(2).all(|w| w[1] > w[0]), "{transforms:?}");
+}
+
+#[test]
+fn section3c_m4_favorable_m5_not() {
+    let fig = fig3(&vgg16d(1), CostModel::ShiftFree);
+    let dec = &fig.series[0].1;
+    let inc = &fig.series[1].1;
+    // m = 4 (index 2): saving beats overhead; m = 5 (index 3): reversed.
+    assert!(dec[2] > inc[2]);
+    assert!(inc[3] > dec[3]);
+}
+
+#[test]
+fn section4a_pe_ratios() {
+    let ours = WinogradParams::new(3, 3).unwrap();
+    let podili = WinogradParams::new(2, 3).unwrap();
+    assert_eq!(ours.outputs_per_tile_2d() * 4, podili.outputs_per_tile_2d() * 9); // 2.25x
+    assert_eq!(ours.mults_per_tile_2d() * 16, podili.mults_per_tile_2d() * 25); // 1.5625x
+}
+
+#[test]
+fn section4c_overhead_1_5x_vs_2_33x() {
+    let ops = TransformOps::LAVIN_F2X2_3X3;
+    let params = WinogradParams::new(2, 3).unwrap();
+    assert!((overhead_ratio_shared(params, ops, 16.0) - 1.5).abs() < 1e-12);
+    assert!((overhead_ratio_per_pe(params, ops) - 7.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn table2_latency_column_reproduction() {
+    let ev = evaluator();
+    let cols = table2(&ev);
+    // Spot-check every published latency cell across all six columns.
+    let paper_cells: [(&str, [f64; 5], f64); 6] = [
+        ("[12]", [31.29, 23.58, 39.29, 36.30, 32.95], 163.4),
+        ("[3]", [16.81, 24.08, 40.14, 40.14, 12.04], 133.22),
+        ("[3]a", [6.25, 8.96, 14.94, 14.94, 4.48], 49.57),
+        ("Ours 2,3", [6.25, 8.96, 14.94, 14.94, 4.48], 49.57),
+        ("Ours 3,3", [4.27, 6.12, 10.19, 10.19, 3.06], 33.83),
+        ("Ours 4,3", [3.54, 5.07, 8.45, 8.45, 2.54], 28.05),
+    ];
+    for (label, conv, overall) in paper_cells {
+        let col = cols.iter().find(|c| c.label == label).unwrap_or_else(|| panic!("{label}"));
+        for (got, want) in col.conv_ms.iter().zip(&conv) {
+            assert!((got - want).abs() < 0.02, "{label}: {got:.3} vs {want}");
+        }
+        assert!((col.overall_ms - overall).abs() < 0.15, "{label} overall {:.2}", col.overall_ms);
+    }
+}
+
+#[test]
+fn table2_efficiency_rows() {
+    let ev = evaluator();
+    let cols = table2(&ev);
+    for (label, eff) in [("[12]", 0.24), ("[3]", 0.90), ("Ours 3,3", 1.29), ("Ours 4,3", 1.60)] {
+        let col = cols.iter().find(|c| c.label == label).unwrap();
+        assert!((col.mult_efficiency - eff).abs() < 0.01, "{label}: {}", col.mult_efficiency);
+    }
+}
+
+#[test]
+fn conclusion_5_83x_vs_qiu_with_0_88x_multipliers() {
+    let ev = evaluator();
+    let ours = ev.evaluate(&DesignPoint {
+        params: WinogradParams::new(4, 3).unwrap(),
+        arch: Architecture::SharedTransform,
+        pe_count: 19,
+        freq_hz: 200e6,
+        pipeline_depth: 8,
+    });
+    let qiu = winofpga::dse::qiu_fpga16();
+    let speedup = ours.throughput_gops / qiu.throughput_gops;
+    assert!((speedup - 5.83).abs() < 0.02, "got {speedup:.3}");
+    let mults = 684.0 / qiu.multipliers as f64;
+    assert!((mults - 0.88).abs() < 0.005, "got {mults:.3}");
+}
+
+#[test]
+fn fig6_full_grid_against_paper() {
+    let fig = fig6(&vgg16d(1), 200e6);
+    for (row, (_, values)) in fig.series.iter().enumerate() {
+        for (col, &v) in values.iter().enumerate() {
+            let expect = paper::FIG6_GOPS[row][col];
+            assert!((v - expect).abs() / expect < 0.002, "[{row}][{col}]: {v} vs {expect}");
+        }
+    }
+}
+
+#[test]
+fn figure_generators_share_the_workload_groups() {
+    let wl = vgg16d(1);
+    let f1 = figures::fig1(&wl);
+    assert_eq!(f1.x_labels.len(), 5);
+    assert_eq!(f1.series.len(), 7);
+    let f2 = figures::fig2(&wl, CostModel::ShiftFree);
+    assert_eq!(f2.x_labels.len(), 6);
+}
