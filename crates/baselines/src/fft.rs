@@ -23,19 +23,25 @@ impl Complex {
     pub fn new(re: f64, im: f64) -> Complex {
         Complex { re, im }
     }
+}
 
-    /// Complex multiplication.
-    pub fn mul(self, rhs: Complex) -> Complex {
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
         Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
+}
 
-    /// Complex addition.
-    pub fn add(self, rhs: Complex) -> Complex {
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
         Complex::new(self.re + rhs.re, self.im + rhs.im)
     }
+}
 
-    /// Complex subtraction.
-    pub fn sub(self, rhs: Complex) -> Complex {
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
         Complex::new(self.re - rhs.re, self.im - rhs.im)
     }
 }
@@ -73,10 +79,10 @@ pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = buf[start + k];
-                let v = buf[start + k + len / 2].mul(w);
-                buf[start + k] = u.add(v);
-                buf[start + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -155,12 +161,12 @@ pub fn fft_convolve(input: &Tensor4<f32>, kernels: &Tensor4<f32>, pad: usize) ->
             fft2_in_place(&mut buf, size, false);
             input_freq.push(buf);
         }
-        for k in 0..ks.n {
+        for (k, kernel_channels) in kernel_freq.iter().enumerate() {
             let mut acc = vec![Complex::default(); size * size];
             for c in 0..is.c {
-                let kf = &kernel_freq[k][c];
+                let kf = &kernel_channels[c];
                 for (dst, (&a, &b)) in acc.iter_mut().zip(input_freq[c].iter().zip(kf)) {
-                    *dst = dst.add(a.mul(b));
+                    *dst = *dst + a * b;
                 }
             }
             fft2_in_place(&mut acc, size, true);
@@ -169,7 +175,8 @@ pub fn fft_convolve(input: &Tensor4<f32>, kernels: &Tensor4<f32>, pad: usize) ->
             let off = r - 1 - pad;
             for y in 0..out_h {
                 for x in 0..out_w {
-                    *out.at_mut(img, k, y, x) = (acc[(y + off) * size + (x + off)].re * scale) as f32;
+                    *out.at_mut(img, k, y, x) =
+                        (acc[(y + off) * size + (x + off)].re * scale) as f32;
                 }
             }
         }
@@ -277,8 +284,10 @@ mod tests {
         let spatial = |r: usize| (h * w * c * k * r * r) as f64;
         // r = 3..9 share one 64-point FFT size (56 + r - 1 <= 64), which
         // isolates the r-dependence from power-of-two padding cliffs.
-        let ratios: Vec<f64> =
-            [3usize, 5, 7, 9].iter().map(|&r| fft_conv_complexity(h, w, c, k, r) / spatial(r)).collect();
+        let ratios: Vec<f64> = [3usize, 5, 7, 9]
+            .iter()
+            .map(|&r| fft_conv_complexity(h, w, c, k, r) / spatial(r))
+            .collect();
         for pair in ratios.windows(2) {
             assert!(pair[1] < pair[0], "FFT relative cost must fall with r: {ratios:?}");
         }

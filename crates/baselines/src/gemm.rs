@@ -74,7 +74,9 @@ mod tests {
 
     #[test]
     fn exact_over_rationals() {
-        let a = Tensor2::from_fn(40, 35, |r, c| ratio((r as i128 - c as i128) % 5, 1 + (c % 3) as i128));
+        let a = Tensor2::from_fn(40, 35, |r, c| {
+            ratio((r as i128 - c as i128) % 5, 1 + (c % 3) as i128)
+        });
         let b = Tensor2::from_fn(35, 33, |r, c| ratio((r * c % 7) as i128, 2));
         assert_eq!(gemm(&a, &b), a.matmul(&b));
     }

@@ -49,7 +49,11 @@ pub fn im2col<T: Scalar>(input: &Tensor4<T>, image: usize, r: usize, pad: usize)
 /// # Panics
 ///
 /// Panics if channel counts disagree or kernels are not square.
-pub fn im2col_convolve<T: Scalar>(input: &Tensor4<T>, kernels: &Tensor4<T>, pad: usize) -> Tensor4<T> {
+pub fn im2col_convolve<T: Scalar>(
+    input: &Tensor4<T>,
+    kernels: &Tensor4<T>,
+    pad: usize,
+) -> Tensor4<T> {
     let is = input.shape();
     let ks = kernels.shape();
     assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
@@ -119,11 +123,12 @@ mod tests {
 
     #[test]
     fn patch_matrix_shape_and_content() {
-        let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w) as f32);
+        let input =
+            Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w) as f32);
         let p = im2col(&input, 0, 2, 0);
         assert_eq!(p.rows(), 4); // 1 channel * 2*2
         assert_eq!(p.cols(), 4); // 2x2 output positions
-        // Patch at output (0,0): values (0,0),(0,1),(1,0),(1,1) = 0,1,3,4.
+                                 // Patch at output (0,0): values (0,0),(0,1),(1,0),(1,1) = 0,1,3,4.
         assert_eq!(p[(0, 0)], 0.0);
         assert_eq!(p[(1, 0)], 1.0);
         assert_eq!(p[(2, 0)], 3.0);
@@ -135,9 +140,17 @@ mod tests {
         let input = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 2, w: 2 }, |_, c, h, w| {
             (c * 10 + h * 2 + w) as f32
         });
-        let kernels = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 1, w: 1 }, |_, c, _, _| {
-            if c == 0 { 1.0 } else { -1.0 }
-        });
+        let kernels =
+            Tensor4::from_fn(
+                Shape4 { n: 1, c: 2, h: 1, w: 1 },
+                |_, c, _, _| {
+                    if c == 0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                },
+            );
         let out = im2col_convolve(&input, &kernels, 0);
         assert_eq!(out.as_slice(), &[-10.0; 4]);
     }

@@ -28,7 +28,11 @@ use wino_tensor::{Scalar, Shape4, Tensor4};
 ///
 /// Panics if channel counts disagree, kernels are not square, or the
 /// padded input is smaller than the kernel.
-pub fn spatial_convolve<T: Scalar>(input: &Tensor4<T>, kernels: &Tensor4<T>, pad: usize) -> Tensor4<T> {
+pub fn spatial_convolve<T: Scalar>(
+    input: &Tensor4<T>,
+    kernels: &Tensor4<T>,
+    pad: usize,
+) -> Tensor4<T> {
     spatial_convolve_strided(input, kernels, pad, 1)
 }
 
@@ -80,7 +84,8 @@ mod tests {
     #[test]
     fn hand_computed_1x1_channel_sum() {
         // 1x1 kernels of all ones sum the channels.
-        let input = Tensor4::from_fn(Shape4 { n: 1, c: 3, h: 2, w: 2 }, |_, c, _, _| (c + 1) as f32);
+        let input =
+            Tensor4::from_fn(Shape4 { n: 1, c: 3, h: 2, w: 2 }, |_, c, _, _| (c + 1) as f32);
         let kernels = Tensor4::from_fn(Shape4 { n: 1, c: 3, h: 1, w: 1 }, |_, _, _, _| 1.0f32);
         let out = spatial_convolve(&input, &kernels, 0);
         assert_eq!(out.as_slice(), &[6.0; 4]);
@@ -88,7 +93,9 @@ mod tests {
 
     #[test]
     fn valid_3x3_single_position() {
-        let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w + 1) as f32);
+        let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| {
+            (h * 3 + w + 1) as f32
+        });
         let kernels = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, _, _| 1.0f32);
         let out = spatial_convolve(&input, &kernels, 0);
         assert_eq!(out.shape(), Shape4 { n: 1, c: 1, h: 1, w: 1 });
@@ -98,7 +105,8 @@ mod tests {
     #[test]
     fn padding_zero_extends() {
         let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 1, w: 1 }, |_, _, _, _| 2.0f32);
-        let kernels = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w) as f32);
+        let kernels =
+            Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 3, w: 3 }, |_, _, h, w| (h * 3 + w) as f32);
         let out = spatial_convolve(&input, &kernels, 1);
         // Only the kernel center (weight 4) overlaps the single pixel.
         assert_eq!(out.shape(), Shape4 { n: 1, c: 1, h: 1, w: 1 });
@@ -107,7 +115,8 @@ mod tests {
 
     #[test]
     fn stride_two_subsamples() {
-        let input = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 5, w: 5 }, |_, _, h, w| (h * 5 + w) as f32);
+        let input =
+            Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 5, w: 5 }, |_, _, h, w| (h * 5 + w) as f32);
         let center = Tensor4::from_fn(Shape4 { n: 1, c: 1, h: 1, w: 1 }, |_, _, _, _| 1.0f32);
         let out = spatial_convolve_strided(&input, &center, 0, 2);
         assert_eq!(out.shape(), Shape4 { n: 1, c: 1, h: 3, w: 3 });
@@ -122,12 +131,14 @@ mod tests {
         let a = Tensor4::from_fn(shape, |_, c, h, w| ratio((c + h + w) as i128, 3));
         let b = Tensor4::from_fn(shape, |_, c, h, w| ratio((c * h) as i128 - w as i128, 2));
         let sum = Tensor4::from_fn(shape, |n, c, h, w| a.at(n, c, h, w) + b.at(n, c, h, w));
-        let kernels =
-            Tensor4::from_fn(Shape4 { n: 2, c: 2, h: 3, w: 3 }, |k, c, h, w| ratio((k + c + h * w) as i128, 1));
+        let kernels = Tensor4::from_fn(Shape4 { n: 2, c: 2, h: 3, w: 3 }, |k, c, h, w| {
+            ratio((k + c + h * w) as i128, 1)
+        });
         let ca = spatial_convolve(&a, &kernels, 1);
         let cb = spatial_convolve(&b, &kernels, 1);
         let cs = spatial_convolve(&sum, &kernels, 1);
-        let recombined = Tensor4::from_fn(cs.shape(), |n, k, h, w| ca.at(n, k, h, w) + cb.at(n, k, h, w));
+        let recombined =
+            Tensor4::from_fn(cs.shape(), |n, k, h, w| ca.at(n, k, h, w) + cb.at(n, k, h, w));
         assert_eq!(cs, recombined);
     }
 

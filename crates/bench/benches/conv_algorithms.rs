@@ -11,9 +11,8 @@ use wino_core::{fast_convolve_layer, FastKernel, WinogradAlgorithm, WinogradPara
 use wino_tensor::{Shape4, SplitMix64, Tensor4};
 
 fn layer(rng: &mut SplitMix64, c: usize, k: usize, hw: usize) -> (Tensor4<f32>, Tensor4<f32>) {
-    let input = Tensor4::from_fn(Shape4 { n: 1, c, h: hw, w: hw }, |_, _, _, _| {
-        rng.uniform_f32(-1.0, 1.0)
-    });
+    let input =
+        Tensor4::from_fn(Shape4 { n: 1, c, h: hw, w: hw }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
     let kernels =
         Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| rng.uniform_f32(-0.3, 0.3));
     (input, kernels)
@@ -30,12 +29,13 @@ fn bench_conv(criterion: &mut Criterion) {
     group.bench_function("im2col_gemm", |b| b.iter(|| im2col_convolve(&input, &kernels, 1)));
     group.bench_function("fft", |b| b.iter(|| fft_convolve(&input, &kernels, 1)));
     for m in [2usize, 4, 6] {
-        let algo =
-            WinogradAlgorithm::<f32>::for_params(WinogradParams::new(m, 3).expect("valid"))
-                .expect("generates");
-        group.bench_with_input(BenchmarkId::new("winograd", format!("F({m}x{m},3x3)")), &m, |b, _| {
-            b.iter(|| algo.convolve_layer(&input, &kernels, 1))
-        });
+        let algo = WinogradAlgorithm::<f32>::for_params(WinogradParams::new(m, 3).expect("valid"))
+            .expect("generates");
+        group.bench_with_input(
+            BenchmarkId::new("winograd", format!("F({m}x{m},3x3)")),
+            &m,
+            |b, _| b.iter(|| algo.convolve_layer(&input, &kernels, 1)),
+        );
     }
     for (kind, label) in [(FastKernel::F2x2, "F(2x2,3x3)"), (FastKernel::F4x4, "F(4x4,3x3)")] {
         group.bench_with_input(BenchmarkId::new("winograd_fast", label), &kind, |b, &k| {

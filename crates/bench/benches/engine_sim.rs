@@ -23,9 +23,11 @@ fn bench_engine(criterion: &mut Criterion) {
             pes,
         ))
         .expect("generates");
-        group.bench_with_input(BenchmarkId::from_parameter(format!("F({m}x{m})x{pes}PE")), &m, |b, _| {
-            b.iter(|| engine.run_layer(&input, &kernels, 1))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("F({m}x{m})x{pes}PE")),
+            &m,
+            |b, _| b.iter(|| engine.run_layer(&input, &kernels, 1)),
+        );
     }
     group.finish();
 }

@@ -20,10 +20,16 @@ fn main() {
     ];
     let params = WinogradParams::new(4, 3).expect("valid");
     let engine = WinogradEngine::new(EngineConfig::proposed(params, 19)).expect("generates");
-    println!("Engine: {} with 19 PEs ({} multipliers), Dp = {}", params,
-             19 * params.mults_per_tile_2d(), engine.config().pipeline_depth());
-    println!("{:<14} {:>10} {:>10} {:>10} {:>12} {:>12}",
-             "layer", "cycles", "Eq.9", "PE util", "max|err|", "us @200MHz");
+    println!(
+        "Engine: {} with 19 PEs ({} multipliers), Dp = {}",
+        params,
+        19 * params.mults_per_tile_2d(),
+        engine.config().pipeline_depth()
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "layer", "cycles", "Eq.9", "PE util", "max|err|", "us @200MHz"
+    );
     for (name, hw, c, k) in layers {
         let input = Tensor4::from_fn(Shape4 { n: 1, c, h: hw, w: hw }, |_, _, _, _| {
             rng.uniform_f32(-1.0, 1.0)
@@ -39,8 +45,12 @@ fn main() {
         assert!(stats.within_abs(1e-3), "{name}: functional mismatch {stats}");
         println!(
             "{:<14} {:>10} {:>10} {:>9.1}% {:>12.2e} {:>12.1}",
-            name, report.cycles, predicted, report.pe_utilization * 100.0,
-            stats.max_abs, report.latency_seconds(200e6) * 1e6
+            name,
+            report.cycles,
+            predicted,
+            report.pe_utilization * 100.0,
+            stats.max_abs,
+            report.latency_seconds(200e6) * 1e6
         );
     }
     println!("\nAll layers: simulated cycles == Eq. 9 and outputs match direct convolution.");

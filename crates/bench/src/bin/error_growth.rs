@@ -4,13 +4,20 @@
 use wino_core::{error_growth, TransformSet, WinogradParams};
 
 fn main() {
-    println!("{:<4} {:>22} {:>14} {:>14} {:>12}", "m", "max transform entry", "max|err|", "rms err", "growth");
+    println!(
+        "{:<4} {:>22} {:>14} {:>14} {:>12}",
+        "m", "max transform entry", "max|err|", "rms err", "growth"
+    );
     let points = error_growth(3, &[2, 3, 4, 5, 6, 7, 8], 512, 2019);
     let base = points[0].stats.max_abs;
     for p in &points {
         println!(
             "{:<4} {:>22.1} {:>14.3e} {:>14.3e} {:>11.1}x",
-            p.m, p.max_transform_entry, p.stats.max_abs, p.stats.rms, p.stats.max_abs / base
+            p.m,
+            p.max_transform_entry,
+            p.stats.max_abs,
+            p.stats.rms,
+            p.stats.max_abs / base
         );
     }
     println!("\nInterpolation points used for F(6,3):");

@@ -13,7 +13,8 @@ fn main() {
         println!("{}", fig.to_table(1).to_ascii());
     }
     let fig = fig2(&wl, CostModel::ShiftFree);
-    let rows: Vec<(String, f64, f64)> = fig.x_labels
+    let rows: Vec<(String, f64, f64)> = fig
+        .x_labels
         .iter()
         .zip(fig.series[0].1.iter())
         .zip(paper::FIG2_MFLOPS.iter())

@@ -11,7 +11,8 @@ fn main() {
     println!("{}", fig.title);
     println!("{}", fig.to_table(2).to_ascii());
 
-    let rows: Vec<(String, f64, f64)> = fig.x_labels
+    let rows: Vec<(String, f64, f64)> = fig
+        .x_labels
         .iter()
         .zip(fig.series[0].1.iter())
         .zip(paper::FIG3_MULT_DECREASE.iter())
@@ -19,7 +20,7 @@ fn main() {
         .collect();
     print_comparison(
         "Fig. 3 multiplication-decrease vs paper (%) — the m=2 paper bar (56.25) is \
-         inconsistent with its own successive formula (55.56), see EXPERIMENTS.md",
+         inconsistent with its own successive formula (55.56), see DESIGN.md §8",
         &rows,
         2,
     );
@@ -29,7 +30,10 @@ fn main() {
     let inc = &fig.series[1].1;
     for (i, m) in (2..=7).enumerate() {
         let verdict = if dec[i] >= inc[i] { "favorable" } else { "unfavorable" };
-        println!("m={m}: mult saving {:.2}% vs transform increase {:.2}% -> {verdict}", dec[i], inc[i]);
+        println!(
+            "m={m}: mult saving {:.2}% vs transform increase {:.2}% -> {verdict}",
+            dec[i], inc[i]
+        );
     }
     println!("(paper Sec. III-C: favorable through m=4, unfavorable from m=5)");
 }

@@ -10,7 +10,8 @@ fn main() {
     let ours = structure_1d(params, Architecture::SharedTransform).expect("generates");
     let theirs = structure_1d(params, Architecture::PerPeTransform).expect("generates");
 
-    let mut t = TextTable::new(vec!["1-D engine F(3,3)", "ours (Fig. 4, solid)", "[3] (Fig. 4, dotted)"]);
+    let mut t =
+        TextTable::new(vec!["1-D engine F(3,3)", "ours (Fig. 4, solid)", "[3] (Fig. 4, dotted)"]);
     t.push_row(vec![
         "element-wise multipliers".to_owned(),
         ours.multipliers.to_string(),

@@ -22,7 +22,11 @@ fn main() {
             ddr3_1600_x2().name
         );
         let mut t = TextTable::new(vec![
-            "layer", "AI (ops/B)", "attainable (GOPS)", "bound", "needs (GB/s)",
+            "layer",
+            "AI (ops/B)",
+            "attainable (GOPS)",
+            "bound",
+            "needs (GB/s)",
         ]);
         for p in roofline(&wl, &point, &ddr3_1600_x2(), true) {
             t.push_row(vec![

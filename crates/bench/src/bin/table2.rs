@@ -10,8 +10,10 @@ fn main() {
     let cols = table2(&evaluator);
     println!("{}", table2_text(&cols).to_ascii());
 
-    // Paper values for the three proposed-design columns.
-    let paper: [(&str, [f64; 5], f64, f64, f64, f64); 3] = [
+    // Paper values for the three proposed-design columns:
+    // (label, group latencies, total ms, GOPS, GOPS/mult, GOPS/W).
+    type PaperColumn = (&'static str, [f64; 5], f64, f64, f64, f64);
+    let paper: [PaperColumn; 3] = [
         ("Ours 2,3", [6.25, 8.96, 14.94, 14.94, 4.48], 49.57, 619.2, 0.90, 13.03),
         ("Ours 3,3", [4.27, 6.12, 10.19, 10.19, 3.06], 33.83, 907.2, 1.29, 23.96),
         ("Ours 4,3", [3.54, 5.07, 8.45, 8.45, 2.54], 28.05, 1094.3, 1.60, 36.32),
@@ -44,7 +46,7 @@ fn main() {
         ours_m4.multipliers as f64 / podili.multipliers as f64,
     );
     println!(
-        "  power efficiency: {:.2}/{:.2} = {:.2}x vs [3]a (paper: 1.44x; see EXPERIMENTS.md on \
+        "  power efficiency: {:.2}/{:.2} = {:.2}x vs [3]a (paper: 1.44x; see DESIGN.md §8 on \
          the paper's internally inconsistent m=2 power entry)",
         ours_m2.power_efficiency,
         podili_a.power_efficiency,

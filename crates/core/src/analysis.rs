@@ -73,7 +73,13 @@ pub fn error_growth(r: usize, ms: &[usize], trials: usize, seed: u64) -> Vec<Err
 
 /// Convenience: fills a matrix with uniform values from a seeded RNG
 /// (shared by examples and benches).
-pub fn random_matrix<T: Scalar>(rows: usize, cols: usize, rng: &mut SplitMix64, lo: f32, hi: f32) -> Tensor2<T> {
+pub fn random_matrix<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    rng: &mut SplitMix64,
+    lo: f32,
+    hi: f32,
+) -> Tensor2<T> {
     Tensor2::from_fn(rows, cols, |_, _| T::from_f64(rng.uniform_f32(lo, hi) as f64))
 }
 

@@ -25,9 +25,7 @@ pub enum TileModel {
 pub fn output_tiles(shape: &ConvShape, m: usize, model: TileModel) -> f64 {
     match model {
         TileModel::Fractional => shape.out_pixels() as f64 / (m * m) as f64,
-        TileModel::Ceil => {
-            (shape.out_h().div_ceil(m) * shape.out_w().div_ceil(m)) as f64
-        }
+        TileModel::Ceil => (shape.out_h().div_ceil(m) * shape.out_w().div_ceil(m)) as f64,
     }
 }
 
@@ -50,7 +48,12 @@ pub fn spatial_ops(batch: usize, shape: &ConvShape) -> u128 {
 
 /// Element-wise–stage multiplications of `F(m×m, r×r)` (Eq. 4):
 /// `O_m = N·(HW/m²)·C·K·(m+r−1)²`.
-pub fn winograd_mults(batch: usize, shape: &ConvShape, params: WinogradParams, tiles: TileModel) -> f64 {
+pub fn winograd_mults(
+    batch: usize,
+    shape: &ConvShape,
+    params: WinogradParams,
+    tiles: TileModel,
+) -> f64 {
     batch as f64
         * output_tiles(shape, params.m(), tiles)
         * shape.c as f64
@@ -125,7 +128,13 @@ pub fn pe_count_continuous(mult_budget: usize, params: WinogradParams) -> f64 {
 
 /// Steady-state engine cycles for one layer: `N·(HW/m²)·C·K / P`
 /// (the first term of Eq. 9). `p` may be fractional to reproduce Fig. 6.
-pub fn engine_cycles(batch: usize, shape: &ConvShape, params: WinogradParams, p: f64, tiles: TileModel) -> f64 {
+pub fn engine_cycles(
+    batch: usize,
+    shape: &ConvShape,
+    params: WinogradParams,
+    p: f64,
+    tiles: TileModel,
+) -> f64 {
     let tile_count = batch as f64 * output_tiles(shape, params.m(), tiles);
     match tiles {
         TileModel::Fractional => tile_count * shape.c as f64 * shape.k as f64 / p,
@@ -217,7 +226,10 @@ mod tests {
     #[test]
     fn tile_models_agree_when_m_divides_extent() {
         let s = ConvShape::same_padded(224, 224, 8, 8, 3);
-        assert_eq!(output_tiles(&s, 2, TileModel::Fractional), output_tiles(&s, 2, TileModel::Ceil));
+        assert_eq!(
+            output_tiles(&s, 2, TileModel::Fractional),
+            output_tiles(&s, 2, TileModel::Ceil)
+        );
         // 224 % 3 != 0: ceil mode over-counts.
         assert!(output_tiles(&s, 3, TileModel::Ceil) > output_tiles(&s, 3, TileModel::Fractional));
     }

@@ -14,7 +14,7 @@
 //! CSE` in FLOPs, bracketing whatever the paper's authors actually
 //! counted.
 
-use crate::{OpCount, TransformSet, TransformOps};
+use crate::{OpCount, TransformOps, TransformSet};
 use std::collections::HashMap;
 use wino_tensor::{Ratio, Tensor2};
 
@@ -237,10 +237,7 @@ mod tests {
 
     #[test]
     fn empty_and_identity_rows_cost_nothing() {
-        let mat = Tensor2::from_rows(&[
-            &[ratio(0, 1), ratio(0, 1)],
-            &[ratio(1, 1), ratio(0, 1)],
-        ]);
+        let mat = Tensor2::from_rows(&[&[ratio(0, 1), ratio(0, 1)], &[ratio(1, 1), ratio(0, 1)]]);
         let result = cse_optimize(&mat);
         assert_eq!(result.extracted, 0);
         assert_eq!(result.ops, OpCount::default());

@@ -417,7 +417,11 @@ mod tests {
                             for u in 0..3usize {
                                 let iy = y as isize + v as isize - 1;
                                 let ix = x as isize + u as isize - 1;
-                                if iy >= 0 && ix >= 0 && (iy as usize) < is.h && (ix as usize) < is.w {
+                                if iy >= 0
+                                    && ix >= 0
+                                    && (iy as usize) < is.h
+                                    && (ix as usize) < is.w
+                                {
                                     acc += input.at(0, c, iy as usize, ix as usize)
                                         * kernels.at(k, c, v, u);
                                 }

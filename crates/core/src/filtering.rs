@@ -147,7 +147,12 @@ impl<T: Scalar> WinogradAlgorithm<T> {
     ///
     /// Panics if channel counts disagree, kernels are not `r × r`, or the
     /// padded input is smaller than the kernel.
-    pub fn convolve_layer(&self, input: &Tensor4<T>, kernels: &Tensor4<T>, pad: usize) -> Tensor4<T> {
+    pub fn convolve_layer(
+        &self,
+        input: &Tensor4<T>,
+        kernels: &Tensor4<T>,
+        pad: usize,
+    ) -> Tensor4<T> {
         let is = input.shape();
         let ks = kernels.shape();
         let m = self.params.m();
@@ -181,9 +186,7 @@ impl<T: Scalar> WinogradAlgorithm<T> {
                         let u = self.transform_data(&tile);
                         for (k, acc_k) in acc.iter_mut().enumerate() {
                             let prod = u.hadamard(&v_bank[k][c]);
-                            for (dst, src) in
-                                acc_k.as_mut_slice().iter_mut().zip(prod.as_slice())
-                            {
+                            for (dst, src) in acc_k.as_mut_slice().iter_mut().zip(prod.as_slice()) {
                                 *dst += *src;
                             }
                         }
@@ -223,11 +226,7 @@ impl WinogradAlgorithm<Ratio> {
 pub fn direct_correlate_1d<T: Scalar>(data: &[T], taps: &[T]) -> Vec<T> {
     let outputs = data.len() + 1 - taps.len();
     (0..outputs)
-        .map(|j| {
-            taps.iter()
-                .enumerate()
-                .fold(T::zero(), |acc, (i, &g)| acc + data[j + i] * g)
-        })
+        .map(|j| taps.iter().enumerate().fold(T::zero(), |acc, (i, &g)| acc + data[j + i] * g))
         .collect()
 }
 
@@ -247,7 +246,11 @@ mod tests {
 
     /// Naive spatial reference for layers (independent of the baselines
     /// crate to avoid dependency cycles in tests).
-    fn spatial_reference<T: Scalar>(input: &Tensor4<T>, kernels: &Tensor4<T>, pad: usize) -> Tensor4<T> {
+    fn spatial_reference<T: Scalar>(
+        input: &Tensor4<T>,
+        kernels: &Tensor4<T>,
+        pad: usize,
+    ) -> Tensor4<T> {
         let is = input.shape();
         let ks = kernels.shape();
         let out_h = is.h + 2 * pad - ks.h + 1;
@@ -260,7 +263,8 @@ mod tests {
                         let iy = y as isize + v as isize - pad as isize;
                         let ix = x as isize + u as isize - pad as isize;
                         if iy >= 0 && ix >= 0 && (iy as usize) < is.h && (ix as usize) < is.w {
-                            acc += input.at(n, c, iy as usize, ix as usize) * kernels.at(k, c, v, u);
+                            acc +=
+                                input.at(n, c, iy as usize, ix as usize) * kernels.at(k, c, v, u);
                         }
                     }
                 }
@@ -276,10 +280,12 @@ mod tests {
             for m in 2..=6 {
                 let algo = algo_exact(m, r);
                 let n = m + r - 1;
-                let data: Vec<Ratio> =
-                    (0..n).map(|_| ratio(rng.below(19) as i128 - 9, 1 + rng.below(4) as i128)).collect();
-                let taps: Vec<Ratio> =
-                    (0..r).map(|_| ratio(rng.below(19) as i128 - 9, 1 + rng.below(4) as i128)).collect();
+                let data: Vec<Ratio> = (0..n)
+                    .map(|_| ratio(rng.below(19) as i128 - 9, 1 + rng.below(4) as i128))
+                    .collect();
+                let taps: Vec<Ratio> = (0..r)
+                    .map(|_| ratio(rng.below(19) as i128 - 9, 1 + rng.below(4) as i128))
+                    .collect();
                 assert_eq!(
                     algo.convolve_1d(&data, &taps),
                     direct_correlate_1d(&data, &taps),
@@ -347,7 +353,10 @@ mod tests {
         let kernels = Tensor4::from_fn(Shape4 { n: 2, c: 2, h: 3, w: 3 }, |_, _, _, _| {
             ratio(rng.below(9) as i128 - 4, 1)
         });
-        assert_eq!(algo.convolve_layer(&input, &kernels, 0), spatial_reference(&input, &kernels, 0));
+        assert_eq!(
+            algo.convolve_layer(&input, &kernels, 0),
+            spatial_reference(&input, &kernels, 0)
+        );
     }
 
     #[test]

@@ -45,12 +45,12 @@ mod transform;
 mod workload;
 
 pub use analysis::{error_growth, random_matrix, ErrorGrowthPoint};
-pub use cse::{cse_optimize, transform_ops_2d_cse, CseResult};
 pub use complexity::{
     engine_cycles, implementation_overhead, latency_seconds, output_tiles, overhead_ratio_per_pe,
     overhead_ratio_shared, pe_count, pe_count_continuous, spatial_mults, spatial_ops,
     throughput_gops, transform_complexity, winograd_mults, TileModel, TransformBreakdown,
 };
+pub use cse::{cse_optimize, transform_ops_2d_cse, CseResult};
 pub use fast::{
     f23_data_transform, f23_inverse_transform, f23_kernel_transform, f43_data_transform,
     f43_inverse_transform, f43_kernel_transform, fast_convolve_layer, FastKernel,

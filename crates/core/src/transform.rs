@@ -188,7 +188,10 @@ impl TransformSet {
     /// [`TransformError::DuplicatePoints`] on bad inputs, and
     /// [`TransformError::IdentityViolation`] if the construction fails the
     /// built-in exactness proof (which cannot happen for distinct points).
-    pub fn with_points(params: WinogradParams, points: &[Ratio]) -> Result<TransformSet, TransformError> {
+    pub fn with_points(
+        params: WinogradParams,
+        points: &[Ratio],
+    ) -> Result<TransformSet, TransformError> {
         let m = params.m();
         let r = params.r();
         let n = params.input_tile();
@@ -218,12 +221,8 @@ impl TransformSet {
 
         for (i, &a) in points.iter().enumerate() {
             // N_i = prod_{j != i} (a_i - a_j)
-            let n_i: Ratio = points
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, &b)| a - b)
-                .product();
+            let n_i: Ratio =
+                points.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &b)| a - b).product();
             // G row: powers of a_i scaled by 1/N_i.
             let mut pow = Ratio::ONE;
             for s in 0..r {
@@ -493,7 +492,12 @@ mod tests {
     /// Two algorithms are equivalent when each multiplier's (G row, B^T
     /// row) pair matches up to a common sign, with the sign of the
     /// infinity multiplier carried by the A^T column instead.
-    fn assert_equivalent(ours: &TransformSet, at: &Tensor2<Ratio>, g: &Tensor2<Ratio>, bt: &Tensor2<Ratio>) {
+    fn assert_equivalent(
+        ours: &TransformSet,
+        at: &Tensor2<Ratio>,
+        g: &Tensor2<Ratio>,
+        bt: &Tensor2<Ratio>,
+    ) {
         let n = ours.params().input_tile();
         let m = ours.params().m();
         let r = ours.params().r();

@@ -237,7 +237,9 @@ mod tests {
         let p = WinogradParams::new(2, 3).unwrap();
         let groups = wl.group_latency_seconds(p, 4.0, 10, 100e6, TileModel::Fractional);
         let total: f64 = groups.iter().map(|(_, s)| s).sum();
-        assert!((total - wl.latency_seconds(p, 4.0, 10, 100e6, TileModel::Fractional)).abs() < 1e-15);
+        assert!(
+            (total - wl.latency_seconds(p, 4.0, 10, 100e6, TileModel::Fractional)).abs() < 1e-15
+        );
         assert!(total > 0.0);
     }
 

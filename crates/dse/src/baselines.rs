@@ -124,7 +124,12 @@ mod tests {
         for rec in [qiu_fpga16(), podili_asap17(), podili_normalized()] {
             // Conv rows sum to the overall latency.
             let sum: f64 = rec.conv_ms.iter().sum();
-            assert!((sum - rec.overall_ms).abs() < 0.15, "{}: {sum} vs {}", rec.label, rec.overall_ms);
+            assert!(
+                (sum - rec.overall_ms).abs() < 0.15,
+                "{}: {sum} vs {}",
+                rec.label,
+                rec.overall_ms
+            );
             // Throughput x latency recovers ~30.69 GOP of work.
             let gop = rec.throughput_gops * rec.overall_ms / 1e3;
             assert!((gop - 30.69).abs() < 0.03, "{}: {gop}", rec.label);

@@ -5,9 +5,7 @@
 //! per-figure binaries in `wino-bench` do exactly that.
 
 use crate::{fmt_f, TextTable};
-use wino_core::{
-    transform_ops_for, CostModel, TileModel, TransformOps, Workload, WinogradParams,
-};
+use wino_core::{transform_ops_for, CostModel, TileModel, TransformOps, WinogradParams, Workload};
 
 /// A figure as labelled data series over a shared x-axis.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +52,7 @@ pub mod paper {
 
     /// Fig. 3: percentage decrease in multiplication complexity, m = 2…7.
     /// (The m = 2 bar prints 56.25 in the paper; the successive formula
-    /// that generates every other bar yields 55.56 — see EXPERIMENTS.md.)
+    /// that generates every other bar yields 55.56 — see DESIGN.md §8.)
     pub const FIG3_MULT_DECREASE: [f64; 6] = [56.25, 30.56, 19.00, 12.89, 9.30, 7.02];
 
     /// Fig. 3: percentage increase in transform complexity, m = 2…7.
@@ -126,11 +124,11 @@ pub fn fig2(workload: &Workload, cost_model: CostModel) -> SeriesFigure {
 pub fn fig3(workload: &Workload, cost_model: CostModel) -> SeriesFigure {
     let mults: Vec<f64> = (1..=7)
         .map(|m| {
-            workload.winograd_mults(WinogradParams::new(m, 3).expect("valid m"), TileModel::Fractional)
+            workload
+                .winograd_mults(WinogradParams::new(m, 3).expect("valid m"), TileModel::Fractional)
         })
         .collect();
-    let mult_decrease: Vec<f64> =
-        mults.windows(2).map(|w| 100.0 * (1.0 - w[1] / w[0])).collect();
+    let mult_decrease: Vec<f64> = mults.windows(2).map(|w| 100.0 * (1.0 - w[1] / w[0])).collect();
 
     let transforms: Vec<f64> = transform_ops_series(cost_model)
         .into_iter()
@@ -140,8 +138,7 @@ pub fn fig3(workload: &Workload, cost_model: CostModel) -> SeriesFigure {
         })
         .collect();
     let mut transform_increase = vec![0.0];
-    transform_increase
-        .extend(transforms.windows(2).map(|w| 100.0 * (w[1] / w[0] - 1.0)));
+    transform_increase.extend(transforms.windows(2).map(|w| 100.0 * (w[1] / w[0] - 1.0)));
 
     SeriesFigure {
         title: format!("Fig. 3: percentage variations of complexities ({cost_model} cost model)"),
@@ -177,7 +174,8 @@ pub fn fig6(workload: &Workload, freq_hz: f64) -> SeriesFigure {
             } else {
                 wino_core::pe_count_continuous(budget, params)
             };
-            let latency: f64 = workload.latency_seconds(params, p, 1, freq_hz, TileModel::Fractional);
+            let latency: f64 =
+                workload.latency_seconds(params, p, 1, freq_hz, TileModel::Fractional);
             values.push(gop / latency);
         }
         series.push((format!("{budget} multipliers"), values));
@@ -185,7 +183,11 @@ pub fn fig6(workload: &Workload, freq_hz: f64) -> SeriesFigure {
     let mut x_labels = vec!["Spatial".to_owned()];
     x_labels.extend((2..=7).map(f_label));
     // Transpose to match the x-axis (series per budget, x per method).
-    SeriesFigure { title: "Fig. 6: throughput (GOPS) vs convolution method".into(), x_labels, series }
+    SeriesFigure {
+        title: "Fig. 6: throughput (GOPS) vs convolution method".into(),
+        x_labels,
+        series,
+    }
 }
 
 #[cfg(test)]

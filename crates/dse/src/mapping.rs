@@ -9,7 +9,7 @@
 
 use crate::DesignPoint;
 use std::fmt;
-use wino_core::{engine_cycles, spatial_ops, Layer, TileModel, Workload, WinogradParams};
+use wino_core::{engine_cycles, spatial_ops, Layer, TileModel, WinogradParams, Workload};
 
 /// Where one layer executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,10 +129,9 @@ pub fn map_workload(workload: &Workload, point: &DesignPoint, tiles: TileModel) 
             let spatial = WinogradParams::new(1, layer.shape.r)
                 .expect("fallback kernel within supported size");
             let p = (mults / (layer.shape.r * layer.shape.r)).max(1) as f64;
-            let cycles =
-                engine_cycles(workload.batch(), &layer.shape, spatial, p, tiles)
-                    + point.pipeline_depth as f64
-                    - 1.0;
+            let cycles = engine_cycles(workload.batch(), &layer.shape, spatial, p, tiles)
+                + point.pipeline_depth as f64
+                - 1.0;
             let latency = cycles * tc;
             fall_s += latency;
             layers.push(MappedLayer {

@@ -2,9 +2,7 @@
 //! space.
 
 use std::fmt;
-use wino_core::{
-    pe_count, TileModel, TransformOps, Workload, WinogradParams,
-};
+use wino_core::{pe_count, TileModel, TransformOps, WinogradParams, Workload};
 use wino_fpga::{Architecture, EngineResources, FpgaDevice, PowerModel, ResourceUsage};
 
 /// One candidate accelerator configuration.
@@ -44,6 +42,37 @@ impl DesignPoint {
     pub fn multipliers(&self) -> usize {
         self.pe_count * self.params.mults_per_tile_2d()
     }
+
+    /// A hashable identity for this point, suitable as a memoization key
+    /// for evaluation caches (the clock is stored as raw `f64` bits).
+    pub fn key(&self) -> DesignKey {
+        DesignKey {
+            m: self.params.m(),
+            r: self.params.r(),
+            arch: self.arch,
+            pe_count: self.pe_count,
+            freq_bits: self.freq_hz.to_bits(),
+            pipeline_depth: self.pipeline_depth,
+        }
+    }
+}
+
+/// Hashable identity of a [`DesignPoint`] — the key under which
+/// [`CachedEvaluator`] (and any external cache) memoizes evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignKey {
+    /// Output tile size `m`.
+    pub m: usize,
+    /// Kernel size `r`.
+    pub r: usize,
+    /// Data-transform placement.
+    pub arch: Architecture,
+    /// Parallel PEs.
+    pub pe_count: usize,
+    /// Clock frequency as raw `f64` bits.
+    pub freq_bits: u64,
+    /// Pipeline depth `D_p`.
+    pub pipeline_depth: usize,
 }
 
 impl fmt::Display for DesignPoint {
@@ -127,6 +156,17 @@ impl Evaluator {
         &self.device
     }
 
+    /// The power model in use — exposed so external search engines can
+    /// evaluate composite designs under the same calibration.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The tile-accounting mode in use.
+    pub fn tile_model(&self) -> TileModel {
+        self.tiles
+    }
+
     /// Evaluates one design point.
     ///
     /// # Panics
@@ -171,6 +211,56 @@ impl Evaluator {
     pub fn transform_ops(&self, params: WinogradParams) -> TransformOps {
         wino_core::transform_ops_for(params, wino_core::CostModel::ShiftFree)
     }
+
+    /// Wraps this evaluator in a [`DesignKey`]-keyed memoizing cache.
+    pub fn cached(self) -> CachedEvaluator {
+        CachedEvaluator {
+            inner: self,
+            memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+}
+
+/// A thread-safe memoizing wrapper over [`Evaluator::evaluate`], keyed
+/// by [`DesignKey`].
+///
+/// Evaluation regenerates transform matrices and resource estimates on
+/// every call; search engines revisit the same design points
+/// constantly, so memoizing by [`DesignPoint::key`] makes revisits
+/// free. `wino-search`'s `HomogeneousSpace` evaluates through this
+/// wrapper.
+#[derive(Debug)]
+pub struct CachedEvaluator {
+    inner: Evaluator,
+    memo: std::sync::Mutex<std::collections::HashMap<DesignKey, Metrics>>,
+}
+
+impl CachedEvaluator {
+    /// The wrapped evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.inner
+    }
+
+    /// Evaluates `point`, returning the memoized result when available.
+    pub fn evaluate(&self, point: &DesignPoint) -> Metrics {
+        let key = point.key();
+        if let Some(hit) = self.memo.lock().expect("memo lock").get(&key) {
+            return hit.clone();
+        }
+        let metrics = self.inner.evaluate(point);
+        self.memo.lock().expect("memo lock").insert(key, metrics.clone());
+        metrics
+    }
+
+    /// Number of distinct design points evaluated so far.
+    pub fn len(&self) -> usize {
+        self.memo.lock().expect("memo lock").len()
+    }
+
+    /// `true` when nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -202,7 +292,11 @@ mod tests {
         for ((name, ms), &paper) in metrics.group_latency_ms.iter().zip(&expect) {
             assert!((ms - paper).abs() < 0.01, "{name}: got {ms:.3}, paper {paper}");
         }
-        assert!((metrics.total_latency_ms - 28.05).abs() < 0.03, "got {}", metrics.total_latency_ms);
+        assert!(
+            (metrics.total_latency_ms - 28.05).abs() < 0.03,
+            "got {}",
+            metrics.total_latency_ms
+        );
         assert!((metrics.throughput_gops - 1094.3).abs() < 2.0, "got {}", metrics.throughput_gops);
         assert!((metrics.mult_efficiency - 1.60).abs() < 0.01);
         assert!(metrics.fits_device);
@@ -269,8 +363,22 @@ mod tests {
         let m = ev.evaluate(&point(2, 43));
         assert!((m.power_efficiency - m.throughput_gops / m.power_w).abs() < 1e-9);
         // Paper-calibrated power for this design is ~13 W (Table II prints
-        // 13.03; its own efficiency row implies 14.98 — see EXPERIMENTS.md).
+        // 13.03; its own efficiency row implies 14.98 — see DESIGN.md §8).
         assert!((12.0..16.0).contains(&m.power_w), "got {}", m.power_w);
+    }
+
+    #[test]
+    fn cached_evaluator_memoizes_by_design_key() {
+        let cached = paper_evaluator().cached();
+        assert!(cached.is_empty());
+        let a = cached.evaluate(&point(4, 19));
+        assert_eq!(cached.len(), 1);
+        let b = cached.evaluate(&point(4, 19));
+        assert_eq!(cached.len(), 1, "identical points share one entry");
+        assert_eq!(a, b);
+        assert_eq!(a, cached.evaluator().evaluate(&point(4, 19)), "cache is transparent");
+        cached.evaluate(&point(2, 43));
+        assert_eq!(cached.len(), 2);
     }
 
     #[test]

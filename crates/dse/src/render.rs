@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn fmt_f_digits() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_f(100.0, 1), "100.0");
     }
 }

@@ -70,8 +70,7 @@ pub fn layer_traffic(
     let bytes = 4.0; // fp32 datapath
     let n_tile = point.params.input_tile();
     let m = point.params.m();
-    let tiles =
-        (shape.out_h().div_ceil(m) * shape.out_w().div_ceil(m)) as f64 * batch as f64;
+    let tiles = (shape.out_h().div_ceil(m) * shape.out_w().div_ceil(m)) as f64 * batch as f64;
     let input_bytes = if line_buffered {
         (batch * shape.h * shape.w * shape.c) as f64 * bytes
     } else {
@@ -80,15 +79,8 @@ pub fn layer_traffic(
     // The V buffers hold transformed kernels: K*C tiles of n^2 words per
     // image pass (kernel groups reload once per image).
     let kernel_bytes = (batch * shape.k * shape.c * n_tile * n_tile) as f64 * bytes;
-    let output_bytes = (batch as f64)
-        * (shape.out_h() * shape.out_w() * shape.k) as f64
-        * bytes;
-    LayerTraffic {
-        input_bytes,
-        kernel_bytes,
-        output_bytes,
-        ops: spatial_ops(batch, shape) as f64,
-    }
+    let output_bytes = (batch as f64) * (shape.out_h() * shape.out_w() * shape.k) as f64 * bytes;
+    LayerTraffic { input_bytes, kernel_bytes, output_bytes, ops: spatial_ops(batch, shape) as f64 }
 }
 
 /// Roofline verdict for one layer on one design point.

@@ -47,8 +47,7 @@ pub fn table1(device: &FpgaDevice) -> Table1 {
 impl Table1 {
     /// Renders the paper's Table I layout.
     pub fn to_text(&self) -> TextTable {
-        let mut t =
-            TextTable::new(vec!["Design", "Registers", "LUTs", "DSPs", "Multipliers"]);
+        let mut t = TextTable::new(vec!["Design", "Registers", "LUTs", "DSPs", "Multipliers"]);
         for (label, u) in [
             ("Design based on [3]", &self.reference),
             ("Our proposed design", &self.proposed),
@@ -162,7 +161,10 @@ pub fn table2_text(columns: &[Table2Column]) -> TextTable {
         row.extend(values);
         t.push_row(row);
     };
-    push("m,r", columns.iter().map(|c| c.m_r.map_or("-".into(), |(m, r)| format!("{m},{r}"))).collect());
+    push(
+        "m,r",
+        columns.iter().map(|c| c.m_r.map_or("-".into(), |(m, r)| format!("{m},{r}"))).collect(),
+    );
     push("Multipliers", columns.iter().map(|c| c.multipliers.to_string()).collect());
     push("PEs", columns.iter().map(|c| c.pe_count.map_or("-".into(), |p| p.to_string())).collect());
     push("Precision (bits)", columns.iter().map(|c| c.precision_bits.to_string()).collect());

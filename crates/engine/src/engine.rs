@@ -58,7 +58,10 @@ impl EngineConfig {
     /// The [3]-style baseline: identical timing (the paper notes moving
     /// the data transform does not change latency), different structure.
     pub fn reference(params: WinogradParams, pe_count: usize) -> EngineConfig {
-        EngineConfig { arch: Architecture::PerPeTransform, ..EngineConfig::proposed(params, pe_count) }
+        EngineConfig {
+            arch: Architecture::PerPeTransform,
+            ..EngineConfig::proposed(params, pe_count)
+        }
     }
 
     /// Total pipeline depth `D_p` of Eq. 9: the three register chains plus
@@ -260,12 +263,10 @@ impl WinogradEngine {
         // Precomputed filter transforms (Sec. IV-B: V "can be precomputed
         // even before running a forward pass of the CNN").
         let v_bank = self.algo.transform_kernel_bank(kernels);
-        let planes: Vec<Vec<Tensor2<f32>>> = (0..is.n)
-            .map(|img| (0..is.c).map(|c| input.plane(img, c)).collect())
-            .collect();
-        let mut out_planes: Vec<Vec<Tensor2<f32>>> = (0..is.n)
-            .map(|_| (0..ks.n).map(|_| Tensor2::zeros(out_h, out_w)).collect())
-            .collect();
+        let planes: Vec<Vec<Tensor2<f32>>> =
+            (0..is.n).map(|img| (0..is.c).map(|c| input.plane(img, c)).collect()).collect();
+        let mut out_planes: Vec<Vec<Tensor2<f32>>> =
+            (0..is.n).map(|_| (0..ks.n).map(|_| Tensor2::zeros(out_h, out_w)).collect()).collect();
 
         let (schedule, kernel_bytes_loaded, required_bandwidth) = self.schedule(is, ks, tiles);
 
@@ -273,8 +274,10 @@ impl WinogradEngine {
         let mut pe: Pipeline<PeItem> =
             Pipeline::new(self.config.mult_latency + self.config.inv_latency);
         // Post-inverse channel accumulators (Fig. 7), keyed by
-        // (image, kernel group, tile).
-        let mut acc: HashMap<(usize, usize, usize), (usize, Vec<Tensor2<f32>>)> = HashMap::new();
+        // (image, kernel group, tile); each entry counts channels seen
+        // and holds one partial output tile per kernel of the group.
+        type AccSlot = (usize, Vec<Tensor2<f32>>);
+        let mut acc: HashMap<(usize, usize, usize), AccSlot> = HashMap::new();
 
         let mut cycles: u64 = 0;
         let mut issues: u64 = 0;
@@ -294,7 +297,14 @@ impl WinogradEngine {
                     let top = (ty * m) as isize - pad as isize;
                     let left = (tx * m) as isize - pad as isize;
                     let d = planes[img][channel].padded_tile(top, left, n);
-                    Some(DtItem { img, k_lo, active, tile, channel, u: self.algo.transform_data(&d) })
+                    Some(DtItem {
+                        img,
+                        k_lo,
+                        active,
+                        tile,
+                        channel,
+                        u: self.algo.transform_data(&d),
+                    })
                 }
                 Some(FeedEvent::Bubble) => {
                     stall_cycles += 1;
@@ -319,15 +329,21 @@ impl WinogradEngine {
                         self.algo.inverse_transform(&prod)
                     })
                     .collect();
-                PeItem { img: item.img, k_lo: item.k_lo, tile: item.tile, channel: item.channel, ys }
+                PeItem {
+                    img: item.img,
+                    k_lo: item.k_lo,
+                    tile: item.tile,
+                    channel: item.channel,
+                    ys,
+                }
             });
 
             // 3. PE array -> accumulation buffers -> output registers.
             if let Some(item) = pe.tick(pe_in) {
                 let key = (item.img, item.k_lo, item.tile);
-                let slot = acc
-                    .entry(key)
-                    .or_insert_with(|| (0, item.ys.iter().map(|y| Tensor2::zeros(y.rows(), y.cols())).collect()));
+                let slot = acc.entry(key).or_insert_with(|| {
+                    (0, item.ys.iter().map(|y| Tensor2::zeros(y.rows(), y.cols())).collect())
+                });
                 for (sum, y) in slot.1.iter_mut().zip(&item.ys) {
                     for (dst, src) in sum.as_mut_slice().iter_mut().zip(y.as_slice()) {
                         *dst += *src;
@@ -387,9 +403,11 @@ mod tests {
         w: usize,
         k: usize,
     ) -> (Tensor4<f32>, Tensor4<f32>) {
-        let input = Tensor4::from_fn(Shape4 { n, c, h, w }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
-        let kernels =
-            Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+        let input =
+            Tensor4::from_fn(Shape4 { n, c, h, w }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
         (input, kernels)
     }
 

@@ -6,7 +6,9 @@
 //! as `n` nested 1-D engines plus a second-dimension inverse transform.
 //! These functions expose the exact operator counts of both.
 
-use wino_core::{matrix_apply_ops, CostModel, OpCount, TransformError, TransformSet, WinogradParams};
+use wino_core::{
+    matrix_apply_ops, CostModel, OpCount, TransformError, TransformSet, WinogradParams,
+};
 use wino_fpga::Architecture;
 
 /// Operator inventory of one 1-D Winograd convolution engine (Fig. 4).
@@ -47,7 +49,10 @@ pub struct PeStructure {
 /// # Errors
 ///
 /// Propagates transform-generation failures.
-pub fn structure_1d(params: WinogradParams, arch: Architecture) -> Result<Structure1d, TransformError> {
+pub fn structure_1d(
+    params: WinogradParams,
+    arch: Architecture,
+) -> Result<Structure1d, TransformError> {
     let set = TransformSet::generate(params)?;
     let inverse_ops = matrix_apply_ops(set.at(), CostModel::ShiftFree);
     let data_ops = matrix_apply_ops(set.bt(), CostModel::ShiftFree);

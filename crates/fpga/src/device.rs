@@ -110,10 +110,8 @@ mod tests {
 
     #[test]
     fn catalog_devices_are_distinct() {
-        let names: Vec<&str> = [virtex7_485t(), stratix_v_gt(), zynq_7045()]
-            .iter()
-            .map(|d| d.name)
-            .collect();
+        let names: Vec<&str> =
+            [virtex7_485t(), stratix_v_gt(), zynq_7045()].iter().map(|d| d.name).collect();
         assert_eq!(names.len(), 3);
         assert!(names.windows(2).all(|w| w[0] != w[1]));
     }

@@ -89,7 +89,12 @@ impl PowerModel {
     }
 
     /// Power efficiency in GOPS/W (the paper's Table II metric).
-    pub fn power_efficiency(&self, throughput_gops: f64, usage: &ResourceUsage, freq_hz: f64) -> f64 {
+    pub fn power_efficiency(
+        &self,
+        throughput_gops: f64,
+        usage: &ResourceUsage,
+        freq_hz: f64,
+    ) -> f64 {
         throughput_gops / self.power_w(usage, freq_hz)
     }
 }
@@ -174,12 +179,7 @@ mod tests {
 
     #[test]
     fn linear_model_arithmetic() {
-        let model = PowerModel::Linear {
-            static_w: 1.0,
-            e_lut: 1e-12,
-            e_reg: 5e-13,
-            e_dsp: 1e-11,
-        };
+        let model = PowerModel::Linear { static_w: 1.0, e_lut: 1e-12, e_reg: 5e-13, e_dsp: 1e-11 };
         let u = ResourceUsage { luts: 1000, registers: 2000, dsps: 100, multipliers: 25 };
         let p = model.power_w(&u, 1e8);
         // 1.0 + 1e8*(1e-9 + 1e-9 + 1e-9) = 1.3

@@ -138,11 +138,7 @@ impl EngineResources {
         // (Sec. IV-B), so the shift-free cost model is the right basis.
         let data_1d = matrix_apply_ops(set.bt(), CostModel::ShiftFree).flops();
         let inverse_1d = matrix_apply_ops(set.at(), CostModel::ShiftFree).flops();
-        EngineResources {
-            params,
-            data_ops: 2 * n * data_1d,
-            inverse_ops: (n + m) * inverse_1d,
-        }
+        EngineResources { params, data_ops: 2 * n * data_1d, inverse_ops: (n + m) * inverse_1d }
     }
 
     /// The algorithm parameters.
@@ -222,7 +218,11 @@ mod tests {
         assert_eq!(est.inverse_transform_ops(), 140, "(6+4)*14 shift-free inverse ops");
         assert_eq!(est.data_transform_luts(), 6912);
         assert_eq!(est.pe_luts(), 5312, "paper: ~5312 LUTs per PE");
-        assert_eq!(est.pe_luts() + est.data_transform_luts(), 12224, "paper: ~12224 LUTs per [3]-style PE");
+        assert_eq!(
+            est.pe_luts() + est.data_transform_luts(),
+            12224,
+            "paper: ~12224 LUTs per [3]-style PE"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! conv groups — the "Conv1…Conv5" rows of Table II and the bars of
 //! Fig. 1). [`alexnet`] and [`resnet18`] are included to exercise the
 //! design space beyond the paper: mixed kernel sizes and strided layers
-//! that force a Winograd engine into its spatial fallback.
+//! that force a Winograd engine into its spatial fallback. [`tiny_cnn`]
+//! is a four-layer synthetic network whose heterogeneous per-layer
+//! design space is small enough for exhaustive search.
 //!
 //! ```
 //! use wino_models::vgg16d;
@@ -50,16 +52,26 @@ pub fn vgg16d(batch: usize) -> Workload {
     wl
 }
 
+/// A four-layer synthetic CNN small enough for exhaustive per-layer
+/// design space exploration, with one strided layer to exercise the
+/// spatial fallback. Used by the `wino-search` tests and benches, where
+/// VGG16-D's 13 layers make heterogeneous spaces too large to
+/// enumerate.
+pub fn tiny_cnn(batch: usize) -> Workload {
+    let mut wl = Workload::new("TinyCNN", batch);
+    wl.push("conv1", "Conv1", ConvShape::same_padded(32, 32, 3, 16, 3));
+    wl.push("conv2", "Conv2", ConvShape { h: 32, w: 32, c: 16, k: 32, r: 3, stride: 2, pad: 1 });
+    wl.push("conv3", "Conv3", ConvShape::same_padded(16, 16, 32, 32, 3));
+    wl.push("conv4", "Conv4", ConvShape::same_padded(16, 16, 32, 64, 3));
+    wl
+}
+
 /// AlexNet's five convolutional layers (Krizhevsky et al.) — mixed kernel
 /// sizes (11/5/3) and a strided first layer, beyond the paper's all-3×3
 /// evaluation.
 pub fn alexnet(batch: usize) -> Workload {
     let mut wl = Workload::new("AlexNet", batch);
-    wl.push(
-        "conv1",
-        "Conv1",
-        ConvShape { h: 227, w: 227, c: 3, k: 96, r: 11, stride: 4, pad: 0 },
-    );
+    wl.push("conv1", "Conv1", ConvShape { h: 227, w: 227, c: 3, k: 96, r: 11, stride: 4, pad: 0 });
     wl.push("conv2", "Conv2", ConvShape { h: 27, w: 27, c: 96, k: 256, r: 5, stride: 1, pad: 2 });
     wl.push("conv3", "Conv3", ConvShape::same_padded(13, 13, 256, 384, 3));
     wl.push("conv4", "Conv4", ConvShape::same_padded(13, 13, 384, 384, 3));
@@ -130,10 +142,7 @@ mod tests {
         let expect = [1.936e9, 2.775e9, 4.624e9, 4.624e9, 1.387e9];
         assert_eq!(bars.len(), 5);
         for ((name, value), &paper) in bars.iter().zip(&expect) {
-            assert!(
-                (value - paper).abs() / paper < 0.001,
-                "{name}: got {value}, paper {paper}"
-            );
+            assert!((value - paper).abs() / paper < 0.001, "{name}: got {value}, paper {paper}");
         }
     }
 
@@ -177,6 +186,15 @@ mod tests {
     #[test]
     fn batch_scales_vgg_linearly() {
         assert_eq!(vgg16d(4).spatial_ops(), 4 * vgg16d(1).spatial_ops());
+    }
+
+    #[test]
+    fn tiny_cnn_structure() {
+        let wl = tiny_cnn(1);
+        assert_eq!(wl.layers().len(), 4);
+        let eligible = wl.layers().iter().filter(|l| l.shape.winograd_compatible()).count();
+        assert_eq!(eligible, 3, "conv2 is strided and must fall back");
+        assert!(wl.spatial_gop() < 0.2, "small enough for exhaustive DSE");
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! A shared, thread-safe memoizing evaluation cache.
+//!
+//! Design evaluation (transform-aware resource estimation + the Eq. 4–10
+//! analytical models) is the hot path of every strategy, and
+//! metaheuristics revisit points constantly — a hill climb probes the
+//! same neighbors from both sides, a genetic population converges onto
+//! few genotypes. Memoizing by genome makes revisits free and lets all
+//! strategies in a comparison share one pool of evaluated designs.
+
+use crate::{Evaluation, Genome, SearchSpace};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards; a power of two so the shard
+/// index is a mask of the genome hash.
+const SHARDS: usize = 16;
+
+/// Memoizing wrapper around [`SearchSpace::evaluate`], shared by all
+/// strategies of a run (and safe to use from the exhaustive strategy's
+/// worker threads). The map is sharded across [`SHARDS`] independent
+/// locks by genome hash, so parallel workers rarely contend.
+///
+/// A cache belongs to **one** space: entries are keyed by genome, and
+/// the same genome means different designs in different spaces.
+/// Dimension counts are checked (mismatched spaces panic), but two
+/// same-shaped spaces cannot be told apart — use one cache per space.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: [Mutex<HashMap<Genome, Evaluation>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Dimension count of the space this cache serves; `u64::MAX` until
+    /// the first lookup pins it.
+    dims: AtomicU64,
+}
+
+/// FNV-1a over the genome, for shard selection.
+fn shard_of(genome: &[usize]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &g in genome {
+        h ^= g as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
+impl Default for EvalCache {
+    fn default() -> EvalCache {
+        EvalCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dims: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Evaluates `genome` on `space`, returning the memoized result when
+    /// available.
+    ///
+    /// The shard lock is not held during evaluation, so concurrent
+    /// callers may race to evaluate the same genome; both compute the
+    /// same value and one insert wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `space` has a different dimension count than the
+    /// space this cache first served — a cache must not be reused
+    /// across spaces.
+    pub fn evaluate(&self, space: &dyn SearchSpace, genome: &[usize]) -> Evaluation {
+        let dims = space.dims() as u64;
+        if let Err(bound) =
+            self.dims.compare_exchange(u64::MAX, dims, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            assert_eq!(
+                bound, dims,
+                "EvalCache reused across spaces: bound to {bound} dims, got {dims}"
+            );
+        }
+        let shard = &self.shards[shard_of(genome)];
+        if let Some(hit) = shard.lock().expect("cache lock").get(genome) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        let evaluation = space.evaluate(genome);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().expect("cache lock").insert(genome.to_vec(), evaluation);
+        evaluation
+    }
+
+    /// Lookups answered from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran a fresh evaluation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct designs evaluated.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache lock").len()).sum()
+    }
+
+    /// `true` when nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A space that counts real evaluations.
+    struct Counting {
+        calls: AtomicUsize,
+    }
+
+    impl SearchSpace for Counting {
+        fn dims(&self) -> usize {
+            2
+        }
+        fn cardinality(&self, _dim: usize) -> usize {
+            4
+        }
+        fn evaluate(&self, genome: &[usize]) -> Evaluation {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            Evaluation {
+                throughput_gops: genome.iter().sum::<usize>() as f64,
+                power_efficiency: 1.0,
+                latency_ms: 1.0,
+                power_w: 1.0,
+                headroom: 0.5,
+                resources: Default::default(),
+                feasible: true,
+            }
+        }
+        fn describe(&self, genome: &[usize]) -> String {
+            format!("{genome:?}")
+        }
+    }
+
+    #[test]
+    fn memoizes_repeat_lookups() {
+        let space = Counting { calls: AtomicUsize::new(0) };
+        let cache = EvalCache::new();
+        let a = cache.evaluate(&space, &[1, 2]);
+        let b = cache.evaluate(&space, &[1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(space.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        cache.evaluate(&space, &[2, 1]);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "EvalCache reused across spaces")]
+    fn rejects_reuse_across_spaces() {
+        struct OtherShape;
+        impl SearchSpace for OtherShape {
+            fn dims(&self) -> usize {
+                3
+            }
+            fn cardinality(&self, _dim: usize) -> usize {
+                4
+            }
+            fn evaluate(&self, _genome: &[usize]) -> Evaluation {
+                Evaluation::infeasible()
+            }
+            fn describe(&self, _genome: &[usize]) -> String {
+                String::new()
+            }
+        }
+        let space = Counting { calls: AtomicUsize::new(0) };
+        let cache = EvalCache::new();
+        cache.evaluate(&space, &[0, 0]);
+        cache.evaluate(&OtherShape, &[0, 0, 0]);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let space = Counting { calls: AtomicUsize::new(0) };
+        let cache = EvalCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..4usize {
+                        for j in 0..4usize {
+                            let e = cache.evaluate(&space, &[i, j]);
+                            assert_eq!(e.throughput_gops, (i + j) as f64);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.hits() + cache.misses(), 64);
+        assert!(cache.misses() >= 16);
+    }
+}

@@ -1,0 +1,218 @@
+//! Multi-objective quality of an evaluated design and scalar objectives
+//! for single-objective strategies.
+
+use std::fmt;
+use wino_fpga::{FpgaDevice, ResourceUsage};
+
+/// Number of axes in the multi-objective vector.
+pub const OBJECTIVE_COUNT: usize = 4;
+
+/// Quality of one design candidate on the target workload and device.
+///
+/// The four reported axes generalize the paper's two headline metrics
+/// (throughput and power efficiency, Table II) with whole-network
+/// latency and resource head-room, so a [`crate::ParetoArchive`] can
+/// carry the trade-off surface instead of a single winner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Modeled throughput in GOPS (Eq. 10).
+    pub throughput_gops: f64,
+    /// GOPS per watt.
+    pub power_efficiency: f64,
+    /// Whole-workload latency in milliseconds.
+    pub latency_ms: f64,
+    /// Modeled power in watts (time-weighted over engine contexts for
+    /// heterogeneous designs).
+    pub power_w: f64,
+    /// Smallest fractional slack across LUTs, registers and DSPs —
+    /// negative when the design overflows the device.
+    pub headroom: f64,
+    /// Peak fabric usage.
+    pub resources: ResourceUsage,
+    /// Whether the design fits the device (and is structurally valid).
+    pub feasible: bool,
+}
+
+impl Evaluation {
+    /// The canonical "invalid design" marker: all-zero, infeasible.
+    pub fn infeasible() -> Evaluation {
+        Evaluation {
+            throughput_gops: 0.0,
+            power_efficiency: 0.0,
+            latency_ms: f64::INFINITY,
+            power_w: 0.0,
+            headroom: -1.0,
+            resources: ResourceUsage::default(),
+            feasible: false,
+        }
+    }
+
+    /// The maximization vector (latency is negated so that larger is
+    /// uniformly better).
+    pub fn objectives(&self) -> [f64; OBJECTIVE_COUNT] {
+        [self.throughput_gops, self.power_efficiency, -self.latency_ms, self.headroom]
+    }
+
+    /// Pareto dominance: `self` is no worse on every axis and strictly
+    /// better on at least one. Infeasible designs never dominate.
+    pub fn dominates(&self, other: &Evaluation) -> bool {
+        if !self.feasible {
+            return false;
+        }
+        if !other.feasible {
+            return true;
+        }
+        let a = self.objectives();
+        let b = other.objectives();
+        let mut strictly = false;
+        for (x, y) in a.iter().zip(&b) {
+            if x < y {
+                return false;
+            }
+            if x > y {
+                strictly = true;
+            }
+        }
+        strictly
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} GOPS, {:.2} GOPS/W, {:.2} ms, {:.1} W, {:.1}% head-room{}",
+            self.throughput_gops,
+            self.power_efficiency,
+            self.latency_ms,
+            self.power_w,
+            self.headroom * 100.0,
+            if self.feasible { "" } else { " (infeasible)" }
+        )
+    }
+}
+
+/// Smallest fractional slack of `usage` on `device` across LUTs,
+/// registers and DSPs.
+pub fn resource_headroom(usage: &ResourceUsage, device: &FpgaDevice) -> f64 {
+    let slack = |used: u64, cap: u64| 1.0 - used as f64 / cap as f64;
+    slack(usage.luts, device.luts)
+        .min(slack(usage.registers, device.registers))
+        .min(slack(usage.dsps, device.dsps))
+}
+
+/// Scalar objective a single-objective [`crate::Strategy`] optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchObjective {
+    /// Maximize GOPS.
+    Throughput,
+    /// Maximize GOPS/W.
+    PowerEfficiency,
+    /// Minimize whole-workload latency.
+    Latency,
+    /// Maximize the minimum resource slack.
+    ResourceHeadroom,
+}
+
+impl SearchObjective {
+    /// Score to maximize; `-inf` for infeasible designs.
+    pub fn score(&self, evaluation: &Evaluation) -> f64 {
+        if !evaluation.feasible {
+            return f64::NEG_INFINITY;
+        }
+        match self {
+            SearchObjective::Throughput => evaluation.throughput_gops,
+            SearchObjective::PowerEfficiency => evaluation.power_efficiency,
+            SearchObjective::Latency => -evaluation.latency_ms,
+            SearchObjective::ResourceHeadroom => evaluation.headroom,
+        }
+    }
+
+    /// Finite variant of [`SearchObjective::score`] for annealing
+    /// acceptance arithmetic.
+    pub fn finite_score(&self, evaluation: &Evaluation) -> f64 {
+        self.score(evaluation).max(-1e30)
+    }
+}
+
+impl fmt::Display for SearchObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchObjective::Throughput => write!(f, "throughput"),
+            SearchObjective::PowerEfficiency => write!(f, "power efficiency"),
+            SearchObjective::Latency => write!(f, "latency"),
+            SearchObjective::ResourceHeadroom => write!(f, "resource head-room"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_fpga::virtex7_485t;
+
+    fn eval(thr: f64, eff: f64, lat: f64, head: f64, feasible: bool) -> Evaluation {
+        Evaluation {
+            throughput_gops: thr,
+            power_efficiency: eff,
+            latency_ms: lat,
+            power_w: 10.0,
+            headroom: head,
+            resources: ResourceUsage::default(),
+            feasible,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = eval(100.0, 10.0, 5.0, 0.5, true);
+        let same = a;
+        assert!(!a.dominates(&same), "equal vectors do not dominate");
+        let better = eval(110.0, 10.0, 5.0, 0.5, true);
+        assert!(better.dominates(&a));
+        assert!(!a.dominates(&better));
+    }
+
+    #[test]
+    fn tradeoffs_do_not_dominate() {
+        let fast = eval(200.0, 5.0, 2.0, 0.1, true);
+        let frugal = eval(100.0, 20.0, 4.0, 0.6, true);
+        assert!(!fast.dominates(&frugal));
+        assert!(!frugal.dominates(&fast));
+    }
+
+    #[test]
+    fn infeasible_never_dominates_and_is_always_dominated() {
+        let bad = eval(1e9, 1e9, 0.0, 1.0, false);
+        let ok = eval(1.0, 1.0, 100.0, 0.0, true);
+        assert!(!bad.dominates(&ok));
+        assert!(ok.dominates(&bad));
+        assert_eq!(SearchObjective::Throughput.score(&bad), f64::NEG_INFINITY);
+        assert!(SearchObjective::Throughput.finite_score(&bad).is_finite());
+    }
+
+    #[test]
+    fn latency_scores_negated() {
+        let slow = eval(1.0, 1.0, 50.0, 0.0, true);
+        let quick = eval(1.0, 1.0, 10.0, 0.0, true);
+        assert!(SearchObjective::Latency.score(&quick) > SearchObjective::Latency.score(&slow));
+    }
+
+    #[test]
+    fn headroom_is_min_slack() {
+        let dev = virtex7_485t();
+        let usage = ResourceUsage {
+            luts: dev.luts / 2,
+            registers: dev.registers / 4,
+            dsps: dev.dsps - 28,
+            multipliers: 0,
+        };
+        let h = resource_headroom(&usage, &dev);
+        assert!((h - 0.01).abs() < 1e-9, "DSPs are the binding constraint: {h}");
+    }
+
+    #[test]
+    fn display_mentions_feasibility() {
+        assert!(Evaluation::infeasible().to_string().contains("infeasible"));
+    }
+}

@@ -1,0 +1,533 @@
+//! Search spaces: the homogeneous `m`-sweep of the paper and the
+//! heterogeneous per-layer space that goes beyond it.
+//!
+//! A design candidate is a [`Genome`] — one choice index per decision
+//! dimension. Encoding candidates as small integer vectors gives every
+//! strategy (exhaustive enumeration, hill climbing, annealing, genetic
+//! operators) a uniform representation and gives the
+//! [`crate::EvalCache`] a cheap hashable key.
+
+use crate::{resource_headroom, Evaluation};
+use std::collections::HashMap;
+use wino_core::{latency_seconds, pe_count, TileModel, WinogradParams, Workload};
+use wino_dse::{CachedEvaluator, DesignPoint, Evaluator};
+use wino_fpga::{Architecture, EngineResources, FpgaDevice, PowerModel, ResourceUsage};
+use wino_tensor::SplitMix64;
+
+/// One design candidate: a choice index per dimension of a
+/// [`SearchSpace`].
+pub type Genome = Vec<usize>;
+
+/// A finite, integer-encoded design space.
+///
+/// Implementations must be `Sync`: the exhaustive strategy fans
+/// evaluation out across threads.
+pub trait SearchSpace: Sync {
+    /// Number of decision dimensions.
+    fn dims(&self) -> usize;
+
+    /// Number of choices in dimension `dim`.
+    fn cardinality(&self, dim: usize) -> usize;
+
+    /// Evaluates the candidate encoded by `genome` (one index per
+    /// dimension, each `< cardinality(dim)`).
+    fn evaluate(&self, genome: &[usize]) -> Evaluation;
+
+    /// Human-readable summary of the candidate.
+    fn describe(&self, genome: &[usize]) -> String;
+
+    /// Total number of candidates.
+    fn size(&self) -> u128 {
+        (0..self.dims()).map(|d| self.cardinality(d) as u128).product()
+    }
+
+    /// The `index`-th candidate in mixed-radix order (dimension 0 is the
+    /// least significant digit).
+    fn genome_at(&self, mut index: u128) -> Genome {
+        (0..self.dims())
+            .map(|d| {
+                let card = self.cardinality(d) as u128;
+                let digit = (index % card) as usize;
+                index /= card;
+                digit
+            })
+            .collect()
+    }
+
+    /// A uniformly random candidate.
+    fn random_genome(&self, rng: &mut SplitMix64) -> Genome {
+        (0..self.dims()).map(|d| rng.below(self.cardinality(d) as u64) as usize).collect()
+    }
+}
+
+/// The paper's design space: one `F(m×m, r×r)` for the whole network,
+/// PE count fixed by the multiplier budget via Eq. 8.
+///
+/// One dimension whose choices are the entries of `ms` — exactly the
+/// space `wino_dse::sweep_m` enumerates, packaged for the strategy
+/// engine.
+pub struct HomogeneousSpace {
+    evaluator: CachedEvaluator,
+    ms: Vec<usize>,
+    r: usize,
+    mult_budget: usize,
+    freq_hz: f64,
+}
+
+impl HomogeneousSpace {
+    /// A homogeneous space over output-tile sizes `ms` for `r×r`
+    /// kernels under `mult_budget` multipliers at `freq_hz`.
+    ///
+    /// Evaluations go through a [`CachedEvaluator`] (keyed by
+    /// [`wino_dse::DesignKey`]), so re-evaluating a genome never
+    /// regenerates transforms or resource estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ms` is empty.
+    pub fn new(
+        evaluator: &Evaluator,
+        ms: Vec<usize>,
+        r: usize,
+        mult_budget: usize,
+        freq_hz: f64,
+    ) -> HomogeneousSpace {
+        assert!(!ms.is_empty(), "homogeneous space needs at least one m");
+        HomogeneousSpace { evaluator: evaluator.clone().cached(), ms, r, mult_budget, freq_hz }
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        self.evaluator.evaluator()
+    }
+
+    /// Decodes a genome to the design point it denotes. Returns `None`
+    /// for genomes of the wrong length or with an out-of-range choice.
+    pub fn design_point(&self, genome: &[usize]) -> Option<DesignPoint> {
+        if genome.len() != 1 {
+            return None;
+        }
+        let m = *self.ms.get(*genome.first()?)?;
+        let params = WinogradParams::new(m, self.r).ok()?;
+        Some(DesignPoint::with_mult_budget(
+            params,
+            Architecture::SharedTransform,
+            self.mult_budget,
+            self.freq_hz,
+        ))
+    }
+}
+
+impl SearchSpace for HomogeneousSpace {
+    fn dims(&self) -> usize {
+        1
+    }
+
+    fn cardinality(&self, _dim: usize) -> usize {
+        self.ms.len()
+    }
+
+    fn evaluate(&self, genome: &[usize]) -> Evaluation {
+        let Some(point) = self.design_point(genome) else {
+            return Evaluation::infeasible();
+        };
+        if point.pe_count == 0 {
+            return Evaluation::infeasible();
+        }
+        let metrics = self.evaluator.evaluate(&point);
+        Evaluation {
+            throughput_gops: metrics.throughput_gops,
+            power_efficiency: metrics.power_efficiency,
+            latency_ms: metrics.total_latency_ms,
+            power_w: metrics.power_w,
+            headroom: resource_headroom(&metrics.resources, self.evaluator().device()),
+            resources: metrics.resources,
+            feasible: metrics.fits_device,
+        }
+    }
+
+    fn describe(&self, genome: &[usize]) -> String {
+        match self.design_point(genome) {
+            Some(point) => point.to_string(),
+            None => format!("invalid genome {genome:?}"),
+        }
+    }
+}
+
+/// Per-layer engine configuration of a heterogeneous design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDesign {
+    /// Layer name.
+    pub layer: String,
+    /// Algorithm the layer runs under (`m = 1` is the spatial engine).
+    pub params: WinogradParams,
+    /// Parallel PEs of this layer's engine context.
+    pub pe_count: usize,
+    /// Latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The heterogeneous per-layer space: every Winograd-eligible layer
+/// picks its own output-tile size `m` *and* its own PE allocation (a
+/// fraction of the multiplier budget), while ineligible layers run on a
+/// spatial fallback engine built from the full budget.
+///
+/// The hardware model is a time-multiplexed engine: layer contexts
+/// execute sequentially, the fabric must fit the largest context
+/// (element-wise maximum of per-context resources), and power is the
+/// time-weighted average over contexts. Choosing the same `m` and full
+/// allocation everywhere degenerates to the paper's homogeneous design,
+/// so the heterogeneous optimum can never be worse than the paper's.
+pub struct HeterogeneousSpace {
+    workload: Workload,
+    device: FpgaDevice,
+    power: PowerModel,
+    tiles: TileModel,
+    m_choices: Vec<usize>,
+    alloc_choices: Vec<f64>,
+    mult_budget: usize,
+    freq_hz: f64,
+    pipeline_depth: usize,
+    /// Indices into `workload.layers()` of Winograd-eligible layers.
+    eligible: Vec<usize>,
+    /// Pre-generated resource estimators per `(m, r)`; `None` when the
+    /// transform is out of range.
+    engines: HashMap<(usize, usize), Option<EngineResources>>,
+}
+
+impl HeterogeneousSpace {
+    /// Builds the space from an existing [`Evaluator`] (workload,
+    /// device, power model and tile accounting are inherited), with
+    /// per-layer tile choices `m_choices` and PE-allocation fractions
+    /// `alloc_choices` under `mult_budget` multipliers at `freq_hz`.
+    ///
+    /// Transform sets for every `(m, r)` pair the space can reach are
+    /// generated once here, so per-candidate evaluation stays cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m_choices` or `alloc_choices` is empty, or when an
+    /// allocation fraction is outside `(0, 1]`.
+    pub fn new(
+        evaluator: &Evaluator,
+        m_choices: Vec<usize>,
+        alloc_choices: Vec<f64>,
+        mult_budget: usize,
+        freq_hz: f64,
+    ) -> HeterogeneousSpace {
+        assert!(!m_choices.is_empty(), "heterogeneous space needs at least one m choice");
+        assert!(!alloc_choices.is_empty(), "heterogeneous space needs at least one allocation");
+        assert!(
+            alloc_choices.iter().all(|&a| a > 0.0 && a <= 1.0),
+            "allocation fractions must lie in (0, 1]"
+        );
+        let workload = evaluator.workload().clone();
+        let eligible: Vec<usize> = workload
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.shape.winograd_compatible())
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut engines = HashMap::new();
+        for layer in workload.layers() {
+            let r = layer.shape.r;
+            // Candidate engines for eligible layers...
+            for &m in &m_choices {
+                engines.entry((m, r)).or_insert_with(|| {
+                    WinogradParams::new(m, r).ok().and_then(|p| EngineResources::new(p).ok())
+                });
+            }
+            // ...and the spatial fallback for every kernel size present.
+            engines.entry((1, r)).or_insert_with(|| {
+                WinogradParams::new(1, r).ok().and_then(|p| EngineResources::new(p).ok())
+            });
+        }
+
+        HeterogeneousSpace {
+            workload,
+            device: evaluator.device().clone(),
+            power: evaluator.power_model().clone(),
+            tiles: evaluator.tile_model(),
+            m_choices,
+            alloc_choices,
+            mult_budget,
+            freq_hz,
+            pipeline_depth: 8,
+            eligible,
+            engines,
+        }
+    }
+
+    /// Overrides the pipeline depth `D_p` (default 8, as in the paper's
+    /// engine).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> HeterogeneousSpace {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// The workload being mapped.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Number of Winograd-eligible layers (two decision dimensions
+    /// each).
+    pub fn eligible_layers(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// The genome selecting tile choice `m_index` and allocation
+    /// `alloc_index` for every eligible layer — the homogeneous corner
+    /// of the space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn uniform_genome(&self, m_index: usize, alloc_index: usize) -> Genome {
+        assert!(m_index < self.m_choices.len(), "m_index out of range");
+        assert!(alloc_index < self.alloc_choices.len(), "alloc_index out of range");
+        (0..self.dims()).map(|d| if d % 2 == 0 { m_index } else { alloc_index }).collect()
+    }
+
+    fn slot(&self, genome: &[usize], slot: usize) -> (usize, f64) {
+        (self.m_choices[genome[2 * slot]], self.alloc_choices[genome[2 * slot + 1]])
+    }
+
+    /// Decodes a genome into per-layer engine configurations (including
+    /// spatial-fallback layers). Returns `None` when any layer's engine
+    /// is invalid or empty.
+    pub fn layer_designs(&self, genome: &[usize]) -> Option<Vec<LayerDesign>> {
+        if genome.len() != self.dims()
+            || genome.iter().enumerate().any(|(d, &g)| g >= self.cardinality(d))
+        {
+            return None;
+        }
+        let batch = self.workload.batch();
+        let mut out = Vec::with_capacity(self.workload.layers().len());
+        let mut next_slot = 0usize;
+        for (li, layer) in self.workload.layers().iter().enumerate() {
+            let (m, frac) = if self.eligible.contains(&li) {
+                let s = self.slot(genome, next_slot);
+                next_slot += 1;
+                s
+            } else {
+                (1, 1.0)
+            };
+            let params = WinogradParams::new(m, layer.shape.r).ok()?;
+            self.engines.get(&(m, layer.shape.r))?.as_ref()?;
+            let budget = (self.mult_budget as f64 * frac) as usize;
+            let pe = pe_count(budget, params);
+            if pe == 0 {
+                return None;
+            }
+            let latency_s = latency_seconds(
+                batch,
+                &layer.shape,
+                params,
+                pe as f64,
+                self.pipeline_depth,
+                self.freq_hz,
+                self.tiles,
+            );
+            out.push(LayerDesign {
+                layer: layer.name.clone(),
+                params,
+                pe_count: pe,
+                latency_ms: latency_s * 1e3,
+            });
+        }
+        Some(out)
+    }
+}
+
+fn max_usage(a: ResourceUsage, b: ResourceUsage) -> ResourceUsage {
+    ResourceUsage {
+        luts: a.luts.max(b.luts),
+        registers: a.registers.max(b.registers),
+        dsps: a.dsps.max(b.dsps),
+        multipliers: a.multipliers.max(b.multipliers),
+    }
+}
+
+impl SearchSpace for HeterogeneousSpace {
+    fn dims(&self) -> usize {
+        2 * self.eligible.len()
+    }
+
+    fn cardinality(&self, dim: usize) -> usize {
+        if dim.is_multiple_of(2) {
+            self.m_choices.len()
+        } else {
+            self.alloc_choices.len()
+        }
+    }
+
+    fn evaluate(&self, genome: &[usize]) -> Evaluation {
+        let Some(designs) = self.layer_designs(genome) else {
+            return Evaluation::infeasible();
+        };
+        let mut total_s = 0.0f64;
+        let mut energy = 0.0f64;
+        let mut fabric = ResourceUsage::default();
+        for design in &designs {
+            let est = self.engines[&(design.params.m(), design.params.r())]
+                .as_ref()
+                .expect("layer_designs validated engines");
+            let usage = est.estimate(Architecture::SharedTransform, design.pe_count);
+            let latency_s = design.latency_ms / 1e3;
+            total_s += latency_s;
+            energy += latency_s * self.power.power_w(&usage, self.freq_hz);
+            fabric = max_usage(fabric, usage);
+        }
+        if total_s <= 0.0 {
+            return Evaluation::infeasible();
+        }
+        let throughput = self.workload.spatial_ops() as f64 / total_s / 1e9;
+        let power_w = energy / total_s;
+        Evaluation {
+            throughput_gops: throughput,
+            power_efficiency: throughput / power_w,
+            latency_ms: total_s * 1e3,
+            power_w,
+            headroom: resource_headroom(&fabric, &self.device),
+            resources: fabric,
+            feasible: fabric.fits(&self.device),
+        }
+    }
+
+    fn describe(&self, genome: &[usize]) -> String {
+        match self.layer_designs(genome) {
+            Some(designs) => designs
+                .iter()
+                .map(|d| format!("{}:{}x{}", d.layer, d.params, d.pe_count))
+                .collect::<Vec<_>>()
+                .join(" "),
+            None => format!("invalid genome {genome:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_dse::Objective;
+    use wino_fpga::virtex7_485t;
+    use wino_models::vgg16d;
+
+    fn evaluator() -> Evaluator {
+        Evaluator::new(vgg16d(1), virtex7_485t())
+    }
+
+    #[test]
+    fn homogeneous_space_matches_sweep_m() {
+        let space = HomogeneousSpace::new(&evaluator(), vec![2, 3, 4], 3, 700, 200e6);
+        assert_eq!(space.dims(), 1);
+        assert_eq!(space.size(), 3);
+        let by_space: Vec<f64> = (0..3).map(|i| space.evaluate(&[i]).throughput_gops).collect();
+        let sweep = wino_dse::sweep_m(space.evaluator(), &[2, 3, 4], 3, 700, 200e6);
+        for (ours, (_, theirs)) in by_space.iter().zip(&sweep) {
+            assert!((ours - theirs.throughput_gops).abs() < 1e-9);
+        }
+        assert!(space.describe(&[2]).contains("F(4x4, 3x3)"));
+    }
+
+    #[test]
+    fn homogeneous_headroom_and_feasibility() {
+        let space = HomogeneousSpace::new(&evaluator(), vec![4, 8], 3, 700, 200e6);
+        let m4 = space.evaluate(&[0]);
+        assert!(m4.feasible);
+        assert!(m4.headroom > 0.0);
+        // F(8x8,3x3): 100 mults/PE, 7 PEs, transform LUTs explode.
+        let m8 = space.evaluate(&[1]);
+        assert!(!m8.feasible);
+        assert!(m8.headroom < 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_uniform_m4_reproduces_paper_design() {
+        let ev = evaluator();
+        let space = HeterogeneousSpace::new(&ev, vec![2, 3, 4], vec![1.0], 700, 200e6);
+        assert_eq!(space.dims(), 26, "13 eligible layers, two dims each");
+        let genome = space.uniform_genome(2, 0);
+        let eval = space.evaluate(&genome);
+        // Same model as the paper's m=4 homogeneous design: 28.05 ms,
+        // 1094.3 GOPS (Table II).
+        assert!((eval.latency_ms - 28.05).abs() < 0.05, "got {}", eval.latency_ms);
+        assert!((eval.throughput_gops - 1094.3).abs() < 2.0, "got {}", eval.throughput_gops);
+        assert!(eval.feasible);
+        // Fabric is exactly the paper's 19-PE engine.
+        assert_eq!(eval.resources.multipliers, 684);
+    }
+
+    #[test]
+    fn heterogeneous_fabric_is_max_over_contexts() {
+        let ev = evaluator();
+        let space = HeterogeneousSpace::new(&ev, vec![2, 4], vec![0.5, 1.0], 700, 200e6);
+        // All m=2 at half allocation: fabric must be the m=2 engine at
+        // pe_count(350, F(2)) = 21 PEs.
+        let genome = space.uniform_genome(0, 0);
+        let eval = space.evaluate(&genome);
+        assert_eq!(eval.resources.multipliers, 21 * 16);
+        assert!(eval.feasible);
+        // Mixing in a full-allocation m=4 layer raises fabric to the
+        // element-wise max of both contexts.
+        let mut mixed = genome.clone();
+        mixed[0] = 1; // layer 0 tile choice -> m = 4
+        mixed[1] = 1; // layer 0 allocation -> 1.0
+        let mixed_eval = space.evaluate(&mixed);
+        assert!(mixed_eval.resources.luts >= eval.resources.luts);
+        assert_eq!(mixed_eval.resources.multipliers, 19 * 36);
+    }
+
+    #[test]
+    fn heterogeneous_invalid_and_empty_engines_are_infeasible() {
+        let ev = evaluator();
+        // m = 15 with r = 3 exceeds m + r - 1 <= 16.
+        let space = HeterogeneousSpace::new(&ev, vec![15], vec![1.0], 700, 200e6);
+        let genome = space.uniform_genome(0, 0);
+        assert!(!space.evaluate(&genome).feasible);
+        // A budget too small for even one PE is infeasible.
+        let tiny = HeterogeneousSpace::new(&ev, vec![4], vec![1.0], 20, 200e6);
+        assert!(!tiny.evaluate(&tiny.uniform_genome(0, 0)).feasible);
+    }
+
+    #[test]
+    fn genome_indexing_is_mixed_radix() {
+        let ev = evaluator();
+        let space = HeterogeneousSpace::new(&ev, vec![2, 3, 4], vec![0.5, 1.0], 700, 200e6);
+        assert_eq!(space.size(), 6u128.pow(13));
+        let g = space.genome_at(0);
+        assert_eq!(g, vec![0; 26]);
+        let g1 = space.genome_at(1);
+        assert_eq!(g1[0], 1);
+        assert!(g1[1..].iter().all(|&x| x == 0));
+        let mut rng = SplitMix64::new(7);
+        let r = space.random_genome(&mut rng);
+        assert_eq!(r.len(), 26);
+        for (d, &v) in r.iter().enumerate() {
+            assert!(v < space.cardinality(d));
+        }
+    }
+
+    #[test]
+    fn power_efficiency_favors_smaller_context_than_throughput() {
+        // Sanity: on the homogeneous space the m=2 design has the best
+        // power efficiency, m=4 the best throughput (Table II), and the
+        // same ordering is visible through the space API.
+        let space = HomogeneousSpace::new(&evaluator(), vec![2, 3, 4], 3, 700, 200e6);
+        let evals: Vec<Evaluation> = (0..3).map(|i| space.evaluate(&[i])).collect();
+        let best_thr =
+            (0..3).max_by(|&a, &b| evals[a].throughput_gops.total_cmp(&evals[b].throughput_gops));
+        let best_eff =
+            (0..3).max_by(|&a, &b| evals[a].power_efficiency.total_cmp(&evals[b].power_efficiency));
+        assert_eq!(best_thr, Some(2));
+        assert_eq!(best_eff, Some(0));
+        // Matches the seed's best_design on the same objectives.
+        let ev = evaluator();
+        let (p, _) = wino_dse::best_design(&ev, &[2, 3, 4], 3, 700, 200e6, Objective::Throughput)
+            .expect("fits");
+        assert_eq!(p.params.m(), 4);
+    }
+}

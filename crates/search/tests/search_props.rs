@@ -1,0 +1,179 @@
+//! Property tests for the search invariants:
+//!
+//! * no metaheuristic ever reports a better objective than exhaustive
+//!   enumeration on a space small enough to enumerate;
+//! * the Pareto archive never retains a dominated (or infeasible) point
+//!   and never loses the per-objective optimum.
+
+use proptest::prelude::*;
+use wino_fpga::ResourceUsage;
+use wino_search::{
+    EvalCache, Evaluation, Exhaustive, Genetic, Greedy, ParetoArchive, SearchObjective,
+    SearchSpace, SimulatedAnnealing, Strategy,
+};
+use wino_tensor::SplitMix64;
+
+/// A synthetic space whose landscape is a deterministic hash of the
+/// genome — rugged, multi-modal, with a configurable infeasibility rate.
+struct HashedSpace {
+    seed: u64,
+    cards: Vec<usize>,
+    infeasible_percent: u64,
+}
+
+impl HashedSpace {
+    fn eval_rng(&self, genome: &[usize]) -> SplitMix64 {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for &g in genome {
+            h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(g as u64 + 1);
+        }
+        SplitMix64::new(h)
+    }
+}
+
+impl SearchSpace for HashedSpace {
+    fn dims(&self) -> usize {
+        self.cards.len()
+    }
+    fn cardinality(&self, dim: usize) -> usize {
+        self.cards[dim]
+    }
+    fn evaluate(&self, genome: &[usize]) -> Evaluation {
+        let mut rng = self.eval_rng(genome);
+        let feasible = rng.below(100) >= self.infeasible_percent;
+        Evaluation {
+            throughput_gops: (rng.below(10_000) as f64) / 10.0,
+            power_efficiency: (rng.below(1_000) as f64) / 10.0,
+            latency_ms: 1.0 + rng.below(500) as f64,
+            power_w: 5.0 + rng.below(30) as f64,
+            headroom: rng.next_f64() - 0.2,
+            resources: ResourceUsage::default(),
+            feasible,
+        }
+    }
+    fn describe(&self, genome: &[usize]) -> String {
+        format!("{genome:?}")
+    }
+}
+
+fn objective_from(index: usize) -> SearchObjective {
+    [
+        SearchObjective::Throughput,
+        SearchObjective::PowerEfficiency,
+        SearchObjective::Latency,
+        SearchObjective::ResourceHeadroom,
+    ][index % 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn metaheuristics_never_beat_exhaustive(
+        seed in 0u64..1_000_000,
+        cards in prop::collection::vec(2usize..5, 3),
+        infeasible_percent in 0u64..60,
+        objective_index in 0usize..4,
+    ) {
+        let space = HashedSpace { seed, cards, infeasible_percent };
+        let objective = objective_from(objective_index);
+        let cache = EvalCache::new();
+        let mut archive = ParetoArchive::new();
+        let optimum = Exhaustive { threads: 2 }
+            .search(&space, &cache, objective, &mut archive)
+            .best_score(objective);
+
+        let greedy = Greedy { seed, restarts: 3, max_evaluations: 500 };
+        let annealing = SimulatedAnnealing { seed, iterations: 300, ..Default::default() };
+        let genetic = Genetic { seed, population: 8, generations: 6, ..Default::default() };
+        for strategy in [&greedy as &dyn Strategy, &annealing, &genetic] {
+            let score = strategy
+                .search(&space, &cache, objective, &mut archive)
+                .best_score(objective);
+            prop_assert!(
+                score <= optimum,
+                "{} reported {score}, exhaustive optimum is {optimum}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn archive_never_retains_a_dominated_point(
+        seed in 0u64..1_000_000,
+        count in 1usize..60,
+        infeasible_percent in 0u64..60,
+    ) {
+        let space = HashedSpace { seed, cards: vec![64], infeasible_percent };
+        let mut archive = ParetoArchive::new();
+        let mut inserted = Vec::new();
+        for i in 0..count {
+            let genome = vec![i % 64];
+            let evaluation = space.evaluate(&genome);
+            inserted.push(evaluation);
+            archive.insert(genome, evaluation);
+        }
+
+        // Pairwise non-dominance and feasibility.
+        let entries = archive.entries();
+        for a in entries {
+            prop_assert!(a.evaluation.feasible, "archive retained an infeasible point");
+            for b in entries {
+                prop_assert!(
+                    !a.evaluation.dominates(&b.evaluation),
+                    "archive retained a dominated point: {:?} dominates {:?}",
+                    a.evaluation.objectives(),
+                    b.evaluation.objectives()
+                );
+            }
+        }
+
+        // Completeness: every feasible inserted point is dominated by,
+        // or objective-equal to, something retained.
+        for e in inserted.iter().filter(|e| e.feasible) {
+            prop_assert!(
+                entries.iter().any(|kept| {
+                    kept.evaluation.dominates(e)
+                        || kept.evaluation.objectives() == e.objectives()
+                }),
+                "a feasible point is neither retained nor dominated"
+            );
+        }
+
+        // The per-objective optimum is always represented.
+        for objective_index in 0..4 {
+            let objective = objective_from(objective_index);
+            let best_inserted = inserted
+                .iter()
+                .map(|e| objective.score(e))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if let Some(best_kept) = archive.best_by(objective) {
+                prop_assert!(objective.score(&best_kept.evaluation) >= best_inserted);
+            } else {
+                prop_assert!(best_inserted == f64::NEG_INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_is_thread_count_invariant(
+        seed in 0u64..1_000_000,
+        threads in 1usize..9,
+    ) {
+        let space = HashedSpace { seed, cards: vec![4, 4, 4], infeasible_percent: 20 };
+        let serial = Exhaustive { threads: 1 }.search(
+            &space,
+            &EvalCache::new(),
+            SearchObjective::Throughput,
+            &mut ParetoArchive::new(),
+        );
+        let parallel = Exhaustive { threads }.search(
+            &space,
+            &EvalCache::new(),
+            SearchObjective::Throughput,
+            &mut ParetoArchive::new(),
+        );
+        prop_assert_eq!(serial.best, parallel.best);
+        prop_assert_eq!(serial.evaluations, parallel.evaluations);
+    }
+}

@@ -139,7 +139,7 @@ impl Ratio {
         let base = if exp < 0 { self.recip() } else { *self };
         let mut acc = Ratio::ONE;
         for _ in 0..exp.unsigned_abs() {
-            acc = acc * base;
+            acc *= base;
         }
         acc
     }
@@ -255,6 +255,9 @@ impl Mul for Ratio {
 
 impl Div for Ratio {
     type Output = Ratio;
+    // Division by multiplication with the reciprocal is the exact field
+    // operation here, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Ratio) -> Ratio {
         self * rhs.recip()
     }

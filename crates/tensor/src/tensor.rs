@@ -121,7 +121,11 @@ impl<T: Scalar> Tensor2<T> {
 
     /// Element-wise map to a (possibly different) scalar type.
     pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Tensor2<U> {
-        Tensor2 { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Dense matrix product `self · rhs`.
@@ -130,7 +134,11 @@ impl<T: Scalar> Tensor2<T> {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Tensor2<T>) -> Tensor2<T> {
-        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch {}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Tensor2::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -219,14 +227,24 @@ impl<T: Scalar> Tensor2<T> {
 impl<T> Index<(usize, usize)> for Tensor2<T> {
     type Output = T;
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl<T> IndexMut<(usize, usize)> for Tensor2<T> {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -297,7 +315,10 @@ impl<T: Scalar> Tensor4<T> {
     }
 
     /// Creates a tensor whose entry `(n, c, h, w)` is `f(n, c, h, w)`.
-    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Tensor4<T> {
+    pub fn from_fn(
+        shape: Shape4,
+        mut f: impl FnMut(usize, usize, usize, usize) -> T,
+    ) -> Tensor4<T> {
         let mut data = Vec::with_capacity(shape.len());
         for n in 0..shape.n {
             for c in 0..shape.c {
@@ -354,7 +375,11 @@ impl<T: Scalar> Tensor4<T> {
     ///
     /// Panics if `plane` is not `h × w`.
     pub fn set_plane(&mut self, n: usize, c: usize, plane: &Tensor2<T>) {
-        assert_eq!((plane.rows(), plane.cols()), (self.shape.h, self.shape.w), "plane shape mismatch");
+        assert_eq!(
+            (plane.rows(), plane.cols()),
+            (self.shape.h, self.shape.w),
+            "plane shape mismatch"
+        );
         let base = self.offset(n, c, 0, 0);
         let hw = self.shape.h * self.shape.w;
         self.data[base..base + hw].copy_from_slice(plane.as_slice());

@@ -22,8 +22,8 @@ fn run_quantized<const FRAC: u32>(
 ) -> ErrorStats {
     let params = WinogradParams::new(m, 3).expect("valid params");
     let algo = WinogradAlgorithm::<Fixed<FRAC>>::for_params(params).expect("generates");
-    let qi = input.map(|x| Fixed::<FRAC>::from_f32(x));
-    let qk = kernels.map(|x| Fixed::<FRAC>::from_f32(x));
+    let qi = input.map(Fixed::<FRAC>::from_f32);
+    let qk = kernels.map(Fixed::<FRAC>::from_f32);
     let out = algo.convolve_layer(&qi, &qk, 1);
     let back: Vec<f32> = out.as_slice().iter().map(|q| q.to_f32()).collect();
     ErrorStats::between(&back, reference.as_slice())
@@ -31,15 +31,20 @@ fn run_quantized<const FRAC: u32>(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SplitMix64::new(12);
-    let input =
-        Tensor4::from_fn(Shape4 { n: 1, c: 8, h: 16, w: 16 }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
-    let kernels =
-        Tensor4::from_fn(Shape4 { n: 8, c: 8, h: 3, w: 3 }, |_, _, _, _| rng.uniform_f32(-0.3, 0.3));
+    let input = Tensor4::from_fn(Shape4 { n: 1, c: 8, h: 16, w: 16 }, |_, _, _, _| {
+        rng.uniform_f32(-1.0, 1.0)
+    });
+    let kernels = Tensor4::from_fn(Shape4 { n: 8, c: 8, h: 3, w: 3 }, |_, _, _, _| {
+        rng.uniform_f32(-0.3, 0.3)
+    });
     let reference = spatial_convolve(&input, &kernels, 1);
 
     println!("Winograd convolution accuracy vs fp64-accumulated direct convolution");
     println!("(16x16x8 -> 8 layer, inputs in [-1,1], weights in [-0.3,0.3])\n");
-    println!("{:<10} {:>14} {:>14} {:>14}", "tile m", "fp32 max|err|", "Q8.24 max|err|", "Q16.16 max|err|");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "tile m", "fp32 max|err|", "Q8.24 max|err|", "Q16.16 max|err|"
+    );
     for m in [2usize, 3, 4, 6] {
         let params = WinogradParams::new(m, 3)?;
         let algo32 = WinogradAlgorithm::<f32>::for_params(params)?;

@@ -53,9 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let (best, metrics) =
-        best_design(&evaluator, &[2, 3, 4], 3, 700, 200e6, Objective::Throughput)
-            .expect("a design fits");
+    let (best, metrics) = best_design(&evaluator, &[2, 3, 4], 3, 700, 200e6, Objective::Throughput)
+        .expect("a design fits");
     println!(
         "\nBest feasible throughput design: {best} -> {:.1} GOPS, {:.2} ms for VGG16-D",
         metrics.throughput_gops, metrics.total_latency_ms

@@ -61,7 +61,8 @@ fn explore(name: &str, workload: Workload) {
         (Objective::PowerEfficiency, "power efficiency"),
         (Objective::MultiplierEfficiency, "multiplier efficiency"),
     ] {
-        if let Some((point, m)) = best_design(&evaluator, &[1, 2, 3, 4, 5, 6], 3, 700, 200e6, objective)
+        if let Some((point, m)) =
+            best_design(&evaluator, &[1, 2, 3, 4, 5, 6], 3, 700, 200e6, objective)
         {
             println!(
                 "best {label:<22} -> {} ({:.1} GOPS, {:.2} GOPS/W, {:.2} GOPS/mult)",

@@ -10,9 +10,10 @@
 //! baseline convolution algorithms, the VGG16-D workload, a cycle-level
 //! simulator of the proposed pipelined engine and of the Podili et al.
 //! baseline, calibrated FPGA resource/power models, and the design space
-//! exploration that regenerates every figure and table. See `DESIGN.md`
-//! for the system inventory and `EXPERIMENTS.md` for paper-vs-measured
-//! results.
+//! exploration that regenerates every figure and table — and goes
+//! beyond the paper with `wino-search`, a pluggable strategy engine
+//! over heterogeneous per-layer design spaces. See `DESIGN.md` at the
+//! repository root for the system inventory.
 //!
 //! This crate is the facade: it re-exports the sub-crates under stable
 //! names and hosts the runnable examples and cross-crate integration
@@ -35,6 +36,21 @@
 //!         .expect("a design fits");
 //! assert_eq!(best.params.m(), 4);
 //! assert!((metrics.total_latency_ms - 28.05).abs() < 0.05); // Table II
+//!
+//! // 3. Beyond the paper: search a heterogeneous per-layer space (each
+//! //    eligible layer picks its own tile size and PE allocation) with
+//! //    a pluggable strategy. On THIS space greedy provably reaches the
+//! //    paper's all-m=4 corner: throughput decomposes over layers (each
+//! //    dimension touches one layer's latency) and every design here
+//! //    fits the device, so coordinate ascent has no local optima.
+//! let evaluator = Evaluator::new(vgg16d(1), virtex7_485t());
+//! let space = HeterogeneousSpace::new(&evaluator, vec![2, 3, 4], vec![0.5, 1.0], 700, 200e6);
+//! let cache = EvalCache::new();
+//! let mut archive = ParetoArchive::new();
+//! let outcome = Greedy::default()
+//!     .search(&space, &cache, SearchObjective::Throughput, &mut archive);
+//! let (_, best_found) = outcome.best.expect("a design fits");
+//! assert!(best_found.throughput_gops >= metrics.throughput_gops - 1e-9);
 //! # let _ = algo;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -50,6 +66,7 @@
 //! | [`fpga`] | `wino-fpga` | devices, resources, power |
 //! | [`engine`] | `wino-engine` | cycle-level engine simulator |
 //! | [`dse`] | `wino-dse` | exploration, figures, tables |
+//! | [`search`] | `wino-search` | strategy engine, heterogeneous spaces, Pareto archive |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -60,6 +77,7 @@ pub use wino_dse as dse;
 pub use wino_engine as engine;
 pub use wino_fpga as fpga;
 pub use wino_models as models;
+pub use wino_search as search;
 pub use wino_tensor as tensor;
 
 /// One-stop imports for applications.
@@ -67,18 +85,23 @@ pub mod prelude {
     pub use wino_baselines::{fft_convolve, im2col_convolve, spatial_convolve};
     pub use wino_core::{
         canonical_points, cse_optimize, fast_convolve_layer, transform_ops_2d, transform_ops_for,
-        ConvShape, CostModel, FastKernel, TileModel,
-        TransformOps, TransformSet, WinogradAlgorithm, WinogradParams, Workload,
+        ConvShape, CostModel, FastKernel, TileModel, TransformOps, TransformSet, WinogradAlgorithm,
+        WinogradParams, Workload,
     };
     pub use wino_dse::{
         best_design, fig1, fig2, fig3, fig6, pareto_front, sweep_m, table1, table2, table2_text,
-        DesignPoint, Evaluator, Metrics, Objective,
+        CachedEvaluator, DesignKey, DesignPoint, Evaluator, Metrics, Objective,
     };
     pub use wino_engine::{EngineConfig, SimReport, WinogradEngine};
     pub use wino_fpga::{
         paper_calibrated_model, stratix_v_gt, virtex7_485t, zynq_7045, Architecture,
         EngineResources, FpgaDevice, PowerModel, ResourceUsage,
     };
-    pub use wino_models::{alexnet, resnet18, vgg16d};
+    pub use wino_models::{alexnet, resnet18, tiny_cnn, vgg16d};
+    pub use wino_search::{
+        compare_strategies, EvalCache, Evaluation, Exhaustive, Genetic, Genome, Greedy,
+        HeterogeneousSpace, HomogeneousSpace, ParetoArchive, SearchObjective, SearchOutcome,
+        SearchSpace, SimulatedAnnealing, Strategy,
+    };
     pub use wino_tensor::{ratio, ErrorStats, Ratio, Scalar, Shape4, SplitMix64, Tensor2, Tensor4};
 }

@@ -5,7 +5,13 @@ use winofpga::core::WinogradAlgorithm;
 use winofpga::prelude::*;
 use winofpga::tensor::Ratio;
 
-fn random_layer(seed: u64, n: usize, c: usize, hw: usize, k: usize) -> (Tensor4<f32>, Tensor4<f32>) {
+fn random_layer(
+    seed: u64,
+    n: usize,
+    c: usize,
+    hw: usize,
+    k: usize,
+) -> (Tensor4<f32>, Tensor4<f32>) {
     let mut rng = SplitMix64::new(seed);
     let input =
         Tensor4::from_fn(Shape4 { n, c, h: hw, w: hw }, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
@@ -29,7 +35,8 @@ fn five_implementations_agree() {
 
     // 3. Functional Winograd (several tile sizes)
     for m in [2usize, 3, 4] {
-        let algo = WinogradAlgorithm::<f32>::for_params(WinogradParams::new(m, 3).unwrap()).unwrap();
+        let algo =
+            WinogradAlgorithm::<f32>::for_params(WinogradParams::new(m, 3).unwrap()).unwrap();
         let wino = algo.convolve_layer(&input, &kernels, 1);
         let stats = ErrorStats::between(wino.as_slice(), reference.as_slice());
         assert!(stats.within_abs(1e-4), "functional m={m}: {stats}");
@@ -86,7 +93,8 @@ fn engine_latency_model_consistent_with_dse_evaluator() {
     // DSE layer model (per-layer seconds at 200 MHz).
     let mut wl = Workload::new("one-layer", 1);
     wl.push("l", "G", ConvShape::same_padded(16, 16, 8, 8, 3));
-    let lat = wl.latency_seconds(params, 4.0, engine.config().pipeline_depth(), 200e6, TileModel::Ceil);
+    let lat =
+        wl.latency_seconds(params, 4.0, engine.config().pipeline_depth(), 200e6, TileModel::Ceil);
     assert!((lat - report.latency_seconds(200e6)).abs() < 1e-12);
 }
 
@@ -95,7 +103,8 @@ fn batch_and_padding_variants() {
     for (n, hw, pad) in [(2usize, 9usize, 0usize), (1, 11, 1), (3, 8, 1)] {
         let (input, kernels) = random_layer(n as u64 * 31 + hw as u64, n, 2, hw, 3);
         let reference = spatial_convolve(&input, &kernels, pad);
-        let algo = WinogradAlgorithm::<f32>::for_params(WinogradParams::new(3, 3).unwrap()).unwrap();
+        let algo =
+            WinogradAlgorithm::<f32>::for_params(WinogradParams::new(3, 3).unwrap()).unwrap();
         let wino = algo.convolve_layer(&input, &kernels, pad);
         assert_eq!(wino.shape(), reference.shape());
         let stats = ErrorStats::between(wino.as_slice(), reference.as_slice());

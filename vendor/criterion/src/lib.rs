@@ -1,0 +1,209 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate implements the subset of Criterion's API the workspace's
+//! benches use — `criterion_group!`/`criterion_main!`, benchmark groups
+//! with `sample_size`/`measurement_time`, `bench_function`,
+//! `bench_with_input`, and `Bencher::iter` — backed by a plain
+//! `Instant`-based timing loop that prints median/mean per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    /// Per-sample mean nanoseconds, filled by [`Bencher::iter`].
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then collecting samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: aim each sample at roughly
+        // measurement_time / samples.
+        let calibration = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = calibration.elapsed().as_secs_f64() / calibration_iters as f64;
+        let target = self.measurement_time.as_secs_f64() / self.samples as f64;
+        let batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.results_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.results_ns.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    samples: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    fn run(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            measurement_time: self.measurement_time,
+            results_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.results_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(f64::NAN);
+        let mean = if sorted.is_empty() {
+            f64::NAN
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        println!(
+            "{}/{:<40} median {:>12.1} ns/iter  mean {:>12.1} ns/iter  ({} samples)",
+            self.name,
+            label,
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens as benches run).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            samples: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(criterion: &mut Criterion) {
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        sample_bench(&mut Criterion::default());
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
