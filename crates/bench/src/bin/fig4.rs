@@ -1,4 +1,4 @@
-//! Regenerates Fig. 4: the 1-D F(3,3) convolution engine, ours vs [3].
+//! Regenerates Fig. 4: the 1-D F(3,3) convolution engine, ours vs \[3\].
 
 use wino_core::WinogradParams;
 use wino_dse::TextTable;

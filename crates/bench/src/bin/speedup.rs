@@ -1,0 +1,124 @@
+//! Single-layer speedup of the `wino-exec` Winograd engine over the
+//! `wino-baselines` spatial oracle, emitted as `BENCH_exec.json`.
+//!
+//! The layer is VGG16-D's conv3 geometry at 56×56 with 128 → 128
+//! channels (~0.92 GFLOP of spatial-equivalent work). Each engine
+//! configuration is timed best-of-3 against one oracle run, and the
+//! verification column reports the worst absolute deviation from the
+//! oracle — the speedup claim is only meaningful because the outputs
+//! match.
+
+use std::time::Instant;
+use wino_baselines::spatial_convolve;
+use wino_bench::print_comparison;
+use wino_core::{spatial_ops, ConvShape, WinogradParams};
+use wino_exec::winograd_convolve;
+use wino_tensor::{ErrorStats, Shape4, SplitMix64, Tensor4};
+
+struct ConfigResult {
+    engine: String,
+    threads: usize,
+    millis: f64,
+    speedup: f64,
+    max_abs_err: f64,
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(value);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn main() {
+    let shape = ConvShape::same_padded(56, 56, 128, 128, 3);
+    let gflop = spatial_ops(1, &shape) as f64 / 1e9;
+    let mut rng = SplitMix64::new(2019);
+    let input =
+        Tensor4::from_fn(Shape4 { n: 1, c: shape.c, h: shape.h, w: shape.w }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+    let kernels = Tensor4::from_fn(Shape4 { n: shape.k, c: shape.c, h: 3, w: 3 }, |_, _, _, _| {
+        rng.uniform_f32(-1.0, 1.0)
+    });
+
+    println!("layer: conv3-shaped {shape} ({gflop:.2} GFLOP)");
+    let threads_available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("hardware threads available: {threads_available}\n");
+
+    let (oracle_ms, oracle) = best_of(2, || spatial_convolve(&input, &kernels, shape.pad));
+
+    let mut results: Vec<ConfigResult> = Vec::new();
+    for m in [2usize, 4] {
+        let params = WinogradParams::new(m, 3).expect("valid");
+        for threads in [1usize, 8] {
+            let (millis, out) = best_of(3, || {
+                winograd_convolve(params, &input, &kernels, shape.pad, threads).expect("runs")
+            });
+            let stats = ErrorStats::between(out.as_slice(), oracle.as_slice());
+            assert!(stats.within_abs(1e-2), "{params} diverged from the oracle: {stats}");
+            results.push(ConfigResult {
+                engine: params.to_string(),
+                threads,
+                millis,
+                speedup: oracle_ms / millis,
+                max_abs_err: stats.max_abs,
+            });
+        }
+    }
+
+    // "paper" column = the oracle's wall time, so the deviation column
+    // reads as time saved relative to the scalar spatial baseline.
+    let rows: Vec<(String, f64, f64)> = results
+        .iter()
+        .map(|r| (format!("{} @{}t ms", r.engine, r.threads), oracle_ms, r.millis))
+        .collect();
+    print_comparison("single-layer wall time vs spatial oracle (best-of-3)", &rows, 2);
+    for r in &results {
+        println!(
+            "{} @{}t: {:.2} ms  ->  {:.2}x over the spatial oracle (max |err| {:.2e})",
+            r.engine, r.threads, r.millis, r.speedup, r.max_abs_err
+        );
+    }
+
+    let speedup_8t =
+        results.iter().filter(|r| r.threads == 8).map(|r| r.speedup).fold(0.0f64, f64::max);
+    let speedup_1t =
+        results.iter().filter(|r| r.threads == 1).map(|r| r.speedup).fold(0.0f64, f64::max);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"exec_speedup\",\n");
+    json.push_str(&format!(
+        "  \"layer\": {{\"name\": \"vgg16d-conv3\", \"h\": {}, \"w\": {}, \"c\": {}, \"k\": {}, \"r\": 3, \"stride\": 1, \"pad\": {}, \"gflop\": {:.4}}},\n",
+        shape.h, shape.w, shape.c, shape.k, shape.pad, gflop
+    ));
+    json.push_str(&format!("  \"threads_available\": {threads_available},\n"));
+    json.push_str(&format!("  \"oracle_ms\": {oracle_ms:.3},\n"));
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"millis\": {:.3}, \"speedup\": {:.3}, \"max_abs_err\": {:.3e}}}{}\n",
+            r.engine,
+            r.threads,
+            r.millis,
+            r.speedup,
+            r.max_abs_err,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_1t\": {speedup_1t:.3},\n"));
+    json.push_str(&format!("  \"speedup_8t\": {speedup_8t:.3}\n}}\n"));
+
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    println!("\nwrote BENCH_exec.json (speedup_1t {speedup_1t:.2}x, speedup_8t {speedup_8t:.2}x)");
+    assert!(
+        speedup_8t >= 4.0,
+        "acceptance: wino-exec must be >= 4x over the spatial oracle at 8 threads, got {speedup_8t:.2}x"
+    );
+}

@@ -8,21 +8,38 @@
 //! | `fig1` | Fig. 1 — multiplication complexity per VGG16-D group |
 //! | `fig2` | Fig. 2 — net transform complexity vs m |
 //! | `fig3` | Fig. 3 — percentage complexity variations vs m |
-//! | `fig4` | Fig. 4 — 1-D engine structure, ours vs [3] |
+//! | `fig4` | Fig. 4 — 1-D engine structure, ours vs \[3\] |
 //! | `fig5` | Fig. 5 — 2-D PE composition |
 //! | `fig6` | Fig. 6 — throughput vs m and multiplier budget |
 //! | `table1` | Table I — resource utilization at 19 PEs `F(4×4,3×3)` |
 //! | `table2` | Table II — full VGG16-D performance comparison |
+//! | `roofline` | roofline extension — memory- vs compute-bound layers |
 //! | `engine_demo` | Fig. 7 — cycle-level system simulation |
 //! | `error_growth` | fp32 accuracy vs tile size (precision discussion) |
 //! | `overhead` | Sec. IV-C transform-overhead ratios (Eq. 7) |
+//! | `speedup` | `wino-exec` vs spatial-oracle wall time → `BENCH_exec.json` |
 //!
 //! Run all of them:
 //!
 //! ```sh
-//! for b in fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 engine_demo error_growth overhead; do
+//! for b in fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 roofline \
+//!          engine_demo error_growth overhead speedup; do
 //!     cargo run --release -p wino-bench --bin $b
 //! done
+//! ```
+//!
+//! `EXPERIMENTS.md` at the repository root pairs each binary with the
+//! paper artifact it regenerates, its expected output, and the known
+//! deviations (DESIGN.md §8).
+//!
+//! The library part of this crate is the comparison-table helper the
+//! binaries share:
+//!
+//! ```
+//! use wino_bench::max_relative_deviation;
+//!
+//! let rows = vec![("latency".to_owned(), 28.05, 28.06)];
+//! assert!(max_relative_deviation(&rows) < 1e-3);
 //! ```
 
 #![warn(missing_docs)]

@@ -7,11 +7,34 @@
 
 use crate::{ConvShape, TransformOps, WinogradParams};
 
-/// How output tiles are counted.
+/// How output tiles are counted in every Eq. 4–9 evaluation.
 ///
 /// The paper's closed forms use the *fractional* count `HW/m²` (its
 /// Fig. 6 value of 331.78 GOPS at `m = 3` is only reachable with
 /// non-integral `P` and tile counts); real hardware pads to whole tiles.
+///
+/// The convention, fixed here because this enum threads through every
+/// implementation of Eq. 9 ([`engine_cycles`], [`latency_seconds`] and
+/// the evaluators built on them):
+///
+/// * [`TileModel::Fractional`] reproduces the paper's published numbers
+///   and is the default everywhere a published value is compared.
+/// * [`TileModel::Ceil`] counts what a tiler actually executes —
+///   `⌈H_out/m⌉·⌈W_out/m⌉` whole (edge-padded) tiles and whole kernel
+///   groups of `P` — and is what the cycle-level `wino-engine`
+///   simulator and the `wino-exec` execution engine realize. Whenever
+///   `m` does not divide the output extent, `Ceil` latencies are
+///   strictly larger than `Fractional` ones; they agree exactly when it
+///   does.
+///
+/// ```
+/// use wino_core::{output_tiles, ConvShape, TileModel};
+///
+/// let s = ConvShape::same_padded(224, 224, 8, 8, 3);
+/// // 224 is divisible by 2 but not by 3:
+/// assert_eq!(output_tiles(&s, 2, TileModel::Fractional), output_tiles(&s, 2, TileModel::Ceil));
+/// assert!(output_tiles(&s, 3, TileModel::Ceil) > output_tiles(&s, 3, TileModel::Fractional));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TileModel {
     /// `H·W / m²` exactly as written in Eqs. 4–9.
@@ -148,6 +171,10 @@ pub fn engine_cycles(
 
 /// Total layer latency in seconds (Eq. 9):
 /// `T_t = (N·H·W·C·K/(m²·P) + D_p − 1)·t_c`.
+///
+/// `tiles` selects the tile-counting convention (see [`TileModel`]):
+/// `Fractional` evaluates Eq. 9 exactly as the paper writes it,
+/// `Ceil` the whole-tile/whole-kernel-group schedule hardware runs.
 pub fn latency_seconds(
     batch: usize,
     shape: &ConvShape,
@@ -189,7 +216,7 @@ pub fn overhead_ratio_shared(params: WinogradParams, ops: TransformOps, p: f64) 
     transform / params.spatial_mults_per_tile_2d() as f64
 }
 
-/// Same ratio for the per-PE-transform reference design [3] (data
+/// Same ratio for the per-PE-transform reference design \[3\] (data
 /// transform replicated in every PE): the paper's 2.33×.
 pub fn overhead_ratio_per_pe(params: WinogradParams, ops: TransformOps) -> f64 {
     let transform = (ops.beta + ops.gamma + ops.delta) as f64;

@@ -135,6 +135,13 @@ fn poly_from_roots(roots: &[Ratio]) -> Vec<Ratio> {
 /// Real-valued (lossy) copies of a [`TransformSet`], ready for numeric
 /// kernels. Obtain one through [`TransformSet::to_scalar`] or the `to_f32`
 /// / `to_f64` shorthands.
+///
+/// Besides the raw matrices, this type provides the *allocation-free*
+/// per-tile transform application ([`apply_data`](Self::apply_data),
+/// [`apply_kernel`](Self::apply_kernel),
+/// [`apply_inverse`](Self::apply_inverse)) that execution engines run in
+/// their inner loops: flat row-major slices in, flat slices out, with one
+/// caller-owned scratch buffer and no heap traffic.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RealTransforms<T> {
     params: WinogradParams,
@@ -146,17 +153,132 @@ pub struct RealTransforms<T> {
     pub bt: Tensor2<T>,
 }
 
+/// `out = a · b` where `b` is a flat row-major `a.cols() × cols` block.
+fn mul_into<T: Scalar>(a: &Tensor2<T>, b: &[T], cols: usize, out: &mut [T]) {
+    for i in 0..a.rows() {
+        let out_row = &mut out[i * cols..(i + 1) * cols];
+        for x in out_row.iter_mut() {
+            *x = T::zero();
+        }
+        for (k, &aik) in a.row(i).iter().enumerate() {
+            if aik == T::zero() {
+                continue;
+            }
+            let b_row = &b[k * cols..(k + 1) * cols];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// `out = t · mᵀ` where `t` is a flat row-major `rows × cols` block and
+/// `m` is `? × cols` (each output row has `m.rows()` entries).
+fn mul_transposed_into<T: Scalar>(
+    t: &[T],
+    rows: usize,
+    cols: usize,
+    m: &Tensor2<T>,
+    out: &mut [T],
+) {
+    let out_cols = m.rows();
+    for i in 0..rows {
+        let t_row = &t[i * cols..(i + 1) * cols];
+        for j in 0..out_cols {
+            let mut acc = T::zero();
+            for (&a, &b) in t_row.iter().zip(m.row(j)) {
+                acc += a * b;
+            }
+            out[i * out_cols + j] = acc;
+        }
+    }
+}
+
 impl<T: Scalar> RealTransforms<T> {
     /// The `F(m, r)` parameters these matrices implement.
     pub fn params(&self) -> WinogradParams {
         self.params
     }
+
+    /// Minimum scratch length the `apply_*` methods require: `n²` with
+    /// `n = m + r − 1`.
+    pub fn scratch_len(&self) -> usize {
+        self.params.mults_per_tile_2d()
+    }
+
+    /// Data transform `U = Bᵀ d B` on a flat row-major `n × n` tile —
+    /// the generic-`m` counterpart of the hand-scheduled
+    /// [`f23_data_transform`](crate::f23_data_transform) /
+    /// [`f43_data_transform`](crate::f43_data_transform) kernels.
+    ///
+    /// ```
+    /// use wino_core::{f23_data_transform, TransformSet, WinogradParams};
+    ///
+    /// let real = TransformSet::generate(WinogradParams::new(2, 3)?)?.to_f32();
+    /// let tile: [f32; 16] = std::array::from_fn(|i| i as f32);
+    /// let (mut u, mut scratch) = ([0.0f32; 16], [0.0f32; 16]);
+    /// real.apply_data(&tile, &mut u, &mut scratch);
+    /// let mut expect = [0.0f32; 16];
+    /// f23_data_transform(&tile, &mut expect);
+    /// assert_eq!(u, expect);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tile` or `out` is not `n²` long or `scratch` is
+    /// shorter than [`scratch_len`](Self::scratch_len).
+    pub fn apply_data(&self, tile: &[T], out: &mut [T], scratch: &mut [T]) {
+        let n = self.params.input_tile();
+        assert_eq!(tile.len(), n * n, "data tile must be n*n = {}", n * n);
+        assert_eq!(out.len(), n * n, "data output must be n*n = {}", n * n);
+        assert!(scratch.len() >= n * n, "scratch must hold at least n*n = {}", n * n);
+        mul_into(&self.bt, tile, n, scratch);
+        mul_transposed_into(scratch, n, n, &self.bt, out);
+    }
+
+    /// Filter transform `V = G g Gᵀ` from a flat row-major `r × r`
+    /// kernel into a flat `n × n` output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kernel` is not `r²` long, `out` is not `n²` long, or
+    /// `scratch` is shorter than `n·r` (a
+    /// [`scratch_len`](Self::scratch_len)-sized buffer always suffices).
+    pub fn apply_kernel(&self, kernel: &[T], out: &mut [T], scratch: &mut [T]) {
+        let n = self.params.input_tile();
+        let r = self.params.r();
+        assert_eq!(kernel.len(), r * r, "kernel must be r*r = {}", r * r);
+        assert_eq!(out.len(), n * n, "kernel output must be n*n = {}", n * n);
+        assert!(scratch.len() >= n * r, "scratch must hold at least n*r = {}", n * r);
+        mul_into(&self.g, kernel, r, scratch);
+        mul_transposed_into(scratch, n, r, &self.g, out);
+    }
+
+    /// Inverse transform `Y = Aᵀ M A`: a flat `n × n` element-wise
+    /// product block down to the flat `m × m` output tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `product` is not `n²` long, `out` is not `m²` long,
+    /// or `scratch` is shorter than `m·n` (a
+    /// [`scratch_len`](Self::scratch_len)-sized buffer always suffices).
+    pub fn apply_inverse(&self, product: &[T], out: &mut [T], scratch: &mut [T]) {
+        let n = self.params.input_tile();
+        let m = self.params.m();
+        assert_eq!(product.len(), n * n, "product must be n*n = {}", n * n);
+        assert_eq!(out.len(), m * m, "inverse output must be m*m = {}", m * m);
+        assert!(scratch.len() >= m * n, "scratch must hold at least m*n = {}", m * n);
+        mul_into(&self.at, product, n, scratch);
+        mul_transposed_into(scratch, m, n, &self.at, out);
+    }
 }
 
-/// Exact Winograd transform matrices for one `F(m, r)` configuration.
-///
-/// See the [module documentation](self) for the construction and an
-/// example.
+/// Exact Winograd transform matrices for one `F(m, r)` configuration,
+/// built with the Cook–Toom method over exact rationals and re-verified
+/// against the bilinear exactness condition before being returned (see
+/// the construction walk-through at the top of this file's docs,
+/// surfaced on the crate page).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransformSet {
     params: WinogradParams,
@@ -603,6 +725,66 @@ mod tests {
         let e4 = set(4, 3).max_abs_entry();
         let e6 = set(6, 3).max_abs_entry();
         assert!(e2 < e4 && e4 < e6, "{e2} < {e4} < {e6}");
+    }
+
+    #[test]
+    fn slice_apply_matches_matrix_path_for_all_stages() {
+        use crate::WinogradAlgorithm;
+        use wino_tensor::SplitMix64;
+
+        let mut rng = SplitMix64::new(77);
+        for (m, r) in [(2usize, 3usize), (3, 3), (4, 3), (2, 5), (6, 3)] {
+            let s = set(m, r);
+            let real = s.to_f32();
+            let algo = WinogradAlgorithm::<f32>::new(&s);
+            let n = m + r - 1;
+            let mut scratch = vec![0f32; real.scratch_len()];
+
+            let tile = Tensor2::from_fn(n, n, |_, _| rng.uniform_f32(-2.0, 2.0));
+            let mut u = vec![0f32; n * n];
+            real.apply_data(tile.as_slice(), &mut u, &mut scratch);
+            assert_eq!(u, algo.transform_data(&tile).into_vec(), "F({m},{r}) data");
+
+            let kernel = Tensor2::from_fn(r, r, |_, _| rng.uniform_f32(-1.0, 1.0));
+            let mut v = vec![0f32; n * n];
+            real.apply_kernel(kernel.as_slice(), &mut v, &mut scratch);
+            assert_eq!(v, algo.transform_kernel(&kernel).into_vec(), "F({m},{r}) kernel");
+
+            let prod = Tensor2::from_fn(n, n, |_, _| rng.uniform_f32(-2.0, 2.0));
+            let mut y = vec![0f32; m * m];
+            real.apply_inverse(prod.as_slice(), &mut y, &mut scratch);
+            assert_eq!(y, algo.inverse_transform(&prod).into_vec(), "F({m},{r}) inverse");
+        }
+    }
+
+    #[test]
+    fn slice_apply_is_exact_over_rationals() {
+        // Round-tripping ones through data transform then inverse with a
+        // ones kernel reproduces the correlation of ones: m*m outputs of
+        // value r*r, exactly, because Ratio arithmetic never rounds.
+        let s = set(3, 3);
+        let real = s.to_scalar::<Ratio>();
+        let n = 5;
+        let mut scratch = vec![Ratio::ZERO; real.scratch_len()];
+        let tile = vec![Ratio::ONE; n * n];
+        let kernel = vec![Ratio::ONE; 9];
+        let mut u = vec![Ratio::ZERO; n * n];
+        let mut v = vec![Ratio::ZERO; n * n];
+        real.apply_data(&tile, &mut u, &mut scratch);
+        real.apply_kernel(&kernel, &mut v, &mut scratch);
+        let prod: Vec<Ratio> = u.iter().zip(&v).map(|(&a, &b)| a * b).collect();
+        let mut y = vec![Ratio::ZERO; 9];
+        real.apply_inverse(&prod, &mut y, &mut scratch);
+        assert!(y.iter().all(|&x| x == ratio(9, 1)), "{y:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "data tile must be n*n")]
+    fn slice_apply_rejects_wrong_tile_length() {
+        let real = set(2, 3).to_f32();
+        let mut out = [0f32; 16];
+        let mut scratch = [0f32; 16];
+        real.apply_data(&[0.0; 9], &mut out, &mut scratch);
     }
 
     #[test]

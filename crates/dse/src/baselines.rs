@@ -12,7 +12,7 @@ pub enum Provenance {
     /// Taken directly from the cited publication.
     Published,
     /// The DATE'19 paper's own scaling of a published value
-    /// ([3]ᵃ: power and multipliers scaled by 688/256).
+    /// (\[3\]ᵃ: power and multipliers scaled by 688/256).
     ScaledByPaper,
     /// Computed by this reproduction's models.
     Computed,
@@ -52,8 +52,8 @@ pub struct BaselineRecord {
     pub power_provenance: Provenance,
 }
 
-/// Qiu et al., FPGA'16 [12]: embedded Zynq accelerator, 16-bit fixed
-/// point (Table II column "[12]").
+/// Qiu et al., FPGA'16 \[12\]: embedded Zynq accelerator, 16-bit fixed
+/// point (Table II column "\[12\]").
 pub fn qiu_fpga16() -> BaselineRecord {
     BaselineRecord {
         label: "[12]",
@@ -73,8 +73,8 @@ pub fn qiu_fpga16() -> BaselineRecord {
     }
 }
 
-/// Podili et al., ASAP'17 [3]: the state-of-the-art `F(2×2, 3×3)` engine
-/// on a Stratix V GT (Table II column "[3]").
+/// Podili et al., ASAP'17 \[3\]: the state-of-the-art `F(2×2, 3×3)` engine
+/// on a Stratix V GT (Table II column "\[3\]").
 pub fn podili_asap17() -> BaselineRecord {
     BaselineRecord {
         label: "[3]",
@@ -94,7 +94,7 @@ pub fn podili_asap17() -> BaselineRecord {
     }
 }
 
-/// `[3]ᵃ`: the paper's multiplier-normalized scaling of [3] to 688
+/// `[3]ᵃ`: the paper's multiplier-normalized scaling of \[3\] to 688
 /// multipliers / 43 PEs (Table II footnote a).
 pub fn podili_normalized() -> BaselineRecord {
     BaselineRecord {

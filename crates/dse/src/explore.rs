@@ -29,6 +29,19 @@ impl Objective {
 
 /// Evaluates every `F(m, r)` for `m ∈ ms` at the PE count Eq. 8 yields
 /// from `mult_budget`, returning `(point, metrics)` pairs in `ms` order.
+///
+/// ```
+/// use wino_dse::{sweep_m, Evaluator};
+/// use wino_fpga::virtex7_485t;
+/// use wino_models::vgg16d;
+///
+/// // The paper's sweep: m in {2, 3, 4} under a 700-multiplier budget.
+/// let evaluator = Evaluator::new(vgg16d(1), virtex7_485t());
+/// let sweep = sweep_m(&evaluator, &[2, 3, 4], 3, 700, 200e6);
+/// assert_eq!(sweep.len(), 3);
+/// assert_eq!(sweep[2].0.pe_count, 19); // Table II: 19 PEs at m = 4
+/// assert!((sweep[2].1.total_latency_ms - 28.05).abs() < 0.05);
+/// ```
 pub fn sweep_m(
     evaluator: &Evaluator,
     ms: &[usize],
@@ -54,6 +67,22 @@ pub fn sweep_m(
 /// Returns the subset of `candidates` not dominated under
 /// (throughput, power efficiency) maximization — the paper's two
 /// headline axes.
+///
+/// ```
+/// use wino_dse::{pareto_front, sweep_m, Evaluator};
+/// use wino_fpga::virtex7_485t;
+/// use wino_models::vgg16d;
+///
+/// let evaluator = Evaluator::new(vgg16d(1), virtex7_485t());
+/// let sweep = sweep_m(&evaluator, &[2, 3, 4], 3, 700, 200e6);
+/// // m = 2 wins power efficiency, m = 4 wins throughput, m = 3 is
+/// // dominated by neither corner but by no one either way — the front
+/// // keeps every trade-off and drops only dominated designs.
+/// let front = pareto_front(&sweep);
+/// assert!(front.len() >= 2);
+/// assert!(front.iter().any(|(p, _)| p.params.m() == 2));
+/// assert!(front.iter().any(|(p, _)| p.params.m() == 4));
+/// ```
 pub fn pareto_front(candidates: &[(DesignPoint, Metrics)]) -> Vec<(DesignPoint, Metrics)> {
     candidates
         .iter()

@@ -73,6 +73,16 @@ fn f_label(m: usize) -> String {
 
 /// Fig. 1: multiplication complexity per VGG16-D group for spatial
 /// convolution and `F(m×m, 3×3)`, m = 2…7 (Eq. 4).
+///
+/// ```
+/// use wino_dse::fig1;
+/// use wino_models::vgg16d;
+///
+/// let fig = fig1(&vgg16d(1));
+/// assert_eq!(fig.x_labels, ["Conv1", "Conv2", "Conv3", "Conv4", "Conv5"]);
+/// // Spatial Conv1 bar: 1.936e9 multiplications (Fig. 1's tallest bar).
+/// assert!((fig.series[0].1[0] - 1.936).abs() < 0.001);
+/// ```
 pub fn fig1(workload: &Workload) -> SeriesFigure {
     let x_labels: Vec<String> = workload.groups().iter().map(|(g, _)| (*g).to_owned()).collect();
     let mut series = Vec::new();

@@ -13,8 +13,9 @@
 //! * [`figures`](mod@crate::figures) / [`tables`](mod@crate::tables) —
 //!   generators for every figure and table of the paper, with the
 //!   published values embedded for side-by-side comparison;
-//! * [`baselines`](mod@crate::baselines) — the published numbers of
-//!   Qiu et al. [12] and Podili et al. [3], carried as cited constants.
+//! * [`qiu_fpga16`] / [`podili_asap17`] / [`podili_normalized`] — the
+//!   published numbers of Qiu et al. \[12\] and Podili et al. \[3\],
+//!   carried as cited constants.
 //!
 //! ```
 //! use wino_dse::{best_design, Evaluator, Objective};

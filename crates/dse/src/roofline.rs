@@ -124,6 +124,27 @@ pub fn peak_gops(point: &DesignPoint) -> f64 {
 }
 
 /// Runs the roofline over a workload.
+///
+/// ```
+/// use wino_core::WinogradParams;
+/// use wino_dse::{ddr3_1600_x2, roofline, DesignPoint};
+/// use wino_fpga::Architecture;
+/// use wino_models::vgg16d;
+///
+/// let point = DesignPoint::with_mult_budget(
+///     WinogradParams::new(4, 3)?,
+///     Architecture::SharedTransform,
+///     700,
+///     200e6,
+/// );
+/// let points = roofline(&vgg16d(1), &point, &ddr3_1600_x2(), true);
+/// // The low-arithmetic-intensity edges — conv1_1 (3 input channels)
+/// // and the 14x14 conv5 group — are memory-bound on dual DDR3-1600;
+/// // the nine-layer body keeps the engine compute-bound.
+/// assert!(!points[0].compute_bound);
+/// assert_eq!(points.iter().filter(|p| p.compute_bound).count(), 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn roofline(
     workload: &Workload,
     point: &DesignPoint,

@@ -11,7 +11,7 @@ use wino_fpga::{Architecture, EngineResources, FpgaDevice, ResourceUsage};
 /// engine in both architectures, plus device capacity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
-    /// The [3]-based design (per-PE data transform).
+    /// The \[3\]-based design (per-PE data transform).
     pub reference: ResourceUsage,
     /// The proposed design (shared data transform).
     pub proposed: ResourceUsage,
@@ -22,6 +22,16 @@ pub struct Table1 {
 }
 
 /// Builds Table I for the given device (the paper's Virtex-7).
+///
+/// ```
+/// use wino_dse::table1;
+/// use wino_fpga::virtex7_485t;
+///
+/// let t = table1(&virtex7_485t());
+/// // The paper's headline: ~54% fewer LUTs than the [3]-based design.
+/// assert!((t.lut_saving - 0.536).abs() < 0.01);
+/// assert_eq!(t.proposed.multipliers, 684);
+/// ```
 ///
 /// # Panics
 ///
@@ -98,6 +108,18 @@ pub struct Table2Column {
 
 /// Builds all six Table II columns: the three published baselines and the
 /// three proposed designs evaluated by our models.
+///
+/// ```
+/// use wino_dse::{table2, Evaluator};
+/// use wino_fpga::virtex7_485t;
+/// use wino_models::vgg16d;
+///
+/// let columns = table2(&Evaluator::new(vgg16d(1), virtex7_485t()));
+/// assert_eq!(columns.len(), 6);
+/// let m4 = columns.last().unwrap(); // "Ours 4,3"
+/// assert!((m4.overall_ms - 28.05).abs() < 0.05);
+/// assert!((m4.throughput_gops - 1094.3).abs() < 2.0);
+/// ```
 pub fn table2(evaluator: &Evaluator) -> Vec<Table2Column> {
     let mut columns: Vec<Table2Column> = [qiu_fpga16(), podili_asap17(), podili_normalized()]
         .into_iter()

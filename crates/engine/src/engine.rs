@@ -25,7 +25,7 @@ use wino_tensor::{Shape4, Tensor2, Tensor4};
 pub struct EngineConfig {
     /// Winograd algorithm parameters `F(m×m, r×r)`.
     pub params: WinogradParams,
-    /// Data-transform placement (proposed vs [3]).
+    /// Data-transform placement (proposed vs \[3\]).
     pub arch: Architecture,
     /// Number of parallel PEs (`P` of Eq. 8).
     pub pe_count: usize,
@@ -55,7 +55,7 @@ impl EngineConfig {
         }
     }
 
-    /// The [3]-style baseline: identical timing (the paper notes moving
+    /// The \[3\]-style baseline: identical timing (the paper notes moving
     /// the data transform does not change latency), different structure.
     pub fn reference(params: WinogradParams, pe_count: usize) -> EngineConfig {
         EngineConfig {

@@ -46,6 +46,22 @@ pub struct PeStructure {
 
 /// Builds the Fig. 4 inventory for one architecture.
 ///
+/// ```
+/// use wino_core::WinogradParams;
+/// use wino_engine::structure_1d;
+/// use wino_fpga::Architecture;
+///
+/// // Fig. 4: the shared-transform engine drops the per-engine data
+/// // transform the per-PE design carries.
+/// let p = WinogradParams::new(3, 3)?;
+/// let ours = structure_1d(p, Architecture::SharedTransform)?;
+/// let theirs = structure_1d(p, Architecture::PerPeTransform)?;
+/// assert_eq!(ours.multipliers, 5);
+/// assert_eq!(ours.data_transform_ops.flops(), 0);
+/// assert!(ours.total_flops() < theirs.total_flops());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
 /// # Errors
 ///
 /// Propagates transform-generation failures.
@@ -67,6 +83,19 @@ pub fn structure_1d(
 }
 
 /// Builds the Fig. 5 summary of a 2-D PE.
+///
+/// ```
+/// use wino_core::WinogradParams;
+/// use wino_engine::pe_structure;
+///
+/// // Sec. IV-A: the F(3x3, 3x3) PE has 25 multipliers and emits 9
+/// // outputs per cycle from 5 nested 1-D engines.
+/// let pe = pe_structure(WinogradParams::new(3, 3)?)?;
+/// assert_eq!(pe.nested_1d_engines, 5);
+/// assert_eq!(pe.multipliers, 25);
+/// assert_eq!(pe.outputs_per_cycle, 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 ///
 /// # Errors
 ///

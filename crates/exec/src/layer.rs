@@ -1,0 +1,502 @@
+//! The layer-level execution kernels: batched thread-parallel Winograd
+//! convolution and the thread-parallel spatial fallback.
+//!
+//! ## Parallel decomposition
+//!
+//! Work is split into independent *items*. For the Winograd path an item
+//! is one `(image, tile-row)` pair: the worker gathers and transforms
+//! every input tile of that row, runs the transform-domain multiply as
+//! `n²` small GEMMs over channels (`M_e = V_e · U_e`, one `K×C · C×T`
+//! product per transform coordinate `e`), inverse-transforms, and emits
+//! the finished output rows. For the spatial path an item is one
+//! `(image, kernel)` output plane.
+//!
+//! Items are distributed over `std::thread::scope` workers in fixed
+//! contiguous chunks (no work stealing), and every item is computed
+//! entirely independently with a fixed channel accumulation order — so
+//! the output is **bitwise identical for any thread count**, a property
+//! the tests pin.
+
+use crate::{EnginePlan, LayerPlan};
+use wino_core::{TransformError, TransformSet, WinogradParams};
+use wino_tensor::{Shape4, Tensor4};
+
+/// Execution-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads to fan layer execution across (min 1).
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    /// One worker per available hardware thread.
+    fn default() -> ExecConfig {
+        ExecConfig { threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }
+    }
+}
+
+impl ExecConfig {
+    /// A configuration with exactly `threads` workers (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> ExecConfig {
+        ExecConfig { threads: threads.max(1) }
+    }
+}
+
+/// Runs `items.len()` independent jobs across `threads` scoped workers
+/// in deterministic contiguous chunks, returning results in item order.
+fn run_chunked<T: Send, F: Fn(usize) -> T + Sync>(total: usize, threads: usize, job: F) -> Vec<T> {
+    let threads = threads.clamp(1, total.max(1));
+    if threads == 1 {
+        return (0..total).map(job).collect();
+    }
+    let chunk = total.div_ceil(threads);
+    let mut out: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let job = &job;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(total);
+            if lo >= hi {
+                break;
+            }
+            handles.push((lo, scope.spawn(move || (lo..hi).map(job).collect::<Vec<T>>())));
+        }
+        for (lo, handle) in handles {
+            for (offset, value) in
+                handle.join().expect("exec worker panicked").into_iter().enumerate()
+            {
+                out[lo + offset] = Some(value);
+            }
+        }
+    });
+    out.into_iter().map(|v| v.expect("every item computed")).collect()
+}
+
+/// Shared, read-only state of one Winograd layer execution.
+struct WinoCtx<'a> {
+    real: wino_core::RealTransforms<f32>,
+    input: &'a [f32],
+    in_shape: Shape4,
+    /// Transform-domain kernel bank, coordinate-major: `v[e][k][c]`.
+    v_bank: &'a [f32],
+    k: usize,
+    c: usize,
+    m: usize,
+    n2: usize,
+    pad: isize,
+    out_h: usize,
+    out_w: usize,
+    tiles_x: usize,
+}
+
+impl WinoCtx<'_> {
+    /// Executes one `(image, tile-row)` item, returning the finished
+    /// output rows as a flat `K × rows_here × out_w` buffer.
+    fn run_item(&self, img: usize, ty: usize) -> Vec<f32> {
+        let (m, n2, c_in, k_out, tx_count) = (self.m, self.n2, self.c, self.k, self.tiles_x);
+        let n = self.real.params().input_tile();
+        let rows_here = m.min(self.out_h - ty * m);
+        let plane_stride = self.in_shape.h * self.in_shape.w;
+        let top = (ty * m) as isize - self.pad;
+
+        let mut scratch = vec![0f32; self.real.scratch_len()];
+        let mut d = vec![0f32; n2];
+        let mut u = vec![0f32; n2];
+        // U block, coordinate-major: u[e][c][tx].
+        let mut u_block = vec![0f32; n2 * c_in * tx_count];
+        for c in 0..c_in {
+            let plane = &self.input[(img * c_in + c) * plane_stride..][..plane_stride];
+            for tx in 0..tx_count {
+                let left = (tx * m) as isize - self.pad;
+                for r in 0..n {
+                    let rr = top + r as isize;
+                    let row_ok = rr >= 0 && (rr as usize) < self.in_shape.h;
+                    for col in 0..n {
+                        let cc = left + col as isize;
+                        d[n * r + col] = if row_ok && cc >= 0 && (cc as usize) < self.in_shape.w {
+                            plane[rr as usize * self.in_shape.w + cc as usize]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                self.real.apply_data(&d, &mut u, &mut scratch);
+                for (e, &ue) in u.iter().enumerate() {
+                    u_block[(e * c_in + c) * tx_count + tx] = ue;
+                }
+            }
+        }
+
+        // Transform-domain multiply as n² channel GEMMs:
+        // M_e[k][tx] = Σ_c V_e[k][c] · U_e[c][tx], accumulated in fixed
+        // channel order (thread-count invariant).
+        let mut m_block = vec![0f32; n2 * k_out * tx_count];
+        for e in 0..n2 {
+            let u_e = &u_block[e * c_in * tx_count..(e + 1) * c_in * tx_count];
+            let v_e = &self.v_bank[e * k_out * c_in..(e + 1) * k_out * c_in];
+            let m_e = &mut m_block[e * k_out * tx_count..(e + 1) * k_out * tx_count];
+            for k in 0..k_out {
+                let m_row = &mut m_e[k * tx_count..(k + 1) * tx_count];
+                for (c, &v) in v_e[k * c_in..(k + 1) * c_in].iter().enumerate() {
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let u_row = &u_e[c * tx_count..(c + 1) * tx_count];
+                    for (acc, &uu) in m_row.iter_mut().zip(u_row) {
+                        *acc += v * uu;
+                    }
+                }
+            }
+        }
+
+        // Inverse transforms into the finished output rows.
+        let mut local = vec![0f32; k_out * rows_here * self.out_w];
+        let mut prod = vec![0f32; n2];
+        let mut y = vec![0f32; m * m];
+        for k in 0..k_out {
+            for tx in 0..tx_count {
+                for (e, p) in prod.iter_mut().enumerate() {
+                    *p = m_block[(e * k_out + k) * tx_count + tx];
+                }
+                self.real.apply_inverse(&prod, &mut y, &mut scratch);
+                let cols_here = m.min(self.out_w - tx * m);
+                for rr in 0..rows_here {
+                    let dst = (k * rows_here + rr) * self.out_w + tx * m;
+                    local[dst..dst + cols_here].copy_from_slice(&y[rr * m..rr * m + cols_here]);
+                }
+            }
+        }
+        local
+    }
+}
+
+/// Batched, thread-parallel tiled Winograd layer convolution.
+///
+/// `input` is `(N, C, H, W)`, `kernels` `(K, C, r, r)`; output is
+/// `(N, K, H+2·pad−r+1, W+2·pad−r+1)` — stride 1, the only mode
+/// Winograd supports. Functionally equivalent to
+/// `wino_core::WinogradAlgorithm::convolve_layer` and to the spatial
+/// oracle (within fp32 tolerance), but organized for speed: the kernel
+/// bank is transformed once into a coordinate-major `V` buffer, each
+/// `(image, tile-row)` work item runs the transform-domain multiply as
+/// `n²` blocked channel GEMMs, and items execute on `threads` scoped
+/// workers under a deterministic chunk scheduler — so the output is
+/// bitwise identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates [`TransformError`] from transform generation.
+///
+/// # Panics
+///
+/// Panics if channel counts disagree, kernels are not `r × r` for the
+/// given `params`, or the padded input is smaller than the kernel.
+pub fn winograd_convolve(
+    params: WinogradParams,
+    input: &Tensor4<f32>,
+    kernels: &Tensor4<f32>,
+    pad: usize,
+    threads: usize,
+) -> Result<Tensor4<f32>, TransformError> {
+    let is = input.shape();
+    let ks = kernels.shape();
+    let r = params.r();
+    assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
+    assert_eq!((ks.h, ks.w), (r, r), "kernels must be {r}x{r} for {params}");
+    assert!(is.h + 2 * pad >= r && is.w + 2 * pad >= r, "input too small for kernel");
+
+    let real = TransformSet::generate(params)?.to_f32();
+    let m = params.m();
+    let n2 = params.mults_per_tile_2d();
+    let out_h = is.h + 2 * pad - r + 1;
+    let out_w = is.w + 2 * pad - r + 1;
+    let tiles_y = out_h.div_ceil(m);
+    let tiles_x = out_w.div_ceil(m);
+
+    // Transform the whole kernel bank once, coordinate-major.
+    let mut v_bank = vec![0f32; n2 * ks.n * ks.c];
+    {
+        let mut scratch = vec![0f32; real.scratch_len()];
+        let mut v = vec![0f32; n2];
+        let kflat = kernels.as_slice();
+        for k in 0..ks.n {
+            for c in 0..ks.c {
+                let g = &kflat[(k * ks.c + c) * r * r..][..r * r];
+                real.apply_kernel(g, &mut v, &mut scratch);
+                for (e, &ve) in v.iter().enumerate() {
+                    v_bank[(e * ks.n + k) * ks.c + c] = ve;
+                }
+            }
+        }
+    }
+
+    let ctx = WinoCtx {
+        real,
+        input: input.as_slice(),
+        in_shape: is,
+        v_bank: &v_bank,
+        k: ks.n,
+        c: ks.c,
+        m,
+        n2,
+        pad: pad as isize,
+        out_h,
+        out_w,
+        tiles_x,
+    };
+
+    let total = is.n * tiles_y;
+    let blocks = run_chunked(total, threads, |item| ctx.run_item(item / tiles_y, item % tiles_y));
+
+    let mut output = Tensor4::zeros(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w });
+    let out_flat = output.as_mut_slice();
+    for (item, local) in blocks.iter().enumerate() {
+        let (img, ty) = (item / tiles_y, item % tiles_y);
+        let rows_here = m.min(out_h - ty * m);
+        for k in 0..ks.n {
+            for rr in 0..rows_here {
+                let dst = ((img * ks.n + k) * out_h + ty * m + rr) * out_w;
+                let src = (k * rows_here + rr) * out_w;
+                out_flat[dst..dst + out_w].copy_from_slice(&local[src..src + out_w]);
+            }
+        }
+    }
+    Ok(output)
+}
+
+/// Thread-parallel direct spatial convolution with arbitrary stride —
+/// the engine's fallback for layers Winograd cannot run.
+///
+/// Bitwise identical to `wino_baselines::spatial_convolve_strided` (the
+/// accumulation order is the same); work items are `(image, kernel)`
+/// output planes distributed over scoped workers.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`, channel counts disagree, kernels are not
+/// square, or the padded input is smaller than the kernel.
+pub fn spatial_convolve_mt(
+    input: &Tensor4<f32>,
+    kernels: &Tensor4<f32>,
+    pad: usize,
+    stride: usize,
+    threads: usize,
+) -> Tensor4<f32> {
+    let is = input.shape();
+    let ks = kernels.shape();
+    assert!(stride > 0, "stride must be positive");
+    assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
+    assert_eq!(ks.h, ks.w, "kernels must be square");
+    assert!(is.h + 2 * pad >= ks.h && is.w + 2 * pad >= ks.w, "input too small for kernel");
+    let r = ks.h;
+    let out_h = (is.h + 2 * pad - r) / stride + 1;
+    let out_w = (is.w + 2 * pad - r) / stride + 1;
+    let plane_stride = is.h * is.w;
+    let in_flat = input.as_slice();
+    let k_flat = kernels.as_slice();
+
+    let total = is.n * ks.n;
+    let planes = run_chunked(total, threads, |item| {
+        let (img, k) = (item / ks.n, item % ks.n);
+        let mut plane = vec![0f32; out_h * out_w];
+        for (o, out) in plane.iter_mut().enumerate() {
+            let (y, x) = (o / out_w, o % out_w);
+            let mut acc = 0f32;
+            for c in 0..is.c {
+                let in_plane = &in_flat[(img * is.c + c) * plane_stride..][..plane_stride];
+                let kern = &k_flat[(k * ks.c + c) * r * r..][..r * r];
+                for v in 0..r {
+                    let iy = (y * stride + v) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= is.h {
+                        continue;
+                    }
+                    for u in 0..r {
+                        let ix = (x * stride + u) as isize - pad as isize;
+                        if ix >= 0 && (ix as usize) < is.w {
+                            acc += in_plane[iy as usize * is.w + ix as usize] * kern[v * r + u];
+                        }
+                    }
+                }
+            }
+            *out = acc;
+        }
+        plane
+    });
+
+    let mut output = Tensor4::zeros(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w });
+    let out_flat = output.as_mut_slice();
+    for (item, plane) in planes.iter().enumerate() {
+        out_flat[item * out_h * out_w..(item + 1) * out_h * out_w].copy_from_slice(plane);
+    }
+    output
+}
+
+/// Executes one layer plan on the engine it names.
+///
+/// # Errors
+///
+/// Propagates [`TransformError`] from the Winograd path.
+///
+/// # Panics
+///
+/// Panics when `input`/`kernels` do not match `plan.shape` (batch is
+/// free; channel, kernel-size and spatial extents must agree), or when
+/// a hand-built plan pairs a Winograd engine with a strided shape —
+/// `Schedule` lowering never produces such a plan, but `LayerPlan`'s
+/// fields are public.
+pub fn execute_plan(
+    plan: &LayerPlan,
+    input: &Tensor4<f32>,
+    kernels: &Tensor4<f32>,
+    config: &ExecConfig,
+) -> Result<Tensor4<f32>, TransformError> {
+    let is = input.shape();
+    let ks = kernels.shape();
+    let s = plan.shape;
+    assert_eq!((is.c, is.h, is.w), (s.c, s.h, s.w), "input does not match plan '{}'", plan.layer);
+    assert_eq!(
+        (ks.n, ks.c, ks.h, ks.w),
+        (s.k, s.c, s.r, s.r),
+        "kernels do not match plan '{}'",
+        plan.layer
+    );
+    match plan.engine {
+        EnginePlan::Winograd(params) => {
+            assert_eq!(s.stride, 1, "Winograd plan '{}' requires unit stride", plan.layer);
+            winograd_convolve(params, input, kernels, s.pad, config.threads)
+        }
+        EnginePlan::Spatial => {
+            Ok(spatial_convolve_mt(input, kernels, s.pad, s.stride, config.threads))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_baselines::{spatial_convolve, spatial_convolve_strided};
+    use wino_core::{fast_convolve_layer, FastKernel};
+    use wino_tensor::{ErrorStats, SplitMix64};
+
+    fn random_pair(seed: u64, shape: Shape4, k: usize, r: usize) -> (Tensor4<f32>, Tensor4<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(shape, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c: shape.c, h: r, w: r }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        (input, kernels)
+    }
+
+    fn params(m: usize, r: usize) -> WinogradParams {
+        WinogradParams::new(m, r).unwrap()
+    }
+
+    #[test]
+    fn winograd_matches_oracle_across_tile_sizes() {
+        let (input, kernels) = random_pair(1, Shape4 { n: 2, c: 3, h: 11, w: 13 }, 4, 3);
+        let oracle = spatial_convolve(&input, &kernels, 1);
+        for m in [2usize, 3, 4, 6] {
+            let got = winograd_convolve(params(m, 3), &input, &kernels, 1, 2).unwrap();
+            assert_eq!(got.shape(), oracle.shape());
+            let stats = ErrorStats::between(got.as_slice(), oracle.as_slice());
+            assert!(stats.within_abs(1e-4), "m={m}: {stats}");
+        }
+    }
+
+    #[test]
+    fn winograd_matches_oracle_for_5x5_kernels_unpadded() {
+        let (input, kernels) = random_pair(2, Shape4 { n: 1, c: 2, h: 10, w: 9 }, 3, 5);
+        let oracle = spatial_convolve(&input, &kernels, 0);
+        let got = winograd_convolve(params(2, 5), &input, &kernels, 0, 3).unwrap();
+        let stats = ErrorStats::between(got.as_slice(), oracle.as_slice());
+        assert!(stats.within_abs(1e-4), "{stats}");
+    }
+
+    #[test]
+    fn winograd_matches_hand_scheduled_fast_path() {
+        let (input, kernels) = random_pair(3, Shape4 { n: 1, c: 4, h: 12, w: 12 }, 5, 3);
+        let fast = fast_convolve_layer(FastKernel::F4x4, &input, &kernels, 1);
+        let got = winograd_convolve(params(4, 3), &input, &kernels, 1, 2).unwrap();
+        let stats = ErrorStats::between(got.as_slice(), fast.as_slice());
+        assert!(stats.within_abs(1e-4), "{stats}");
+    }
+
+    #[test]
+    fn thread_count_never_changes_a_bit() {
+        let (input, kernels) = random_pair(4, Shape4 { n: 2, c: 3, h: 9, w: 14 }, 4, 3);
+        let one = winograd_convolve(params(4, 3), &input, &kernels, 1, 1).unwrap();
+        for threads in [2usize, 3, 5, 8] {
+            let multi = winograd_convolve(params(4, 3), &input, &kernels, 1, threads).unwrap();
+            assert_eq!(one.as_slice(), multi.as_slice(), "threads={threads}");
+        }
+        let s1 = spatial_convolve_mt(&input, &kernels, 1, 1, 1);
+        let s4 = spatial_convolve_mt(&input, &kernels, 1, 1, 4);
+        assert_eq!(s1.as_slice(), s4.as_slice());
+    }
+
+    #[test]
+    fn spatial_mt_is_bitwise_the_oracle() {
+        let (input, kernels) = random_pair(5, Shape4 { n: 2, c: 3, h: 9, w: 8 }, 4, 3);
+        for (pad, stride) in [(0usize, 1usize), (1, 1), (1, 2), (2, 3)] {
+            let oracle = spatial_convolve_strided(&input, &kernels, pad, stride);
+            let got = spatial_convolve_mt(&input, &kernels, pad, stride, 3);
+            assert_eq!(oracle.as_slice(), got.as_slice(), "pad={pad} stride={stride}");
+        }
+    }
+
+    #[test]
+    fn execute_plan_dispatches_both_engines() {
+        let shape = wino_core::ConvShape { h: 8, w: 8, c: 2, k: 3, r: 3, stride: 1, pad: 1 };
+        let (input, kernels) = random_pair(6, Shape4 { n: 1, c: 2, h: 8, w: 8 }, 3, 3);
+        let cfg = ExecConfig::with_threads(2);
+        let wino = crate::LayerPlan {
+            layer: "l".into(),
+            shape,
+            engine: EnginePlan::Winograd(params(2, 3)),
+        };
+        let spat = crate::LayerPlan { layer: "l".into(), shape, engine: EnginePlan::Spatial };
+        let a = execute_plan(&wino, &input, &kernels, &cfg).unwrap();
+        let b = execute_plan(&spat, &input, &kernels, &cfg).unwrap();
+        let stats = ErrorStats::between(a.as_slice(), b.as_slice());
+        assert!(stats.within_abs(1e-4), "{stats}");
+    }
+
+    #[test]
+    fn ragged_edges_are_clipped_not_padded() {
+        // 7x5 output with m=4 leaves partial tiles on both axes.
+        let (input, kernels) = random_pair(7, Shape4 { n: 1, c: 2, h: 9, w: 7 }, 2, 3);
+        let oracle = spatial_convolve(&input, &kernels, 0);
+        let got = winograd_convolve(params(4, 3), &input, &kernels, 0, 2).unwrap();
+        assert_eq!(got.shape(), oracle.shape());
+        let stats = ErrorStats::between(got.as_slice(), oracle.as_slice());
+        assert!(stats.within_abs(1e-4), "{stats}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires unit stride")]
+    fn hand_built_strided_winograd_plan_panics() {
+        let shape = wino_core::ConvShape { h: 8, w: 8, c: 2, k: 3, r: 3, stride: 2, pad: 1 };
+        let (input, kernels) = random_pair(8, Shape4 { n: 1, c: 2, h: 8, w: 8 }, 3, 3);
+        let plan = crate::LayerPlan {
+            layer: "bad".into(),
+            shape,
+            engine: EnginePlan::Winograd(params(2, 3)),
+        };
+        let _ = execute_plan(&plan, &input, &kernels, &ExecConfig::with_threads(1));
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        assert!(ExecConfig::default().threads >= 1);
+        assert_eq!(ExecConfig::with_threads(0).threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel counts must match")]
+    fn channel_mismatch_panics() {
+        let input = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 2, h: 8, w: 8 });
+        let kernels = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 3, h: 3, w: 3 });
+        let _ = winograd_convolve(params(2, 3), &input, &kernels, 1, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # wino-exec
+//!
+//! A batched, thread-parallel CPU execution engine for whole CNNs under
+//! Winograd fast convolution — the runnable counterpart of the analytical
+//! models in the `winofpga` reproduction of Ahmad & Pasha (DATE 2019).
+//!
+//! Every other crate in the workspace *models* the fast algorithms; this
+//! one *runs* them. Each eligible layer executes as tiled `F(m×m, r×r)`
+//! Winograd convolution — per-tile data transform, transform-domain
+//! multiply batched into a blocked GEMM over channels, per-tile inverse
+//! transform — parallelized across batch×tile-row blocks with
+//! `std::thread` scoped workers under a deterministic (work-stealing-free)
+//! chunk scheduler, so results are bitwise identical at any thread count.
+//! Strided or oversized-kernel layers fall back to a thread-parallel
+//! spatial engine that matches `wino_baselines::spatial_convolve_strided`
+//! bit for bit.
+//!
+//! The bridge from design space exploration to execution is the
+//! [`Schedule`]: per-layer engine assignments lowered from the
+//! heterogeneous designs `wino-search` produces
+//! ([`Schedule::from_layer_designs`]), from a `wino-dse` workload mapping
+//! ([`Schedule::from_mapping`]), or from the paper's homogeneous choice
+//! ([`Schedule::homogeneous`]). A [`NetworkExecutor`] then runs the whole
+//! network and can verify itself against the spatial oracle.
+//!
+//! ```
+//! use wino_core::{ConvShape, Workload};
+//! use wino_exec::{ExecConfig, NetworkExecutor, Schedule};
+//!
+//! let mut wl = Workload::new("toy", 1);
+//! wl.push("conv1", "Conv1", ConvShape::same_padded(8, 8, 2, 4, 3));
+//! wl.push("conv2", "Conv2", ConvShape { h: 8, w: 8, c: 4, k: 4, r: 3, stride: 2, pad: 1 });
+//!
+//! // conv1 runs as F(2x2, 3x3); strided conv2 falls back to spatial.
+//! let schedule = Schedule::homogeneous(&wl, 2)?;
+//! let exec = NetworkExecutor::new(wl, schedule, ExecConfig::with_threads(2))?;
+//! let report = exec.run();
+//! assert_eq!(report.layers.len(), 2);
+//! // Every layer's output matches the spatial oracle within fp32 noise.
+//! assert!(exec.verify(1e-4)? < 1e-4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod executor;
+mod layer;
+mod schedule;
+
+pub use executor::{LayerReport, NetworkExecutor, NetworkReport, VerifyError};
+pub use layer::{execute_plan, spatial_convolve_mt, winograd_convolve, ExecConfig};
+pub use schedule::{EnginePlan, LayerPlan, Schedule, ScheduleError};

@@ -1,0 +1,451 @@
+//! Lowering design-space results into executable per-layer schedules.
+//!
+//! A [`Schedule`] assigns every layer of a [`Workload`] an execution
+//! engine: a Winograd `F(m×m, r×r)` configuration or the spatial
+//! fallback. Schedules are produced three ways — from the heterogeneous
+//! per-layer designs of `wino-search`
+//! ([`Schedule::from_layer_designs`]), from a `wino-dse` workload
+//! mapping ([`Schedule::from_mapping`]), or homogeneously with one tile
+//! size for every eligible layer ([`Schedule::homogeneous`], the
+//! paper's design rule) — and validated against the workload before an
+//! executor will accept them.
+
+use std::fmt;
+use wino_core::{ConvShape, ParamError, WinogradParams, Workload};
+use wino_dse::{LayerTarget, WorkloadMapping};
+use wino_search::LayerDesign;
+
+/// The engine one layer executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePlan {
+    /// Tiled `F(m×m, r×r)` Winograd convolution.
+    Winograd(WinogradParams),
+    /// Direct spatial convolution (any stride or kernel size).
+    Spatial,
+}
+
+impl fmt::Display for EnginePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnginePlan::Winograd(p) => write!(f, "{p}"),
+            EnginePlan::Spatial => write!(f, "spatial"),
+        }
+    }
+}
+
+/// One layer's executable plan: its geometry plus the engine it runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// Layer name (matches the workload).
+    pub layer: String,
+    /// Layer geometry (matches the workload).
+    pub shape: ConvShape,
+    /// Assigned engine.
+    pub engine: EnginePlan,
+}
+
+/// Errors lowering a design to a schedule, or validating a schedule
+/// against a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The design has a different number of layers than the workload.
+    LayerCount {
+        /// Layers in the workload.
+        expected: usize,
+        /// Layers in the design.
+        actual: usize,
+    },
+    /// Layer `index` is named differently in the design and workload.
+    LayerName {
+        /// Position in execution order.
+        index: usize,
+        /// Name in the workload.
+        workload: String,
+        /// Name in the design.
+        design: String,
+    },
+    /// A Winograd engine was assigned to a layer it cannot run
+    /// (non-unit stride, or a kernel size other than the engine's `r`).
+    Incompatible {
+        /// Offending layer name.
+        layer: String,
+        /// The assigned parameters.
+        params: WinogradParams,
+    },
+    /// Invalid `F(m, r)` parameters while constructing a plan.
+    Params(ParamError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::LayerCount { expected, actual } => {
+                write!(f, "design has {actual} layers, workload has {expected}")
+            }
+            ScheduleError::LayerName { index, workload, design } => {
+                write!(
+                    f,
+                    "layer {index} is '{workload}' in the workload but '{design}' in the design"
+                )
+            }
+            ScheduleError::Incompatible { layer, params } => {
+                write!(f, "{params} cannot execute layer '{layer}' (stride or kernel mismatch)")
+            }
+            ScheduleError::Params(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<ParamError> for ScheduleError {
+    fn from(e: ParamError) -> ScheduleError {
+        ScheduleError::Params(e)
+    }
+}
+
+/// A fully-lowered execution plan for one workload: one [`LayerPlan`]
+/// per layer, in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    plans: Vec<LayerPlan>,
+}
+
+impl Schedule {
+    fn plan_for(
+        shape: ConvShape,
+        layer: &str,
+        params: WinogradParams,
+    ) -> Result<LayerPlan, ScheduleError> {
+        if params.m() == 1 {
+            return Ok(LayerPlan { layer: layer.to_owned(), shape, engine: EnginePlan::Spatial });
+        }
+        if !shape.winograd_compatible() || shape.r != params.r() {
+            return Err(ScheduleError::Incompatible { layer: layer.to_owned(), params });
+        }
+        Ok(LayerPlan { layer: layer.to_owned(), shape, engine: EnginePlan::Winograd(params) })
+    }
+
+    /// Every layer on the spatial engine — the all-fallback baseline.
+    pub fn spatial(workload: &Workload) -> Schedule {
+        Schedule {
+            plans: workload
+                .layers()
+                .iter()
+                .map(|l| LayerPlan {
+                    layer: l.name.clone(),
+                    shape: l.shape,
+                    engine: EnginePlan::Spatial,
+                })
+                .collect(),
+        }
+    }
+
+    /// The paper's design rule: one output-tile size `m` for every
+    /// Winograd-eligible layer. Strided layers fall back to spatial,
+    /// and so does any layer whose kernel is too large for exact
+    /// `F(m, r)` transform generation (`m + r − 1 > 16`) — note that
+    /// *stride-1 non-3×3* layers within that bound (AlexNet's 5×5, say)
+    /// run as Winograd `F(m×m, r×r)`, not spatially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Params`] when a layer declares a
+    /// zero-size kernel.
+    pub fn homogeneous(workload: &Workload, m: usize) -> Result<Schedule, ScheduleError> {
+        let mut plans = Vec::with_capacity(workload.layers().len());
+        for l in workload.layers() {
+            let spatial =
+                LayerPlan { layer: l.name.clone(), shape: l.shape, engine: EnginePlan::Spatial };
+            if m > 1 && l.shape.winograd_compatible() {
+                match WinogradParams::new(m, l.shape.r) {
+                    Ok(params) => plans.push(Schedule::plan_for(l.shape, &l.name, params)?),
+                    Err(ParamError::TooLarge { .. }) => plans.push(spatial),
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                plans.push(spatial);
+            }
+        }
+        Ok(Schedule { plans })
+    }
+
+    /// Lowers the heterogeneous per-layer designs produced by
+    /// `wino-search` (one [`LayerDesign`] per layer, in order — the
+    /// output of `HeterogeneousSpace::layer_designs`) into an
+    /// executable schedule. Designs with `m = 1` lower to the spatial
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::LayerCount`] / [`ScheduleError::LayerName`]
+    /// when the design does not line up with the workload, and
+    /// [`ScheduleError::Incompatible`] when a Winograd engine was chosen
+    /// for a layer it cannot run.
+    pub fn from_layer_designs(
+        workload: &Workload,
+        designs: &[LayerDesign],
+    ) -> Result<Schedule, ScheduleError> {
+        let layers = workload.layers();
+        if layers.len() != designs.len() {
+            return Err(ScheduleError::LayerCount {
+                expected: layers.len(),
+                actual: designs.len(),
+            });
+        }
+        let mut plans = Vec::with_capacity(layers.len());
+        for (index, (layer, design)) in layers.iter().zip(designs).enumerate() {
+            if layer.name != design.layer {
+                return Err(ScheduleError::LayerName {
+                    index,
+                    workload: layer.name.clone(),
+                    design: design.layer.clone(),
+                });
+            }
+            plans.push(Schedule::plan_for(layer.shape, &layer.name, design.params)?);
+        }
+        Ok(Schedule { plans })
+    }
+
+    /// Lowers a `wino-dse` [`WorkloadMapping`] (which records *where*
+    /// each layer runs) into a schedule executing Winograd layers as
+    /// `params` and fallback layers spatially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::LayerCount`] / [`ScheduleError::LayerName`]
+    /// on mismatch with the workload, and [`ScheduleError::Incompatible`]
+    /// when the mapping sends an incompatible layer to the Winograd
+    /// engine.
+    pub fn from_mapping(
+        workload: &Workload,
+        mapping: &WorkloadMapping,
+        params: WinogradParams,
+    ) -> Result<Schedule, ScheduleError> {
+        let layers = workload.layers();
+        if layers.len() != mapping.layers.len() {
+            return Err(ScheduleError::LayerCount {
+                expected: layers.len(),
+                actual: mapping.layers.len(),
+            });
+        }
+        let mut plans = Vec::with_capacity(layers.len());
+        for (index, (layer, mapped)) in layers.iter().zip(&mapping.layers).enumerate() {
+            if layer.name != mapped.name {
+                return Err(ScheduleError::LayerName {
+                    index,
+                    workload: layer.name.clone(),
+                    design: mapped.name.clone(),
+                });
+            }
+            let plan = match mapped.target {
+                LayerTarget::Winograd => Schedule::plan_for(layer.shape, &layer.name, params)?,
+                LayerTarget::SpatialFallback => LayerPlan {
+                    layer: layer.name.clone(),
+                    shape: layer.shape,
+                    engine: EnginePlan::Spatial,
+                },
+            };
+            plans.push(plan);
+        }
+        Ok(Schedule { plans })
+    }
+
+    /// Per-layer plans in execution order.
+    pub fn plans(&self) -> &[LayerPlan] {
+        &self.plans
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` when the schedule has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Number of layers assigned to a Winograd engine.
+    pub fn winograd_layers(&self) -> usize {
+        self.plans.iter().filter(|p| matches!(p.engine, EnginePlan::Winograd(_))).count()
+    }
+
+    /// Checks that this schedule lines up with `workload` (same layer
+    /// count, names, and shapes) — executors call this on construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScheduleError`] found.
+    pub fn validate(&self, workload: &Workload) -> Result<(), ScheduleError> {
+        let layers = workload.layers();
+        if layers.len() != self.plans.len() {
+            return Err(ScheduleError::LayerCount {
+                expected: layers.len(),
+                actual: self.plans.len(),
+            });
+        }
+        for (index, (layer, plan)) in layers.iter().zip(&self.plans).enumerate() {
+            if layer.name != plan.layer || layer.shape != plan.shape {
+                return Err(ScheduleError::LayerName {
+                    index,
+                    workload: layer.name.clone(),
+                    design: plan.layer.clone(),
+                });
+            }
+            if let EnginePlan::Winograd(params) = plan.engine {
+                if !plan.shape.winograd_compatible() || plan.shape.r != params.r() {
+                    return Err(ScheduleError::Incompatible { layer: plan.layer.clone(), params });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule: {} layers ({} winograd, {} spatial)",
+            self.len(),
+            self.winograd_layers(),
+            self.len() - self.winograd_layers()
+        )?;
+        for p in &self.plans {
+            writeln!(f, "  {:<12} {:<14} {}", p.layer, p.engine.to_string(), p.shape)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_core::TileModel;
+    use wino_dse::{map_workload, DesignPoint};
+    use wino_fpga::Architecture;
+    use wino_models::{resnet18, tiny_cnn};
+
+    #[test]
+    fn homogeneous_assigns_fallback_to_strided_layers() {
+        let wl = tiny_cnn(1);
+        let s = Schedule::homogeneous(&wl, 4).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.winograd_layers(), 3);
+        assert_eq!(s.plans()[1].engine, EnginePlan::Spatial, "conv2 is strided");
+        s.validate(&wl).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("F(4x4, 3x3)"));
+        assert!(text.contains("spatial"));
+    }
+
+    #[test]
+    fn homogeneous_falls_back_for_oversized_kernels() {
+        // A 13x13 stride-1 kernel at m = 6 needs n = 18 > 16: no exact
+        // transform exists, so the layer runs spatially instead of the
+        // whole schedule failing.
+        let mut wl = wino_core::Workload::new("big-kernel", 1);
+        wl.push("conv_big", "G", wino_core::ConvShape::same_padded(20, 20, 2, 2, 13));
+        wl.push("conv_ok", "G", wino_core::ConvShape::same_padded(20, 20, 2, 2, 3));
+        let s = Schedule::homogeneous(&wl, 6).unwrap();
+        assert_eq!(s.plans()[0].engine, EnginePlan::Spatial);
+        assert_eq!(s.plans()[1].engine, EnginePlan::Winograd(WinogradParams::new(6, 3).unwrap()));
+        s.validate(&wl).unwrap();
+    }
+
+    #[test]
+    fn m1_homogeneous_is_all_spatial() {
+        let wl = tiny_cnn(1);
+        let s = Schedule::homogeneous(&wl, 1).unwrap();
+        assert_eq!(s.winograd_layers(), 0);
+        assert_eq!(s, Schedule::spatial(&wl));
+    }
+
+    #[test]
+    fn from_layer_designs_round_trips_names() {
+        let wl = tiny_cnn(1);
+        let designs: Vec<LayerDesign> = wl
+            .layers()
+            .iter()
+            .map(|l| LayerDesign {
+                layer: l.name.clone(),
+                params: WinogradParams::new(
+                    if l.shape.winograd_compatible() { 2 } else { 1 },
+                    l.shape.r,
+                )
+                .unwrap(),
+                pe_count: 4,
+                latency_ms: 1.0,
+            })
+            .collect();
+        let s = Schedule::from_layer_designs(&wl, &designs).unwrap();
+        s.validate(&wl).unwrap();
+        assert_eq!(s.winograd_layers(), 3);
+    }
+
+    #[test]
+    fn mismatched_designs_are_rejected() {
+        let wl = tiny_cnn(1);
+        assert_eq!(
+            Schedule::from_layer_designs(&wl, &[]),
+            Err(ScheduleError::LayerCount { expected: 4, actual: 0 })
+        );
+        let mut designs: Vec<LayerDesign> = wl
+            .layers()
+            .iter()
+            .map(|l| LayerDesign {
+                layer: l.name.clone(),
+                params: WinogradParams::new(1, l.shape.r).unwrap(),
+                pe_count: 1,
+                latency_ms: 1.0,
+            })
+            .collect();
+        designs[2].layer = "wrong".to_owned();
+        assert!(matches!(
+            Schedule::from_layer_designs(&wl, &designs),
+            Err(ScheduleError::LayerName { index: 2, .. })
+        ));
+        // Winograd on the strided conv2 is incompatible.
+        designs[2].layer = "conv3".to_owned();
+        designs[1].params = WinogradParams::new(4, 3).unwrap();
+        assert!(matches!(
+            Schedule::from_layer_designs(&wl, &designs),
+            Err(ScheduleError::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn from_mapping_follows_layer_targets() {
+        let wl = resnet18(1);
+        let point = DesignPoint::with_mult_budget(
+            WinogradParams::new(4, 3).unwrap(),
+            Architecture::SharedTransform,
+            700,
+            200e6,
+        );
+        let mapping = map_workload(&wl, &point, TileModel::Ceil);
+        let s = Schedule::from_mapping(&wl, &mapping, point.params).unwrap();
+        s.validate(&wl).unwrap();
+        // The four strided layers (stem + three stage entries) fall back.
+        assert_eq!(s.len() - s.winograd_layers(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_foreign_workload() {
+        let s = Schedule::homogeneous(&tiny_cnn(1), 2).unwrap();
+        let other = resnet18(1);
+        assert!(s.validate(&other).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScheduleError::Incompatible {
+            layer: "conv2".into(),
+            params: WinogradParams::new(4, 3).unwrap(),
+        };
+        assert!(e.to_string().contains("conv2"));
+        let e: ScheduleError = ParamError::ZeroKernel.into();
+        assert!(e.to_string().contains("r must be"));
+    }
+}

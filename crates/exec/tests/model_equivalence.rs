@@ -1,0 +1,43 @@
+//! The exec ↔ oracle contract on the workspace's four model workloads:
+//! every layer of VGG16-D, AlexNet, ResNet-18 (structurally identical
+//! reduced copies — see `wino_models::shrink`) and TinyCNN (full size)
+//! must match the spatial oracle within fp32 tolerance, under both the
+//! paper's tile choices.
+
+use wino_exec::{ExecConfig, NetworkExecutor, Schedule};
+use wino_models::{alexnet, resnet18, shrink, tiny_cnn, vgg16d};
+
+fn verify_network(workload: wino_core::Workload, m: usize) {
+    let name = workload.name().to_owned();
+    let schedule = Schedule::homogeneous(&workload, m).unwrap();
+    let exec = NetworkExecutor::new(workload, schedule, ExecConfig::with_threads(2)).unwrap();
+    let worst = exec.verify(1e-3).unwrap_or_else(|e| panic!("{name} m={m}: {e}"));
+    assert!(worst < 1e-3, "{name} m={m}: worst deviation {worst:.3e}");
+}
+
+#[test]
+fn vgg16d_matches_oracle_under_both_paper_tiles() {
+    for m in [2, 4] {
+        verify_network(shrink(&vgg16d(1), 14, 8), m);
+    }
+}
+
+#[test]
+fn alexnet_matches_oracle_with_mixed_kernel_fallback() {
+    // The strided 11x11 conv1 exercises the spatial engine; the
+    // stride-1 5x5 conv2 runs as Winograd F(4x4, 5x5) and the 3x3
+    // layers as F(4x4, 3x3).
+    verify_network(shrink(&alexnet(1), 15, 8), 4);
+}
+
+#[test]
+fn resnet18_matches_oracle_with_strided_fallback() {
+    verify_network(shrink(&resnet18(1), 14, 8), 4);
+}
+
+#[test]
+fn tiny_cnn_matches_oracle_at_full_size() {
+    for m in [2, 3, 4] {
+        verify_network(tiny_cnn(1), m);
+    }
+}

@@ -61,7 +61,7 @@ pub fn virtex7_485t() -> FpgaDevice {
     }
 }
 
-/// Podili et al. [3]'s device: Altera Stratix V GT (capacities are
+/// Podili et al. \[3\]'s device: Altera Stratix V GT (capacities are
 /// LE-equivalent approximations; used only for baseline feasibility, all
 /// baseline performance numbers are taken from the publication).
 pub fn stratix_v_gt() -> FpgaDevice {
@@ -75,7 +75,7 @@ pub fn stratix_v_gt() -> FpgaDevice {
     }
 }
 
-/// Qiu et al. [12]'s device: Xilinx Zynq XC7Z045 (16-bit fixed-point
+/// Qiu et al. \[12\]'s device: Xilinx Zynq XC7Z045 (16-bit fixed-point
 /// datapath; one 16-bit multiplier per DSP).
 pub fn zynq_7045() -> FpgaDevice {
     FpgaDevice {

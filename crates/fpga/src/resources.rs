@@ -36,7 +36,7 @@ pub const REG_PE_OVERHEAD: u64 = 577;
 pub enum Architecture {
     /// One data transform shared by all PEs (the proposed design, Fig. 7).
     SharedTransform,
-    /// Data transform replicated inside every PE (Podili et al. [3]).
+    /// Data transform replicated inside every PE (Podili et al. \[3\]).
     PerPeTransform,
 }
 

@@ -118,6 +118,48 @@ pub fn resnet18(batch: usize) -> Workload {
     wl
 }
 
+/// A structurally-identical reduced copy of `workload` with spatial
+/// extents capped at `max_hw` and channel counts capped at
+/// `max_channels` — same layer names, groups, kernel sizes, strides and
+/// padding, but small enough that the scalar spatial oracle can verify
+/// an execution engine over *every* layer in test time.
+///
+/// Extents already below the caps are kept; nothing is ever rounded up.
+///
+/// ```
+/// use wino_models::{shrink, vgg16d};
+///
+/// let small = shrink(&vgg16d(1), 16, 8);
+/// assert_eq!(small.layers().len(), 13);
+/// assert!(small.layers().iter().all(|l| l.shape.h <= 16 && l.shape.c <= 8));
+/// // Structure survives: all 3x3 stride-1 same-padded.
+/// assert!(small.layers().iter().all(|l| l.shape.r == 3 && l.shape.stride == 1));
+/// ```
+///
+/// # Panics
+///
+/// Panics when `max_hw` or `max_channels` is zero.
+pub fn shrink(workload: &Workload, max_hw: usize, max_channels: usize) -> Workload {
+    assert!(max_hw > 0, "max_hw must be positive");
+    assert!(max_channels > 0, "max_channels must be positive");
+    let mut out = Workload::new(format!("{}-small", workload.name()), workload.batch());
+    for l in workload.layers() {
+        let s = l.shape;
+        out.push(
+            l.name.clone(),
+            l.group.clone(),
+            ConvShape {
+                h: s.h.min(max_hw),
+                w: s.w.min(max_hw),
+                c: s.c.min(max_channels),
+                k: s.k.min(max_channels),
+                ..s
+            },
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +251,26 @@ mod tests {
         // ~1.08 GMAC = 2.15 GOP of convolution per image. The original
         // two-GPU grouped variant would be ~35% less.
         assert!((2.0..2.3).contains(&wl.spatial_gop()), "got {}", wl.spatial_gop());
+    }
+
+    #[test]
+    fn shrink_preserves_structure_and_caps_extents() {
+        let full = resnet18(1);
+        let small = shrink(&full, 14, 16);
+        assert_eq!(small.layers().len(), full.layers().len());
+        for (a, b) in full.layers().iter().zip(small.layers()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.shape.r, b.shape.r);
+            assert_eq!(a.shape.stride, b.shape.stride);
+            assert_eq!(a.shape.pad, b.shape.pad);
+            assert!(b.shape.h <= 14 && b.shape.c <= 16 && b.shape.k <= 16);
+        }
+        // Winograd eligibility is unchanged: the same layers fall back.
+        let eligible = |wl: &Workload| {
+            wl.layers().iter().map(|l| l.shape.winograd_compatible()).collect::<Vec<_>>()
+        };
+        assert_eq!(eligible(&full), eligible(&small));
     }
 
     #[test]

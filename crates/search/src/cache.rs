@@ -18,7 +18,7 @@ const SHARDS: usize = 16;
 
 /// Memoizing wrapper around [`SearchSpace::evaluate`], shared by all
 /// strategies of a run (and safe to use from the exhaustive strategy's
-/// worker threads). The map is sharded across [`SHARDS`] independent
+/// worker threads). The map is sharded across `SHARDS` independent
 /// locks by genome hash, so parallel workers rarely contend.
 ///
 /// A cache belongs to **one** space: entries are keyed by genome, and

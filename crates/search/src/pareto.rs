@@ -34,6 +34,32 @@ impl ParetoArchive {
     /// Offers a design. Returns `true` when it was retained: feasible,
     /// not dominated by (or objective-identical to) a retained entry.
     /// Entries the newcomer dominates are evicted.
+    ///
+    /// Dominance is judged over the **four-axis** objective vector of
+    /// [`Evaluation::objectives`] — throughput, power efficiency,
+    /// (negated) latency, and resource head-room (DESIGN.md §7) — so a
+    /// design that trades throughput for head-room coexists with the
+    /// throughput winner instead of displacing it:
+    ///
+    /// ```
+    /// use wino_search::{Evaluation, ParetoArchive};
+    /// use wino_fpga::ResourceUsage;
+    ///
+    /// let eval = |thr: f64, head: f64| Evaluation {
+    ///     throughput_gops: thr,
+    ///     power_efficiency: 10.0,
+    ///     latency_ms: 1.0,
+    ///     power_w: 10.0,
+    ///     headroom: head,
+    ///     resources: ResourceUsage::default(),
+    ///     feasible: true,
+    /// };
+    /// let mut archive = ParetoArchive::new();
+    /// assert!(archive.insert(vec![0], eval(1000.0, 0.1)));
+    /// assert!(archive.insert(vec![1], eval(800.0, 0.4)), "head-room trade-off retained");
+    /// assert!(!archive.insert(vec![2], eval(900.0, 0.05)), "dominated on all four axes");
+    /// assert_eq!(archive.len(), 2);
+    /// ```
     pub fn insert(&mut self, genome: Genome, evaluation: Evaluation) -> bool {
         if !evaluation.feasible {
             return false;

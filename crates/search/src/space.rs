@@ -155,6 +155,12 @@ impl SearchSpace for HomogeneousSpace {
 }
 
 /// Per-layer engine configuration of a heterogeneous design.
+///
+/// This is the hand-off point from search to execution: a full vector
+/// of these (one per workload layer, from
+/// [`HeterogeneousSpace::layer_designs`]) lowers to a runnable
+/// schedule via `wino_exec::Schedule::from_layer_designs`, where
+/// `m = 1` denotes the spatial fallback engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerDesign {
     /// Layer name.

@@ -25,7 +25,8 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A signed fixed-point number with `FRAC` fractional bits stored in `i32`.
 ///
-/// See the [module documentation](self) for background and an example.
+/// See the fixed-point module docs (surfaced on the crate page) for
+/// background and an example.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Fixed<const FRAC: u32>(i32);
 
@@ -182,7 +183,7 @@ impl<const FRAC: u32> fmt::Display for Fixed<FRAC> {
 /// 16.16 fixed point (general-purpose).
 pub type Q16_16 = Fixed<16>;
 /// 8 fractional bits in 32: roughly the dynamic range of the 16-bit format
-/// used by Qiu et al. [12] once accumulation headroom is accounted for.
+/// used by Qiu et al. \[12\] once accumulation headroom is accounted for.
 pub type Q24_8 = Fixed<8>;
 
 #[cfg(test)]

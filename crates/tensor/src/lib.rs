@@ -10,7 +10,7 @@
 //! * [`Ratio`] — exact `i128` rationals, used to generate and *prove*
 //!   Winograd transform matrices symbolically;
 //! * [`Fixed`] — saturating Q-format fixed point for the quantization
-//!   ablation (the 16-bit datapath of Qiu et al. [12]);
+//!   ablation (the 16-bit datapath of Qiu et al. \[12\]);
 //! * [`Scalar`] — the trait that lets convolution code run over `f32`,
 //!   `f64`, [`Ratio`] and [`Fixed`] alike;
 //! * [`Tensor2`] / [`Tensor4`] — dense matrices and NCHW feature maps with

@@ -24,7 +24,8 @@ use std::str::FromStr;
 /// An exact rational number `num / den`, always stored in lowest terms with
 /// a strictly positive denominator.
 ///
-/// See the [module documentation](self) for an overview.
+/// See the rational-arithmetic module docs (surfaced on the crate page)
+/// for an overview.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ratio {
     num: i128,

@@ -342,6 +342,13 @@ impl<T: Scalar> Tensor4<T> {
         &self.data
     }
 
+    /// Mutable NCHW storage — the assembly path of block-parallel
+    /// executors, which compute disjoint output regions on worker
+    /// threads and copy them into place here.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
         debug_assert!(
             n < self.shape.n && c < self.shape.c && h < self.shape.h && w < self.shape.w,
@@ -478,6 +485,15 @@ mod tests {
         assert_eq!(p[(3, 4)], 1234.0);
         assert_eq!(p.rows(), 4);
         assert_eq!(p.cols(), 5);
+    }
+
+    #[test]
+    fn tensor4_as_mut_slice_writes_in_nchw_order() {
+        let shape = Shape4 { n: 1, c: 2, h: 2, w: 2 };
+        let mut t = Tensor4::<f32>::zeros(shape);
+        t.as_mut_slice()[5] = 9.0; // (0, 1, 0, 1)
+        assert_eq!(t.at(0, 1, 0, 1), 9.0);
+        assert_eq!(t.as_slice().iter().sum::<f32>(), 9.0);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! From design space exploration to running silicon-free "hardware":
+//! search a heterogeneous VGG16-D design with `wino-search`, lower it to
+//! a `wino-exec` schedule, execute the network thread-parallel, and
+//! verify every layer against the spatial oracle.
+//!
+//! ```sh
+//! cargo run --release --example exec_network
+//! ```
+
+use winofpga::prelude::*;
+
+fn main() {
+    // 1. Search the heterogeneous per-layer space on the paper's
+    //    workload and device (analytical models — full-scale is cheap).
+    let full = vgg16d(1);
+    let evaluator = Evaluator::new(full.clone(), virtex7_485t());
+    let space = HeterogeneousSpace::new(&evaluator, vec![2, 3, 4], vec![0.5, 1.0], 700, 200e6);
+    let cache = EvalCache::new();
+    let mut archive = ParetoArchive::new();
+    let outcome =
+        Greedy::default().search(&space, &cache, SearchObjective::Throughput, &mut archive);
+    let (genome, best) = outcome.best.expect("a feasible design exists");
+    println!("best searched design: {best}");
+
+    // 2. Lower the winning genome to an executable schedule.
+    let designs = space.layer_designs(&genome).expect("valid genome");
+    let schedule = Schedule::from_layer_designs(&full, &designs).expect("design lowers");
+    println!("\n{schedule}");
+
+    // 3. Execute a structurally identical reduced copy (the scalar
+    //    oracle verification would dominate wall time at 224x224x512)
+    //    and verify it layer by layer.
+    let small = shrink(&full, 28, 32);
+    let small_schedule = Schedule::from_layer_designs(&small, &designs).expect("design lowers");
+    let threads = ExecConfig::default().threads;
+    let exec = NetworkExecutor::new(small, small_schedule, ExecConfig::with_threads(threads))
+        .expect("schedule validates");
+    let report = exec.run();
+    println!("{report}");
+
+    match exec.verify(1e-3) {
+        Ok(worst) => println!("oracle check passed: worst |deviation| = {worst:.3e}"),
+        Err(e) => println!("oracle check FAILED: {e}"),
+    }
+}

@@ -12,8 +12,11 @@
 //! baseline, calibrated FPGA resource/power models, and the design space
 //! exploration that regenerates every figure and table — and goes
 //! beyond the paper with `wino-search`, a pluggable strategy engine
-//! over heterogeneous per-layer design spaces. See `DESIGN.md` at the
-//! repository root for the system inventory.
+//! over heterogeneous per-layer design spaces, and `wino-exec`, a
+//! batched thread-parallel Winograd execution engine that turns search
+//! results into runnable, oracle-verified schedules. See `DESIGN.md` at
+//! the repository root for the system inventory and `EXPERIMENTS.md`
+//! for the command reproducing every paper artifact.
 //!
 //! This crate is the facade: it re-exports the sub-crates under stable
 //! names and hosts the runnable examples and cross-crate integration
@@ -67,6 +70,7 @@
 //! | [`engine`] | `wino-engine` | cycle-level engine simulator |
 //! | [`dse`] | `wino-dse` | exploration, figures, tables |
 //! | [`search`] | `wino-search` | strategy engine, heterogeneous spaces, Pareto archive |
+//! | [`exec`] | `wino-exec` | batched thread-parallel execution engine, schedules |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -75,6 +79,7 @@ pub use wino_baselines as baselines;
 pub use wino_core as core;
 pub use wino_dse as dse;
 pub use wino_engine as engine;
+pub use wino_exec as exec;
 pub use wino_fpga as fpga;
 pub use wino_models as models;
 pub use wino_search as search;
@@ -93,11 +98,15 @@ pub mod prelude {
         CachedEvaluator, DesignKey, DesignPoint, Evaluator, Metrics, Objective,
     };
     pub use wino_engine::{EngineConfig, SimReport, WinogradEngine};
+    pub use wino_exec::{
+        execute_plan, spatial_convolve_mt, winograd_convolve, EnginePlan, ExecConfig, LayerPlan,
+        LayerReport, NetworkExecutor, NetworkReport, Schedule, ScheduleError, VerifyError,
+    };
     pub use wino_fpga::{
         paper_calibrated_model, stratix_v_gt, virtex7_485t, zynq_7045, Architecture,
         EngineResources, FpgaDevice, PowerModel, ResourceUsage,
     };
-    pub use wino_models::{alexnet, resnet18, tiny_cnn, vgg16d};
+    pub use wino_models::{alexnet, resnet18, shrink, tiny_cnn, vgg16d};
     pub use wino_search::{
         compare_strategies, EvalCache, Evaluation, Exhaustive, Genetic, Genome, Greedy,
         HeterogeneousSpace, HomogeneousSpace, ParetoArchive, SearchObjective, SearchOutcome,

@@ -1,0 +1,72 @@
+//! End-to-end integration of search → schedule → execution: a
+//! `wino-search` heterogeneous VGG16-D design lowers to a `wino-exec`
+//! schedule and executes, oracle-verified, through the facade prelude.
+
+use winofpga::dse::map_workload;
+use winofpga::prelude::*;
+
+/// The full pipeline the workspace exists for: explore the heterogeneous
+/// per-layer design space on the paper's workload and device, lower the
+/// winning genome to an executable schedule, and run it.
+#[test]
+fn heterogeneous_vgg16d_design_lowers_and_executes_end_to_end() {
+    // 1. Search the real (un-shrunk) VGG16-D space — evaluation is
+    //    analytical, so full scale is cheap.
+    let full = vgg16d(1);
+    let evaluator = Evaluator::new(full.clone(), virtex7_485t());
+    let space = HeterogeneousSpace::new(&evaluator, vec![2, 3, 4], vec![0.5, 1.0], 700, 200e6);
+    let cache = EvalCache::new();
+    let mut archive = ParetoArchive::new();
+    let outcome =
+        Greedy::default().search(&space, &cache, SearchObjective::Throughput, &mut archive);
+    let (genome, best) = outcome.best.expect("a feasible design exists");
+    assert!(best.feasible);
+
+    // 2. Lower the winning design to a schedule against the workload it
+    //    was searched on. VGG16-D is all 3x3 stride-1, so every layer
+    //    lands on a Winograd engine.
+    let designs = space.layer_designs(&genome).expect("valid genome");
+    let schedule = Schedule::from_layer_designs(&full, &designs).expect("design lowers");
+    assert_eq!(schedule.len(), 13);
+    assert_eq!(schedule.winograd_layers(), 13);
+    for (plan, design) in schedule.plans().iter().zip(&designs) {
+        assert_eq!(plan.engine, EnginePlan::Winograd(design.params), "{}", plan.layer);
+    }
+
+    // 3. Execute the same per-layer engine assignments on a
+    //    structurally-identical reduced workload (full-scale VGG is a
+    //    bench-only job; the scalar oracle would dominate test time) and
+    //    verify every layer against the spatial oracle.
+    let small = shrink(&full, 14, 8);
+    let small_schedule = Schedule::from_layer_designs(&small, &designs).expect("design lowers");
+    let exec = NetworkExecutor::new(small, small_schedule, ExecConfig::with_threads(2))
+        .expect("schedule validates");
+    let report = exec.run();
+    assert_eq!(report.layers.len(), 13);
+    assert!(report.layers.iter().all(|l| l.millis > 0.0 && l.gflops > 0.0));
+    let worst = exec.verify(1e-3).expect("execution matches the spatial oracle");
+    assert!(worst < 1e-3, "worst deviation {worst:.3e}");
+}
+
+/// A dse workload mapping lowers to the same executable form: ResNet-18
+/// sends its strided layers to the spatial fallback, and the executed
+/// network still matches the oracle.
+#[test]
+fn dse_mapping_of_resnet18_executes_with_spatial_fallback() {
+    let full = resnet18(1);
+    let point = DesignPoint::with_mult_budget(
+        WinogradParams::new(4, 3).expect("valid"),
+        Architecture::SharedTransform,
+        700,
+        200e6,
+    );
+    let mapping = map_workload(&full, &point, TileModel::Ceil);
+    let small = shrink(&full, 14, 8);
+    let schedule = Schedule::from_mapping(&small, &mapping, point.params).expect("mapping lowers");
+    assert_eq!(schedule.len() - schedule.winograd_layers(), 4, "four strided layers fall back");
+
+    let exec = NetworkExecutor::new(small, schedule, ExecConfig::with_threads(2))
+        .expect("schedule validates");
+    let worst = exec.verify(1e-3).expect("execution matches the spatial oracle");
+    assert!(worst < 1e-3);
+}
