@@ -1,7 +1,7 @@
 //! Whole-network execution: seeded weights, per-layer runs, timing
 //! reports, and self-verification against the spatial oracle.
 
-use crate::{execute_plan, ExecConfig, Schedule, ScheduleError};
+use crate::{execute_plan, execute_plan_quantized, ExecConfig, Precision, Schedule, ScheduleError};
 use std::fmt;
 use std::time::Instant;
 use wino_core::{spatial_ops, TransformError, Workload};
@@ -193,7 +193,12 @@ impl NetworkExecutor {
     }
 
     /// Executes layer `index` on `input` with the layer's seeded
-    /// kernels.
+    /// kernels, in the arithmetic the schedule's
+    /// [`QuantConfig`](crate::QuantConfig) assigns: `f32` layers run the
+    /// float kernels directly; fixed-point layers quantize input and
+    /// kernels, execute in saturating `Fixed<FRAC>`, and dequantize the
+    /// result — so the returned tensor is always `f32` and directly
+    /// comparable against the float oracle.
     ///
     /// # Errors
     ///
@@ -208,7 +213,27 @@ impl NetworkExecutor {
         index: usize,
         input: &Tensor4<f32>,
     ) -> Result<Tensor4<f32>, TransformError> {
-        execute_plan(&self.schedule.plans()[index], input, &self.kernels[index], &self.config)
+        let plan = &self.schedule.plans()[index];
+        match self.schedule.precision(index) {
+            Precision::Float => execute_plan(plan, input, &self.kernels[index], &self.config),
+            Precision::Fixed { frac } => {
+                execute_plan_quantized(plan, input, &self.kernels[index], &self.config, frac)
+            }
+        }
+    }
+
+    /// Human-readable engine description of layer `index` (engine plus
+    /// datapath for quantized layers, e.g. `F(2x2, 3x3) Q22.10`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn engine_label(&self, index: usize) -> String {
+        let engine = self.schedule.plans()[index].engine.to_string();
+        match self.schedule.precision(index) {
+            Precision::Float => engine,
+            quantized => format!("{engine} {quantized}"),
+        }
     }
 
     /// Runs and times every layer on its deterministic synthetic input.
@@ -235,7 +260,7 @@ impl NetworkExecutor {
                 let ops = spatial_ops(self.workload.batch(), &l.shape) as f64;
                 LayerReport {
                     layer: l.name.clone(),
-                    engine: self.schedule.plans()[i].engine.to_string(),
+                    engine: self.engine_label(i),
                     millis: secs * 1e3,
                     gflops: ops / secs / 1e9,
                     checksum: output.as_slice().iter().map(|&x| x as f64).sum(),

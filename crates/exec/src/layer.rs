@@ -19,7 +19,7 @@
 
 use crate::{EnginePlan, LayerPlan};
 use wino_core::{TransformError, TransformSet, WinogradParams};
-use wino_tensor::{Shape4, Tensor4};
+use wino_tensor::{Scalar, Shape4, Tensor4};
 
 /// Execution-engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,13 +73,17 @@ fn run_chunked<T: Send, F: Fn(usize) -> T + Sync>(total: usize, threads: usize, 
     out.into_iter().map(|v| v.expect("every item computed")).collect()
 }
 
-/// Shared, read-only state of one Winograd layer execution.
-struct WinoCtx<'a> {
-    real: wino_core::RealTransforms<f32>,
-    input: &'a [f32],
+/// Shared, read-only state of one Winograd layer execution, generic
+/// over the datapath scalar (`f32` for the paper's precision, `Fixed`
+/// for the quantization study — every arithmetic op below goes through
+/// the [`Scalar`] trait, so a fixed-point instantiation saturates
+/// exactly where a DSP block would).
+struct WinoCtx<'a, T: Scalar> {
+    real: wino_core::RealTransforms<T>,
+    input: &'a [T],
     in_shape: Shape4,
     /// Transform-domain kernel bank, coordinate-major: `v[e][k][c]`.
-    v_bank: &'a [f32],
+    v_bank: &'a [T],
     k: usize,
     c: usize,
     m: usize,
@@ -90,21 +94,21 @@ struct WinoCtx<'a> {
     tiles_x: usize,
 }
 
-impl WinoCtx<'_> {
+impl<T: Scalar> WinoCtx<'_, T> {
     /// Executes one `(image, tile-row)` item, returning the finished
     /// output rows as a flat `K × rows_here × out_w` buffer.
-    fn run_item(&self, img: usize, ty: usize) -> Vec<f32> {
+    fn run_item(&self, img: usize, ty: usize) -> Vec<T> {
         let (m, n2, c_in, k_out, tx_count) = (self.m, self.n2, self.c, self.k, self.tiles_x);
         let n = self.real.params().input_tile();
         let rows_here = m.min(self.out_h - ty * m);
         let plane_stride = self.in_shape.h * self.in_shape.w;
         let top = (ty * m) as isize - self.pad;
 
-        let mut scratch = vec![0f32; self.real.scratch_len()];
-        let mut d = vec![0f32; n2];
-        let mut u = vec![0f32; n2];
+        let mut scratch = vec![T::zero(); self.real.scratch_len()];
+        let mut d = vec![T::zero(); n2];
+        let mut u = vec![T::zero(); n2];
         // U block, coordinate-major: u[e][c][tx].
-        let mut u_block = vec![0f32; n2 * c_in * tx_count];
+        let mut u_block = vec![T::zero(); n2 * c_in * tx_count];
         for c in 0..c_in {
             let plane = &self.input[(img * c_in + c) * plane_stride..][..plane_stride];
             for tx in 0..tx_count {
@@ -117,7 +121,7 @@ impl WinoCtx<'_> {
                         d[n * r + col] = if row_ok && cc >= 0 && (cc as usize) < self.in_shape.w {
                             plane[rr as usize * self.in_shape.w + cc as usize]
                         } else {
-                            0.0
+                            T::zero()
                         };
                     }
                 }
@@ -131,7 +135,7 @@ impl WinoCtx<'_> {
         // Transform-domain multiply as n² channel GEMMs:
         // M_e[k][tx] = Σ_c V_e[k][c] · U_e[c][tx], accumulated in fixed
         // channel order (thread-count invariant).
-        let mut m_block = vec![0f32; n2 * k_out * tx_count];
+        let mut m_block = vec![T::zero(); n2 * k_out * tx_count];
         for e in 0..n2 {
             let u_e = &u_block[e * c_in * tx_count..(e + 1) * c_in * tx_count];
             let v_e = &self.v_bank[e * k_out * c_in..(e + 1) * k_out * c_in];
@@ -139,7 +143,7 @@ impl WinoCtx<'_> {
             for k in 0..k_out {
                 let m_row = &mut m_e[k * tx_count..(k + 1) * tx_count];
                 for (c, &v) in v_e[k * c_in..(k + 1) * c_in].iter().enumerate() {
-                    if v == 0.0 {
+                    if v == T::zero() {
                         continue;
                     }
                     let u_row = &u_e[c * tx_count..(c + 1) * tx_count];
@@ -151,9 +155,9 @@ impl WinoCtx<'_> {
         }
 
         // Inverse transforms into the finished output rows.
-        let mut local = vec![0f32; k_out * rows_here * self.out_w];
-        let mut prod = vec![0f32; n2];
-        let mut y = vec![0f32; m * m];
+        let mut local = vec![T::zero(); k_out * rows_here * self.out_w];
+        let mut prod = vec![T::zero(); n2];
+        let mut y = vec![T::zero(); m * m];
         for k in 0..k_out {
             for tx in 0..tx_count {
                 for (e, p) in prod.iter_mut().enumerate() {
@@ -171,18 +175,25 @@ impl WinoCtx<'_> {
     }
 }
 
-/// Batched, thread-parallel tiled Winograd layer convolution.
+/// Batched, thread-parallel tiled Winograd layer convolution, generic
+/// over the datapath scalar.
 ///
 /// `input` is `(N, C, H, W)`, `kernels` `(K, C, r, r)`; output is
 /// `(N, K, H+2·pad−r+1, W+2·pad−r+1)` — stride 1, the only mode
 /// Winograd supports. Functionally equivalent to
 /// `wino_core::WinogradAlgorithm::convolve_layer` and to the spatial
-/// oracle (within fp32 tolerance), but organized for speed: the kernel
-/// bank is transformed once into a coordinate-major `V` buffer, each
-/// `(image, tile-row)` work item runs the transform-domain multiply as
-/// `n²` blocked channel GEMMs, and items execute on `threads` scoped
-/// workers under a deterministic chunk scheduler — so the output is
-/// bitwise identical at any thread count.
+/// oracle (within datapath tolerance), but organized for speed: the
+/// kernel bank is transformed once into a coordinate-major `V` buffer,
+/// each `(image, tile-row)` work item runs the transform-domain
+/// multiply as `n²` blocked channel GEMMs, and items execute on
+/// `threads` scoped workers under a deterministic chunk scheduler — so
+/// the output is bitwise identical at any thread count.
+///
+/// Instantiated at `f32` this is the paper's single-precision datapath;
+/// instantiated at [`wino_tensor::Fixed`] every multiply and accumulate
+/// saturates like an FPGA DSP block, which is what the quantization
+/// study (`EXPERIMENTS.md`) measures. The transform matrices themselves
+/// are re-quantized into `T` via [`TransformSet::to_scalar`].
 ///
 /// # Errors
 ///
@@ -192,13 +203,13 @@ impl WinoCtx<'_> {
 ///
 /// Panics if channel counts disagree, kernels are not `r × r` for the
 /// given `params`, or the padded input is smaller than the kernel.
-pub fn winograd_convolve(
+pub fn winograd_convolve<T: Scalar>(
     params: WinogradParams,
-    input: &Tensor4<f32>,
-    kernels: &Tensor4<f32>,
+    input: &Tensor4<T>,
+    kernels: &Tensor4<T>,
     pad: usize,
     threads: usize,
-) -> Result<Tensor4<f32>, TransformError> {
+) -> Result<Tensor4<T>, TransformError> {
     let is = input.shape();
     let ks = kernels.shape();
     let r = params.r();
@@ -206,7 +217,7 @@ pub fn winograd_convolve(
     assert_eq!((ks.h, ks.w), (r, r), "kernels must be {r}x{r} for {params}");
     assert!(is.h + 2 * pad >= r && is.w + 2 * pad >= r, "input too small for kernel");
 
-    let real = TransformSet::generate(params)?.to_f32();
+    let real = TransformSet::generate(params)?.to_scalar::<T>();
     let m = params.m();
     let n2 = params.mults_per_tile_2d();
     let out_h = is.h + 2 * pad - r + 1;
@@ -215,10 +226,10 @@ pub fn winograd_convolve(
     let tiles_x = out_w.div_ceil(m);
 
     // Transform the whole kernel bank once, coordinate-major.
-    let mut v_bank = vec![0f32; n2 * ks.n * ks.c];
+    let mut v_bank = vec![T::zero(); n2 * ks.n * ks.c];
     {
-        let mut scratch = vec![0f32; real.scratch_len()];
-        let mut v = vec![0f32; n2];
+        let mut scratch = vec![T::zero(); real.scratch_len()];
+        let mut v = vec![T::zero(); n2];
         let kflat = kernels.as_slice();
         for k in 0..ks.n {
             for c in 0..ks.c {
@@ -266,23 +277,26 @@ pub fn winograd_convolve(
 }
 
 /// Thread-parallel direct spatial convolution with arbitrary stride —
-/// the engine's fallback for layers Winograd cannot run.
+/// the engine's fallback for layers Winograd cannot run — generic over
+/// the datapath scalar.
 ///
-/// Bitwise identical to `wino_baselines::spatial_convolve_strided` (the
-/// accumulation order is the same); work items are `(image, kernel)`
-/// output planes distributed over scoped workers.
+/// At `f32` this is bitwise identical to
+/// `wino_baselines::spatial_convolve_strided` (the accumulation order
+/// is the same); work items are `(image, kernel)` output planes
+/// distributed over scoped workers. At [`wino_tensor::Fixed`] the
+/// multiply-accumulate chain saturates per step, DSP-block style.
 ///
 /// # Panics
 ///
 /// Panics if `stride == 0`, channel counts disagree, kernels are not
 /// square, or the padded input is smaller than the kernel.
-pub fn spatial_convolve_mt(
-    input: &Tensor4<f32>,
-    kernels: &Tensor4<f32>,
+pub fn spatial_convolve_mt<T: Scalar>(
+    input: &Tensor4<T>,
+    kernels: &Tensor4<T>,
     pad: usize,
     stride: usize,
     threads: usize,
-) -> Tensor4<f32> {
+) -> Tensor4<T> {
     let is = input.shape();
     let ks = kernels.shape();
     assert!(stride > 0, "stride must be positive");
@@ -299,10 +313,10 @@ pub fn spatial_convolve_mt(
     let total = is.n * ks.n;
     let planes = run_chunked(total, threads, |item| {
         let (img, k) = (item / ks.n, item % ks.n);
-        let mut plane = vec![0f32; out_h * out_w];
+        let mut plane = vec![T::zero(); out_h * out_w];
         for (o, out) in plane.iter_mut().enumerate() {
             let (y, x) = (o / out_w, o % out_w);
-            let mut acc = 0f32;
+            let mut acc = T::zero();
             for c in 0..is.c {
                 let in_plane = &in_flat[(img * is.c + c) * plane_stride..][..plane_stride];
                 let kern = &k_flat[(k * ks.c + c) * r * r..][..r * r];
@@ -332,7 +346,10 @@ pub fn spatial_convolve_mt(
     output
 }
 
-/// Executes one layer plan on the engine it names.
+/// Executes one layer plan on the engine it names, in the scalar type
+/// of the supplied tensors (`f32`, or `Fixed<FRAC>` for an already
+/// quantized datapath — see `execute_plan_quantized` for the
+/// f32-in/f32-out wrapper the executor uses).
 ///
 /// # Errors
 ///
@@ -345,12 +362,12 @@ pub fn spatial_convolve_mt(
 /// a hand-built plan pairs a Winograd engine with a strided shape —
 /// `Schedule` lowering never produces such a plan, but `LayerPlan`'s
 /// fields are public.
-pub fn execute_plan(
+pub fn execute_plan<T: Scalar>(
     plan: &LayerPlan,
-    input: &Tensor4<f32>,
-    kernels: &Tensor4<f32>,
+    input: &Tensor4<T>,
+    kernels: &Tensor4<T>,
     config: &ExecConfig,
-) -> Result<Tensor4<f32>, TransformError> {
+) -> Result<Tensor4<T>, TransformError> {
     let is = input.shape();
     let ks = kernels.shape();
     let s = plan.shape;

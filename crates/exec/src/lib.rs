@@ -23,6 +23,15 @@
 //! ([`Schedule::homogeneous`]). A [`NetworkExecutor`] then runs the whole
 //! network and can verify itself against the spatial oracle.
 //!
+//! Every kernel is generic over [`wino_tensor::Scalar`], so the same
+//! code path runs the paper's `f32` datapath and the saturating
+//! `Fixed<FRAC>` Q-format arithmetic of the quantization study: a
+//! [`QuantConfig`] lowered through [`Schedule::with_quant`] assigns each
+//! layer a [`Precision`], and the executor dispatches fixed-point layers
+//! through [`execute_plan_quantized`] (DSP-block-style saturation
+//! everywhere, `f32` in and out so errors are measurable against the
+//! float oracle, analytically bounded by [`quant_error_bound`]).
+//!
 //! ```
 //! use wino_core::{ConvShape, Workload};
 //! use wino_exec::{ExecConfig, NetworkExecutor, Schedule};
@@ -46,8 +55,12 @@
 
 mod executor;
 mod layer;
+mod quant;
 mod schedule;
 
 pub use executor::{LayerReport, NetworkExecutor, NetworkReport, VerifyError};
 pub use layer::{execute_plan, spatial_convolve_mt, winograd_convolve, ExecConfig};
+pub use quant::{
+    execute_plan_quantized, quant_error_bound, Precision, QuantConfig, QuantError, SUPPORTED_FRAC,
+};
 pub use schedule::{EnginePlan, LayerPlan, Schedule, ScheduleError};

@@ -9,7 +9,15 @@
 //! size for every eligible layer ([`Schedule::homogeneous`], the
 //! paper's design rule) — and validated against the workload before an
 //! executor will accept them.
+//!
+//! Orthogonally to the engine choice, every schedule carries a
+//! [`QuantConfig`](crate::QuantConfig) naming the arithmetic each layer
+//! runs in. Schedules default to all-`f32` (the paper's datapath);
+//! [`Schedule::with_quant`] lowers a per-layer fixed-point assignment
+//! into the schedule, which the executor then dispatches to the
+//! saturating `Fixed<FRAC>` kernels.
 
+use crate::{Precision, QuantConfig, QuantError};
 use std::fmt;
 use wino_core::{ConvShape, ParamError, WinogradParams, Workload};
 use wino_dse::{LayerTarget, WorkloadMapping};
@@ -74,6 +82,8 @@ pub enum ScheduleError {
     },
     /// Invalid `F(m, r)` parameters while constructing a plan.
     Params(ParamError),
+    /// Invalid quantization configuration for this schedule.
+    Quant(QuantError),
 }
 
 impl fmt::Display for ScheduleError {
@@ -92,6 +102,7 @@ impl fmt::Display for ScheduleError {
                 write!(f, "{params} cannot execute layer '{layer}' (stride or kernel mismatch)")
             }
             ScheduleError::Params(e) => write!(f, "{e}"),
+            ScheduleError::Quant(e) => write!(f, "{e}"),
         }
     }
 }
@@ -104,14 +115,27 @@ impl From<ParamError> for ScheduleError {
     }
 }
 
+impl From<QuantError> for ScheduleError {
+    fn from(e: QuantError) -> ScheduleError {
+        ScheduleError::Quant(e)
+    }
+}
+
 /// A fully-lowered execution plan for one workload: one [`LayerPlan`]
-/// per layer, in execution order.
+/// per layer, in execution order, plus the per-layer arithmetic
+/// ([`QuantConfig`], defaulting to all-`f32`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     plans: Vec<LayerPlan>,
+    quant: QuantConfig,
 }
 
 impl Schedule {
+    fn from_plans(plans: Vec<LayerPlan>) -> Schedule {
+        let quant = QuantConfig::float(plans.len());
+        Schedule { plans, quant }
+    }
+
     fn plan_for(
         shape: ConvShape,
         layer: &str,
@@ -128,8 +152,8 @@ impl Schedule {
 
     /// Every layer on the spatial engine — the all-fallback baseline.
     pub fn spatial(workload: &Workload) -> Schedule {
-        Schedule {
-            plans: workload
+        Schedule::from_plans(
+            workload
                 .layers()
                 .iter()
                 .map(|l| LayerPlan {
@@ -138,7 +162,7 @@ impl Schedule {
                     engine: EnginePlan::Spatial,
                 })
                 .collect(),
-        }
+        )
     }
 
     /// The paper's design rule: one output-tile size `m` for every
@@ -167,7 +191,7 @@ impl Schedule {
                 plans.push(spatial);
             }
         }
-        Ok(Schedule { plans })
+        Ok(Schedule::from_plans(plans))
     }
 
     /// Lowers the heterogeneous per-layer designs produced by
@@ -204,7 +228,7 @@ impl Schedule {
             }
             plans.push(Schedule::plan_for(layer.shape, &layer.name, design.params)?);
         }
-        Ok(Schedule { plans })
+        Ok(Schedule::from_plans(plans))
     }
 
     /// Lowers a `wino-dse` [`WorkloadMapping`] (which records *where*
@@ -248,7 +272,50 @@ impl Schedule {
             };
             plans.push(plan);
         }
-        Ok(Schedule { plans })
+        Ok(Schedule::from_plans(plans))
+    }
+
+    /// Lowers a per-layer quantization assignment into this schedule,
+    /// replacing the default all-`f32` configuration. The executor
+    /// dispatches each layer to the datapath named here.
+    ///
+    /// ```
+    /// use wino_exec::{QuantConfig, Schedule};
+    /// use wino_models::tiny_cnn;
+    ///
+    /// let wl = tiny_cnn(1);
+    /// let q16 = QuantConfig::uniform_fixed(4, 10)?;
+    /// let s = Schedule::homogeneous(&wl, 2)?.with_quant(q16)?;
+    /// assert!(!s.quant().is_all_float());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Quant`] when `quant` configures a
+    /// different number of layers than the schedule has.
+    pub fn with_quant(mut self, quant: QuantConfig) -> Result<Schedule, ScheduleError> {
+        if quant.len() != self.plans.len() {
+            return Err(
+                QuantError::LayerCount { expected: self.plans.len(), actual: quant.len() }.into()
+            );
+        }
+        self.quant = quant;
+        Ok(self)
+    }
+
+    /// The per-layer arithmetic configuration.
+    pub fn quant(&self) -> &QuantConfig {
+        &self.quant
+    }
+
+    /// The arithmetic layer `index` executes in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn precision(&self, index: usize) -> Precision {
+        self.quant.precision(index)
     }
 
     /// Per-layer plans in execution order.
@@ -307,13 +374,21 @@ impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "schedule: {} layers ({} winograd, {} spatial)",
+            "schedule: {} layers ({} winograd, {} spatial), {}",
             self.len(),
             self.winograd_layers(),
-            self.len() - self.winograd_layers()
+            self.len() - self.winograd_layers(),
+            self.quant
         )?;
-        for p in &self.plans {
-            writeln!(f, "  {:<12} {:<14} {}", p.layer, p.engine.to_string(), p.shape)?;
+        for (i, p) in self.plans.iter().enumerate() {
+            writeln!(
+                f,
+                "  {:<12} {:<14} {:<8} {}",
+                p.layer,
+                p.engine.to_string(),
+                self.quant.precision(i).to_string(),
+                p.shape
+            )?;
         }
         Ok(())
     }

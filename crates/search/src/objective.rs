@@ -5,14 +5,15 @@ use std::fmt;
 use wino_fpga::{FpgaDevice, ResourceUsage};
 
 /// Number of axes in the multi-objective vector.
-pub const OBJECTIVE_COUNT: usize = 4;
+pub const OBJECTIVE_COUNT: usize = 5;
 
 /// Quality of one design candidate on the target workload and device.
 ///
-/// The four reported axes generalize the paper's two headline metrics
+/// The five reported axes generalize the paper's two headline metrics
 /// (throughput and power efficiency, Table II) with whole-network
-/// latency and resource head-room, so a [`crate::ParetoArchive`] can
-/// carry the trade-off surface instead of a single winner.
+/// latency, resource head-room, and the datapath's quantization error,
+/// so a [`crate::ParetoArchive`] can carry the trade-off surface
+/// instead of a single winner.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Evaluation {
     /// Modeled throughput in GOPS (Eq. 10).
@@ -27,6 +28,12 @@ pub struct Evaluation {
     /// Smallest fractional slack across LUTs, registers and DSPs —
     /// negative when the design overflows the device.
     pub headroom: f64,
+    /// Maximum absolute numerical error of the design's datapath
+    /// against the float oracle — `0.0` for the paper's exact-model
+    /// `f32` designs, and the measured (or bounded) quantization noise
+    /// for fixed-point datapaths, fed in by the quantization study so
+    /// DSE can trade tile size against arithmetic precision.
+    pub quant_error: f64,
     /// Peak fabric usage.
     pub resources: ResourceUsage,
     /// Whether the design fits the device (and is structurally valid).
@@ -42,15 +49,30 @@ impl Evaluation {
             latency_ms: f64::INFINITY,
             power_w: 0.0,
             headroom: -1.0,
+            quant_error: f64::INFINITY,
             resources: ResourceUsage::default(),
             feasible: false,
         }
     }
 
-    /// The maximization vector (latency is negated so that larger is
-    /// uniformly better).
+    /// Returns this evaluation with its datapath error axis set — the
+    /// hand-off point where the quantization study's measured
+    /// max-abs-error joins the modeled axes before archive insertion.
+    pub fn with_quant_error(mut self, max_abs_error: f64) -> Evaluation {
+        self.quant_error = max_abs_error;
+        self
+    }
+
+    /// The maximization vector (latency and quantization error are
+    /// negated so that larger is uniformly better).
     pub fn objectives(&self) -> [f64; OBJECTIVE_COUNT] {
-        [self.throughput_gops, self.power_efficiency, -self.latency_ms, self.headroom]
+        [
+            self.throughput_gops,
+            self.power_efficiency,
+            -self.latency_ms,
+            self.headroom,
+            -self.quant_error,
+        ]
     }
 
     /// Pareto dominance: `self` is no worse on every axis and strictly
@@ -81,14 +103,20 @@ impl fmt::Display for Evaluation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:.1} GOPS, {:.2} GOPS/W, {:.2} ms, {:.1} W, {:.1}% head-room{}",
+            "{:.1} GOPS, {:.2} GOPS/W, {:.2} ms, {:.1} W, {:.1}% head-room",
             self.throughput_gops,
             self.power_efficiency,
             self.latency_ms,
             self.power_w,
             self.headroom * 100.0,
-            if self.feasible { "" } else { " (infeasible)" }
-        )
+        )?;
+        if self.quant_error > 0.0 && self.quant_error.is_finite() {
+            write!(f, ", {:.2e} quant err", self.quant_error)?;
+        }
+        if !self.feasible {
+            write!(f, " (infeasible)")?;
+        }
+        Ok(())
     }
 }
 
@@ -112,6 +140,10 @@ pub enum SearchObjective {
     Latency,
     /// Maximize the minimum resource slack.
     ResourceHeadroom,
+    /// Minimize the datapath's numerical error against the float
+    /// oracle (only discriminates once the quantization study has fed
+    /// measured errors in; all-float spaces tie at zero).
+    QuantError,
 }
 
 impl SearchObjective {
@@ -125,6 +157,7 @@ impl SearchObjective {
             SearchObjective::PowerEfficiency => evaluation.power_efficiency,
             SearchObjective::Latency => -evaluation.latency_ms,
             SearchObjective::ResourceHeadroom => evaluation.headroom,
+            SearchObjective::QuantError => -evaluation.quant_error,
         }
     }
 
@@ -142,6 +175,7 @@ impl fmt::Display for SearchObjective {
             SearchObjective::PowerEfficiency => write!(f, "power efficiency"),
             SearchObjective::Latency => write!(f, "latency"),
             SearchObjective::ResourceHeadroom => write!(f, "resource head-room"),
+            SearchObjective::QuantError => write!(f, "quantization error"),
         }
     }
 }
@@ -158,6 +192,7 @@ mod tests {
             latency_ms: lat,
             power_w: 10.0,
             headroom: head,
+            quant_error: 0.0,
             resources: ResourceUsage::default(),
             feasible,
         }

@@ -3,7 +3,7 @@
 //! The paper reports a two-axis trade-off (throughput vs power
 //! efficiency, Table II) and picks a single winner per axis. The archive
 //! generalizes that: every feasible evaluated design is offered to it,
-//! and it retains exactly the non-dominated set over the four-axis
+//! and it retains exactly the non-dominated set over the five-axis
 //! objective vector of [`Evaluation::objectives`].
 
 use crate::{Evaluation, Genome, SearchObjective};
@@ -35,9 +35,10 @@ impl ParetoArchive {
     /// not dominated by (or objective-identical to) a retained entry.
     /// Entries the newcomer dominates are evicted.
     ///
-    /// Dominance is judged over the **four-axis** objective vector of
+    /// Dominance is judged over the **five-axis** objective vector of
     /// [`Evaluation::objectives`] — throughput, power efficiency,
-    /// (negated) latency, and resource head-room (DESIGN.md §7) — so a
+    /// (negated) latency, resource head-room, and (negated) datapath
+    /// quantization error (DESIGN.md §7) — so a
     /// design that trades throughput for head-room coexists with the
     /// throughput winner instead of displacing it:
     ///
@@ -51,13 +52,14 @@ impl ParetoArchive {
     ///     latency_ms: 1.0,
     ///     power_w: 10.0,
     ///     headroom: head,
+    ///     quant_error: 0.0,
     ///     resources: ResourceUsage::default(),
     ///     feasible: true,
     /// };
     /// let mut archive = ParetoArchive::new();
     /// assert!(archive.insert(vec![0], eval(1000.0, 0.1)));
     /// assert!(archive.insert(vec![1], eval(800.0, 0.4)), "head-room trade-off retained");
-    /// assert!(!archive.insert(vec![2], eval(900.0, 0.05)), "dominated on all four axes");
+    /// assert!(!archive.insert(vec![2], eval(900.0, 0.05)), "dominated on all five axes");
     /// assert_eq!(archive.len(), 2);
     /// ```
     pub fn insert(&mut self, genome: Genome, evaluation: Evaluation) -> bool {
@@ -138,6 +140,7 @@ mod tests {
             latency_ms: 1.0,
             power_w: 1.0,
             headroom: 0.5,
+            quant_error: 0.0,
             resources: ResourceUsage::default(),
             feasible: true,
         }

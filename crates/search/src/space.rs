@@ -141,6 +141,8 @@ impl SearchSpace for HomogeneousSpace {
             latency_ms: metrics.total_latency_ms,
             power_w: metrics.power_w,
             headroom: resource_headroom(&metrics.resources, self.evaluator().device()),
+            // The analytical models assume the paper's exact f32 datapath.
+            quant_error: 0.0,
             resources: metrics.resources,
             feasible: metrics.fits_device,
         }
@@ -398,6 +400,8 @@ impl SearchSpace for HeterogeneousSpace {
             latency_ms: total_s * 1e3,
             power_w,
             headroom: resource_headroom(&fabric, &self.device),
+            // The analytical models assume the paper's exact f32 datapath.
+            quant_error: 0.0,
             resources: fabric,
             feasible: fabric.fits(&self.device),
         }

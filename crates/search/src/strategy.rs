@@ -490,6 +490,7 @@ mod tests {
                 latency_ms: 1.0,
                 power_w: 1.0,
                 headroom: 0.5,
+                quant_error: 0.0,
                 resources: ResourceUsage::default(),
                 feasible: true,
             }

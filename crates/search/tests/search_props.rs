@@ -47,6 +47,7 @@ impl SearchSpace for HashedSpace {
             latency_ms: 1.0 + rng.below(500) as f64,
             power_w: 5.0 + rng.below(30) as f64,
             headroom: rng.next_f64() - 0.2,
+            quant_error: (rng.below(100) as f64) / 1000.0,
             resources: ResourceUsage::default(),
             feasible,
         }

@@ -8,7 +8,9 @@
 //!
 //! Values are stored as `i32` raw integers scaled by `2^FRAC`; arithmetic is
 //! performed in `i64` and saturates on overflow, mirroring DSP-block
-//! behaviour on an FPGA.
+//! behaviour on an FPGA. [`Fixed::convert`] re-quantizes between Q-formats
+//! (with the range/precision pitfalls its docs spell out), which is how the
+//! per-layer formats of `wino_exec::QuantConfig` move data between layers.
 //!
 //! ```
 //! use wino_tensor::Fixed;
@@ -50,20 +52,46 @@ impl<const FRAC: u32> Fixed<FRAC> {
         self.0
     }
 
-    /// Quantizes an `f32`, rounding to nearest and saturating out-of-range
-    /// inputs (including NaN, which maps to zero).
+    /// Quantizes an `f32`, rounding to nearest (ties away from zero) and
+    /// saturating out-of-range inputs (including NaN, which maps to zero).
+    ///
+    /// In-range values land within half a [`resolution`](Self::resolution)
+    /// step of the input:
+    ///
+    /// ```
+    /// use wino_tensor::Fixed;
+    ///
+    /// type Q = Fixed<8>;
+    /// let q = Q::from_f32(0.3).to_f32();
+    /// assert!((q - 0.3).abs() <= Q::resolution() / 2.0);
+    /// // Ties round away from zero: 1.5/256 sits exactly between raw 1
+    /// // and raw 2 and picks 2.
+    /// assert_eq!(Q::from_f32(1.5 / 256.0).raw(), 2);
+    /// assert_eq!(Q::from_f32(-1.5 / 256.0).raw(), -2);
+    /// ```
+    ///
+    /// Out-of-range inputs pin to [`MAX`](Self::MAX) / [`MIN`](Self::MIN)
+    /// instead of wrapping or panicking — the same semantics an FPGA DSP
+    /// block's saturation logic provides:
+    ///
+    /// ```
+    /// use wino_tensor::Fixed;
+    ///
+    /// type Q = Fixed<16>;
+    /// assert_eq!(Q::from_f32(1e9), Q::MAX); // 2^15 is the largest Q16.16
+    /// assert_eq!(Q::from_f32(-1e9), Q::MIN);
+    /// assert_eq!(Q::from_f32(f32::INFINITY), Q::MAX);
+    /// assert_eq!(Q::from_f32(f32::NAN), Q::ZERO);
+    /// ```
     pub fn from_f32(x: f32) -> Fixed<FRAC> {
         if x.is_nan() {
             return Fixed(0);
         }
+        // `f64 as i64` saturates (never UB or a panic), and `clamp_i64`
+        // saturates the final narrowing, so every out-of-range input —
+        // including ±inf — pins to MAX/MIN.
         let scaled = (x as f64 * (1i64 << FRAC) as f64).round();
-        if scaled >= i32::MAX as f64 {
-            Fixed(i32::MAX)
-        } else if scaled <= i32::MIN as f64 {
-            Fixed(i32::MIN)
-        } else {
-            Fixed(scaled as i32)
-        }
+        Fixed(clamp_i64(scaled as i64))
     }
 
     /// Converts back to `f32` (exact: the raw value fits in the mantissa-
@@ -82,16 +110,92 @@ impl<const FRAC: u32> Fixed<FRAC> {
         1.0 / (1i64 << FRAC) as f32
     }
 
-    /// Saturating addition.
+    /// Saturating addition: sums beyond the raw `i32` range clamp to
+    /// [`MAX`](Self::MAX) / [`MIN`](Self::MIN) instead of wrapping.
+    ///
+    /// ```
+    /// use wino_tensor::Fixed;
+    ///
+    /// type Q = Fixed<16>;
+    /// assert_eq!(Q::MAX.saturating_add(Q::ONE), Q::MAX);
+    /// assert_eq!(Q::MIN.saturating_add(-Q::ONE), Q::MIN);
+    /// ```
     pub fn saturating_add(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
         Fixed(self.0.saturating_add(rhs.0))
     }
 
-    /// Saturating multiplication with round-to-nearest on the dropped bits.
+    /// Saturating multiplication with round-to-nearest on the dropped
+    /// fractional bits; products beyond the representable range clamp to
+    /// [`MAX`](Self::MAX) / [`MIN`](Self::MIN).
+    ///
+    /// ```
+    /// use wino_tensor::Fixed;
+    ///
+    /// type Q = Fixed<16>;
+    /// let big = Q::from_f32(30000.0);
+    /// assert_eq!(big.saturating_mul(big), Q::MAX);
+    /// assert_eq!((-big).saturating_mul(big), Q::MIN);
+    /// ```
     pub fn saturating_mul(self, rhs: Fixed<FRAC>) -> Fixed<FRAC> {
         let wide = self.0 as i64 * rhs.0 as i64;
-        let rounded = (wide + (1i64 << (FRAC - 1))) >> FRAC;
+        // FRAC = 0 carries no fractional bits to round away (and the
+        // `FRAC - 1` rounding-bias shift would underflow).
+        let rounded = if FRAC == 0 { wide } else { (wide + (1i64 << (FRAC - 1))) >> FRAC };
         Fixed(clamp_i64(rounded))
+    }
+
+    /// Re-quantizes into a different Q-format, rounding dropped bits to
+    /// nearest and saturating when the target's smaller integer range
+    /// cannot hold the value.
+    ///
+    /// Two pitfalls to keep in mind when moving between formats:
+    ///
+    /// 1. **Widening the fraction shrinks the integer range.** Every raw
+    ///    bit granted to the fraction is taken from the integer part, so
+    ///    a value that fits `Fixed<8>` can saturate as `Fixed<16>`:
+    ///
+    /// ```
+    /// use wino_tensor::Fixed;
+    ///
+    /// let big = Fixed::<8>::from_f32(1.0e6); // fits Q24.8 (max ~2^23)
+    /// assert_eq!(big.convert::<16>(), Fixed::<16>::MAX); // Q16.16 max is 2^15
+    /// ```
+    ///
+    /// 2. **Narrowing the fraction loses precision, not range.** Bits
+    ///    below the coarser resolution round away — small values collapse
+    ///    to zero rather than being preserved:
+    ///
+    /// ```
+    /// use wino_tensor::Fixed;
+    ///
+    /// let tiny = Fixed::<16>::from_f32(1.0 / 65536.0);
+    /// assert_eq!(tiny.convert::<8>(), Fixed::<8>::ZERO);
+    /// // Exactly representable values survive the round trip…
+    /// let x = Fixed::<16>::from_f32(1.25);
+    /// assert_eq!(x.convert::<8>().to_f32(), 1.25);
+    /// // …but a narrow→wide→narrow chain cannot recover dropped bits.
+    /// let y = Fixed::<16>::from_f32(0.3);
+    /// assert_ne!(y.convert::<8>().convert::<16>(), y);
+    /// ```
+    pub fn convert<const TO: u32>(self) -> Fixed<TO> {
+        let raw = self.0 as i64;
+        if TO >= FRAC {
+            let shift = TO - FRAC;
+            // Shifting a nonzero i32 left by >= 32 always lands outside
+            // the i32 range (and would overflow i64 from shift 33), so
+            // saturate directly by sign instead of shifting.
+            if shift >= 32 {
+                return match raw.cmp(&0) {
+                    std::cmp::Ordering::Less => Fixed::<TO>::MIN,
+                    std::cmp::Ordering::Equal => Fixed::<TO>::ZERO,
+                    std::cmp::Ordering::Greater => Fixed::<TO>::MAX,
+                };
+            }
+            Fixed(clamp_i64(raw << shift))
+        } else {
+            let shift = FRAC - TO;
+            Fixed(clamp_i64((raw + (1i64 << (shift - 1))) >> shift))
+        }
     }
 
     /// Absolute value (saturates `MIN`).
@@ -257,5 +361,48 @@ mod tests {
     fn resolution_matches_frac() {
         assert_eq!(Fixed::<8>::resolution(), 1.0 / 256.0);
         assert_eq!(Fixed::<16>::resolution(), 1.0 / 65536.0);
+    }
+
+    #[test]
+    fn frac_zero_multiplication_has_no_rounding_bias() {
+        type Q0 = Fixed<0>;
+        let a = Q0::from_f32(7.0);
+        let b = Q0::from_f32(-3.0);
+        assert_eq!((a * b).to_f32(), -21.0);
+        assert_eq!((a * a).to_f32(), 49.0);
+    }
+
+    #[test]
+    fn convert_round_trips_representable_values() {
+        for x in [0.0f32, 1.0, -1.0, 2.5, -0.25, 100.5] {
+            let wide = Fixed::<16>::from_f32(x);
+            assert_eq!(wide.convert::<8>().to_f32(), x, "16→8 of {x}");
+            assert_eq!(wide.convert::<24>().to_f32(), x, "16→24 of {x}");
+            assert_eq!(wide.convert::<16>(), wide, "identity of {x}");
+        }
+    }
+
+    #[test]
+    fn convert_saturates_when_widening_range_shrinks() {
+        let big = Fixed::<4>::from_f32(1.0e8);
+        assert_eq!(big.convert::<16>(), Fixed::<16>::MAX);
+        assert_eq!((-big).convert::<16>(), Fixed::<16>::MIN);
+        // Widening across the whole raw width still saturates cleanly.
+        assert_eq!(Fixed::<0>::ONE.convert::<31>(), Fixed::<31>::MAX);
+        assert_eq!((-Fixed::<0>::ONE).convert::<31>(), Fixed::<31>::MIN);
+        assert_eq!(Fixed::<0>::ZERO.convert::<31>(), Fixed::<31>::ZERO);
+        // Shift gaps of 32..62 would overflow the i64 intermediate for
+        // large raw values; they must saturate by sign, not wrap.
+        assert_eq!(Fixed::<0>::from_raw(i32::MAX).convert::<40>(), Fixed::<40>::MAX);
+        assert_eq!(Fixed::<0>::from_raw(i32::MIN).convert::<40>(), Fixed::<40>::MIN);
+        assert_eq!(Fixed::<0>::from_raw(1).convert::<33>(), Fixed::<33>::MAX);
+    }
+
+    #[test]
+    fn convert_rounds_dropped_bits_to_nearest() {
+        // Raw 0x180 at FRAC=16 is 384/65536 = 1.5/256: the tie rounds up.
+        assert_eq!(Fixed::<16>::from_raw(0x180).convert::<8>().raw(), 2);
+        // Anything below half the coarser step collapses to zero.
+        assert_eq!(Fixed::<16>::from_raw(0x7F).convert::<8>(), Fixed::<8>::ZERO);
     }
 }

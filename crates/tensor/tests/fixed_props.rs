@@ -1,0 +1,87 @@
+//! Property tests pinning the DSP-block semantics of [`Fixed`]: bounded
+//! round-trip error for in-range values, saturating (never wrapping)
+//! overflow, and cross-FRAC conversion consistency.
+
+use proptest::prelude::*;
+use wino_tensor::Fixed;
+
+/// Round-tripping an in-range `f32` through `Fixed<FRAC>` lands within
+/// one quantization step `2^-FRAC` (round-to-nearest actually achieves
+/// half that; the bound here is the one the quantization study quotes).
+fn round_trip_within_resolution<const FRAC: u32>(x: f32) {
+    let q = Fixed::<FRAC>::from_f32(x).to_f32();
+    let step = Fixed::<FRAC>::resolution();
+    assert!((q - x).abs() <= step, "FRAC={FRAC}: {x} -> {q} (step {step})");
+}
+
+/// The largest magnitude safely inside `Fixed<FRAC>`'s range.
+fn in_range_bound<const FRAC: u32>() -> f32 {
+    (i32::MAX as f64 / (1i64 << FRAC) as f64) as f32 * 0.99
+}
+
+proptest! {
+    #[test]
+    fn round_trip_error_is_at_most_one_step(unit in -1.0f32..1.0) {
+        round_trip_within_resolution::<6>(unit * in_range_bound::<6>());
+        round_trip_within_resolution::<10>(unit * in_range_bound::<10>());
+        round_trip_within_resolution::<14>(unit * in_range_bound::<14>());
+        round_trip_within_resolution::<16>(unit * in_range_bound::<16>());
+    }
+
+    #[test]
+    fn addition_saturates_instead_of_wrapping(a in 0i32..i32::MAX, b in 0i32..i32::MAX) {
+        type Q = Fixed<10>;
+        // Two non-negative addends can never produce a negative sum; a
+        // wrapping implementation would.
+        let sum = Q::from_raw(a) + Q::from_raw(b);
+        prop_assert!(sum.raw() >= a.max(b), "{a} + {b} wrapped to {}", sum.raw());
+        let neg = Q::from_raw(-a) + Q::from_raw(-b);
+        prop_assert!(neg.raw() <= (-a).min(-b), "-{a} + -{b} wrapped to {}", neg.raw());
+    }
+
+    #[test]
+    fn multiplication_saturates_with_the_product_sign(a in -2_000_000.0f32..2_000_000.0, b in -2_000_000.0f32..2_000_000.0) {
+        type Q = Fixed<10>;
+        let (qa, qb) = (Q::from_f32(a), Q::from_f32(b));
+        let p = qa * qb;
+        let exact = a as f64 * b as f64;
+        // The 1.01 guard band keeps quantization of the factors from
+        // flipping a barely-out-of-range product back inside.
+        if exact > Q::MAX.to_f64() * 1.01 {
+            prop_assert_eq!(p, Q::MAX, "{} * {} must pin to MAX", a, b);
+        } else if exact < Q::MIN.to_f64() * 1.01 {
+            prop_assert_eq!(p, Q::MIN, "{} * {} must pin to MIN", a, b);
+        } else if exact.abs() < Q::MAX.to_f64() * 0.99 {
+            // In-range products never flip sign (a wrapping overflow would).
+            prop_assert!(exact == 0.0 || p.to_f64() * exact.signum() >= -1.0);
+        }
+    }
+
+    #[test]
+    fn from_f32_saturates_out_of_range_inputs(mag in 1.0f32..1.0e30) {
+        type Q = Fixed<16>;
+        let limit = in_range_bound::<16>();
+        let x = limit * (1.0 + mag);
+        prop_assert_eq!(Q::from_f32(x), Q::MAX);
+        prop_assert_eq!(Q::from_f32(-x), Q::MIN);
+    }
+
+    #[test]
+    fn widening_then_narrowing_is_identity_in_range(raw in -(1i32 << 24)..(1i32 << 24)) {
+        // Values inside Fixed<16>'s range survive a 8→16→8-style round
+        // trip exactly: widening adds bits, it never invents error.
+        let x = Fixed::<8>::from_raw(raw >> 16);
+        prop_assert_eq!(x.convert::<16>().convert::<8>(), x);
+        prop_assert_eq!(x.convert::<20>().convert::<8>(), x);
+    }
+
+    #[test]
+    fn narrowing_error_is_at_most_the_coarser_step(raw in i32::MIN..i32::MAX) {
+        let x = Fixed::<16>::from_raw(raw);
+        let narrowed = x.convert::<8>();
+        if narrowed != Fixed::<8>::MAX && narrowed != Fixed::<8>::MIN {
+            let err = (narrowed.to_f64() - x.to_f64()).abs();
+            prop_assert!(err <= Fixed::<8>::resolution() as f64, "err {err}");
+        }
+    }
+}

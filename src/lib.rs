@@ -13,9 +13,12 @@
 //! exploration that regenerates every figure and table — and goes
 //! beyond the paper with `wino-search`, a pluggable strategy engine
 //! over heterogeneous per-layer design spaces, and `wino-exec`, a
-//! batched thread-parallel Winograd execution engine that turns search
-//! results into runnable, oracle-verified schedules. See `DESIGN.md` at
-//! the repository root for the system inventory and `EXPERIMENTS.md`
+//! batched thread-parallel Winograd execution engine — generic over the
+//! datapath scalar, so the same kernels run the paper's `f32` and the
+//! saturating fixed-point arithmetic of the quantization study — that
+//! turns search results into runnable, oracle-verified schedules. See
+//! `DESIGN.md` at the repository root for the system inventory,
+//! `docs/ARCHITECTURE.md` for the crate map, and `EXPERIMENTS.md`
 //! for the command reproducing every paper artifact.
 //!
 //! This crate is the facade: it re-exports the sub-crates under stable
@@ -99,8 +102,9 @@ pub mod prelude {
     };
     pub use wino_engine::{EngineConfig, SimReport, WinogradEngine};
     pub use wino_exec::{
-        execute_plan, spatial_convolve_mt, winograd_convolve, EnginePlan, ExecConfig, LayerPlan,
-        LayerReport, NetworkExecutor, NetworkReport, Schedule, ScheduleError, VerifyError,
+        execute_plan, execute_plan_quantized, quant_error_bound, spatial_convolve_mt,
+        winograd_convolve, EnginePlan, ExecConfig, LayerPlan, LayerReport, NetworkExecutor,
+        NetworkReport, Precision, QuantConfig, QuantError, Schedule, ScheduleError, VerifyError,
     };
     pub use wino_fpga::{
         paper_calibrated_model, stratix_v_gt, virtex7_485t, zynq_7045, Architecture,
@@ -112,5 +116,7 @@ pub mod prelude {
         HeterogeneousSpace, HomogeneousSpace, ParetoArchive, SearchObjective, SearchOutcome,
         SearchSpace, SimulatedAnnealing, Strategy,
     };
-    pub use wino_tensor::{ratio, ErrorStats, Ratio, Scalar, Shape4, SplitMix64, Tensor2, Tensor4};
+    pub use wino_tensor::{
+        ratio, ErrorStats, Fixed, Ratio, Scalar, Shape4, SplitMix64, Tensor2, Tensor4,
+    };
 }

@@ -1,0 +1,88 @@
+//! Markdown link checker: every relative link in the repository's
+//! documentation must resolve to a file that exists, so doc
+//! cross-references (README → DESIGN → EXPERIMENTS → ARCHITECTURE)
+//! cannot dangle again. External (`http...`) and intra-page (`#...`)
+//! links are out of scope — the build environment is offline and
+//! anchors are renderer-specific.
+
+use std::path::{Path, PathBuf};
+
+/// The documentation spine whose cross-references are pinned. Each
+/// file must both exist and contain only resolvable relative links.
+const CHECKED: [&str; 6] = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/ARCHITECTURE.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+];
+
+/// Extracts `(link text, target)` pairs from inline markdown links,
+/// skipping images and code spans well enough for these hand-written
+/// docs (no reference-style links are in use).
+fn inline_links(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = markdown.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            if let Some(close) = markdown[i..].find("](") {
+                let rest = &markdown[i + close + 2..];
+                if let Some(end) = rest.find(')') {
+                    targets.push(rest[..end].trim().to_owned());
+                    i += close + 2 + end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    for doc in CHECKED {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{doc} must exist and be readable: {e}"));
+        let base = path.parent().unwrap_or(Path::new("")).to_path_buf();
+        for target in inline_links(&text) {
+            // External links, mailto, and pure anchors are out of scope.
+            if target.starts_with("http")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let file_part = target.split('#').next().unwrap_or("");
+            if file_part.is_empty() {
+                continue;
+            }
+            if !base.join(file_part).exists() {
+                broken.push(format!("{doc}: ({target})"));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "dangling documentation links:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn the_documentation_spine_cross_references_itself() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let read = |p: &str| std::fs::read_to_string(root.join(p)).expect(p);
+    // README links the architecture map and the experiment book…
+    let readme = read("README.md");
+    assert!(readme.contains("docs/ARCHITECTURE.md"), "README must link the crate map");
+    assert!(readme.contains("EXPERIMENTS.md"), "README must link the experiment book");
+    // …DESIGN links the architecture map…
+    assert!(read("DESIGN.md").contains("docs/ARCHITECTURE.md"), "DESIGN must link the crate map");
+    // …and the architecture map links back to both.
+    let arch = read("docs/ARCHITECTURE.md");
+    assert!(arch.contains("../DESIGN.md") && arch.contains("../EXPERIMENTS.md"));
+    // The quantization study is documented where EXPERIMENTS promises.
+    assert!(read("EXPERIMENTS.md").contains("BENCH_quant.json"));
+}
