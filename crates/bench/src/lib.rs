@@ -19,12 +19,14 @@
 //! | `overhead` | Sec. IV-C transform-overhead ratios (Eq. 7) |
 //! | `speedup` | `wino-exec` vs spatial-oracle wall time → `BENCH_exec.json` |
 //! | `quant_study` | fixed-point FRAC × m accuracy surface → `BENCH_quant.json` |
+//! | `serve_load` | `wino-serve` open-loop serving study → `BENCH_serve.json` |
 //!
 //! Run all of them:
 //!
 //! ```sh
 //! for b in fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 roofline \
-//!          engine_demo error_growth overhead speedup quant_study; do
+//!          engine_demo error_growth overhead speedup quant_study \
+//!          serve_load; do
 //!     cargo run --release -p wino-bench --bin $b
 //! done
 //! ```

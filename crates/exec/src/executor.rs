@@ -1,7 +1,7 @@
 //! Whole-network execution: seeded weights, per-layer runs, timing
 //! reports, and self-verification against the spatial oracle.
 
-use crate::{execute_plan, execute_plan_quantized, ExecConfig, Precision, Schedule, ScheduleError};
+use crate::{ExecConfig, Precision, PreparedPlan, Schedule, ScheduleError};
 use std::fmt;
 use std::time::Instant;
 use wino_core::{spatial_ops, TransformError, Workload};
@@ -41,10 +41,15 @@ impl NetworkReport {
         self.layers.iter().map(|l| l.millis).sum()
     }
 
-    /// Whole-network effective GFLOP/s.
+    /// Whole-network effective GFLOP/s; `0.0` for an empty layer list
+    /// (an empty network did zero work, not NaN work).
     pub fn effective_gflops(&self) -> f64 {
+        let total = self.total_millis();
+        if total == 0.0 {
+            return 0.0;
+        }
         let ops: f64 = self.layers.iter().map(|l| l.gflops * l.millis * 1e6).sum();
-        ops / (self.total_millis() * 1e6)
+        ops / (total * 1e6)
     }
 }
 
@@ -95,11 +100,16 @@ impl std::error::Error for VerifyError {}
 /// Executes a whole workload under a validated [`Schedule`], with
 /// deterministic seeded weights and synthetic inputs.
 ///
-/// Construction validates the schedule against the workload and
+/// Construction validates the schedule against the workload,
 /// pre-generates one kernel bank per layer (seeded `SplitMix64`, so two
-/// executors built the same way are identical). [`run`](Self::run)
-/// executes and times every layer; [`verify`](Self::verify) replays the
-/// network against `wino_baselines`' spatial oracle.
+/// executors built the same way are identical), and **prepares** every
+/// layer: the Winograd kernel-bank transform (and, for fixed-point
+/// layers, the kernel quantization) runs once here, so repeated
+/// execution — [`run`](Self::run) loops, serving traffic — skips it
+/// entirely while producing bitwise-identical output (see
+/// [`PreparedPlan`]). [`run`](Self::run) executes and times every
+/// layer; [`verify`](Self::verify) replays the network against
+/// `wino_baselines`' spatial oracle.
 #[derive(Debug, Clone)]
 pub struct NetworkExecutor {
     workload: Workload,
@@ -107,6 +117,7 @@ pub struct NetworkExecutor {
     config: ExecConfig,
     seed: u64,
     kernels: Vec<Tensor4<f32>>,
+    prepared: Vec<PreparedPlan>,
 }
 
 impl NetworkExecutor {
@@ -137,7 +148,7 @@ impl NetworkExecutor {
         seed: u64,
     ) -> Result<NetworkExecutor, ScheduleError> {
         schedule.validate(&workload)?;
-        let kernels = workload
+        let kernels: Vec<Tensor4<f32>> = workload
             .layers()
             .iter()
             .enumerate()
@@ -151,7 +162,16 @@ impl NetworkExecutor {
                 })
             })
             .collect();
-        Ok(NetworkExecutor { workload, schedule, config, seed, kernels })
+        let prepared = schedule
+            .plans()
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                PreparedPlan::new(plan, schedule.precision(i), &kernels[i])
+                    .expect("validated plan prepares")
+            })
+            .collect();
+        Ok(NetworkExecutor { workload, schedule, config, seed, kernels, prepared })
     }
 
     /// The workload being executed.
@@ -195,14 +215,19 @@ impl NetworkExecutor {
     /// Executes layer `index` on `input` with the layer's seeded
     /// kernels, in the arithmetic the schedule's
     /// [`QuantConfig`](crate::QuantConfig) assigns: `f32` layers run the
-    /// float kernels directly; fixed-point layers quantize input and
-    /// kernels, execute in saturating `Fixed<FRAC>`, and dequantize the
-    /// result — so the returned tensor is always `f32` and directly
-    /// comparable against the float oracle.
+    /// float kernels directly; fixed-point layers quantize the input,
+    /// execute in saturating `Fixed<FRAC>`, and dequantize the result —
+    /// so the returned tensor is always `f32` and directly comparable
+    /// against the float oracle. Dispatch goes through the layer's
+    /// cached [`PreparedPlan`], so the kernel-bank transform (and
+    /// kernel quantization) was already paid at construction; `input`'s
+    /// batch dimension is free, which is what the serving subsystem's
+    /// dynamic batching relies on.
     ///
     /// # Errors
     ///
-    /// Propagates [`TransformError`] from the Winograd path.
+    /// Never fails — transform generation already succeeded at
+    /// construction. The `Result` is kept for API stability.
     ///
     /// # Panics
     ///
@@ -213,13 +238,18 @@ impl NetworkExecutor {
         index: usize,
         input: &Tensor4<f32>,
     ) -> Result<Tensor4<f32>, TransformError> {
-        let plan = &self.schedule.plans()[index];
-        match self.schedule.precision(index) {
-            Precision::Float => execute_plan(plan, input, &self.kernels[index], &self.config),
-            Precision::Fixed { frac } => {
-                execute_plan_quantized(plan, input, &self.kernels[index], &self.config, frac)
-            }
-        }
+        Ok(self.prepared[index].run(input, self.config.threads))
+    }
+
+    /// The cached [`PreparedPlan`] of layer `index` — the transformed
+    /// kernel bank the executor (and the serving subsystem) reuses on
+    /// every run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn prepared(&self, index: usize) -> &PreparedPlan {
+        &self.prepared[index]
     }
 
     /// Human-readable engine description of layer `index` (engine plus
@@ -384,5 +414,51 @@ mod tests {
     fn verify_error_display() {
         let e = VerifyError { layer: "conv1".into(), max_abs: 0.5, tolerance: 1e-4 };
         assert!(e.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn empty_report_has_zero_gflops_not_nan() {
+        let report = NetworkReport { network: "empty".into(), threads: 1, layers: Vec::new() };
+        assert_eq!(report.total_millis(), 0.0);
+        assert_eq!(report.effective_gflops(), 0.0);
+        assert!(!report.effective_gflops().is_nan());
+    }
+
+    #[test]
+    fn prepared_layers_match_one_shot_execution_bitwise() {
+        // The executor's cached kernel banks must change nothing: every
+        // layer (float and quantized, Winograd and spatial) produces
+        // output bitwise identical to the unprepared per-call path.
+        let wl = toy();
+        let schedule = Schedule::homogeneous(&wl, 2)
+            .unwrap()
+            .with_quant(
+                crate::QuantConfig::per_layer(vec![
+                    crate::Precision::Float,
+                    crate::Precision::Fixed { frac: 10 },
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        let exec = NetworkExecutor::new(wl, schedule.clone(), ExecConfig::with_threads(2)).unwrap();
+        for i in 0..schedule.len() {
+            let input = exec.layer_input(i);
+            let prepared = exec.execute_layer(i, &input).unwrap();
+            let plan = &schedule.plans()[i];
+            let one_shot = match schedule.precision(i) {
+                crate::Precision::Float => {
+                    crate::execute_plan(plan, &input, exec.kernels(i), exec.config()).unwrap()
+                }
+                crate::Precision::Fixed { frac } => crate::execute_plan_quantized(
+                    plan,
+                    &input,
+                    exec.kernels(i),
+                    exec.config(),
+                    frac,
+                )
+                .unwrap(),
+            };
+            assert_eq!(prepared.as_slice(), one_shot.as_slice(), "layer {i}");
+        }
     }
 }

@@ -79,7 +79,7 @@ fn run_chunked<T: Send, F: Fn(usize) -> T + Sync>(total: usize, threads: usize, 
 /// the [`Scalar`] trait, so a fixed-point instantiation saturates
 /// exactly where a DSP block would).
 struct WinoCtx<'a, T: Scalar> {
-    real: wino_core::RealTransforms<T>,
+    real: &'a wino_core::RealTransforms<T>,
     input: &'a [T],
     in_shape: Shape4,
     /// Transform-domain kernel bank, coordinate-major: `v[e][k][c]`.
@@ -175,6 +175,136 @@ impl<T: Scalar> WinoCtx<'_, T> {
     }
 }
 
+/// A Winograd layer whose kernel bank has already been transformed —
+/// the reusable half of [`winograd_convolve`].
+///
+/// Transforming the kernel bank into the coordinate-major `V` buffer
+/// (one `apply_kernel` per `(k, c)` pair, behind exact-rational
+/// transform generation) costs the same no matter how many images are
+/// pushed through the layer, so repeated execution — the serving path,
+/// or any executor re-running a network — should pay it once.
+/// [`PreparedWinograd::new`] does the transform; [`execute`]
+/// (`PreparedWinograd::execute`) then runs any number of inputs against
+/// the cached bank, producing output bitwise identical to the one-shot
+/// [`winograd_convolve`] (which is now a thin wrapper over this type).
+///
+/// [`execute`]: PreparedWinograd::execute
+#[derive(Debug, Clone)]
+pub struct PreparedWinograd<T: Scalar> {
+    real: wino_core::RealTransforms<T>,
+    v_bank: Vec<T>,
+    k: usize,
+    c: usize,
+}
+
+impl<T: Scalar> PreparedWinograd<T> {
+    /// Transforms the whole kernel bank once, coordinate-major
+    /// (`v[e][k][c]`), caching it for any number of later executions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TransformError`] from transform generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if kernels are not `r × r` for the given `params`.
+    pub fn new(params: WinogradParams, kernels: &Tensor4<T>) -> Result<Self, TransformError> {
+        let ks = kernels.shape();
+        let r = params.r();
+        assert_eq!((ks.h, ks.w), (r, r), "kernels must be {r}x{r} for {params}");
+
+        let real = TransformSet::generate(params)?.to_scalar::<T>();
+        let n2 = params.mults_per_tile_2d();
+        let mut v_bank = vec![T::zero(); n2 * ks.n * ks.c];
+        let mut scratch = vec![T::zero(); real.scratch_len()];
+        let mut v = vec![T::zero(); n2];
+        let kflat = kernels.as_slice();
+        for k in 0..ks.n {
+            for c in 0..ks.c {
+                let g = &kflat[(k * ks.c + c) * r * r..][..r * r];
+                real.apply_kernel(g, &mut v, &mut scratch);
+                for (e, &ve) in v.iter().enumerate() {
+                    v_bank[(e * ks.n + k) * ks.c + c] = ve;
+                }
+            }
+        }
+        Ok(PreparedWinograd { real, v_bank, k: ks.n, c: ks.c })
+    }
+
+    /// The `F(m×m, r×r)` parameters the bank was transformed for.
+    pub fn params(&self) -> WinogradParams {
+        self.real.params()
+    }
+
+    /// Output kernel count `K` of the cached bank.
+    pub fn kernel_count(&self) -> usize {
+        self.k
+    }
+
+    /// Input channel count `C` of the cached bank.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Runs the convolution against the cached transformed bank —
+    /// identical semantics (and bitwise-identical output) to
+    /// [`winograd_convolve`] with the kernels this bank was prepared
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s channel count disagrees with the bank or the
+    /// padded input is smaller than the kernel.
+    pub fn execute(&self, input: &Tensor4<T>, pad: usize, threads: usize) -> Tensor4<T> {
+        let params = self.real.params();
+        let is = input.shape();
+        let r = params.r();
+        assert_eq!(is.c, self.c, "input and kernel channel counts must match");
+        assert!(is.h + 2 * pad >= r && is.w + 2 * pad >= r, "input too small for kernel");
+
+        let m = params.m();
+        let n2 = params.mults_per_tile_2d();
+        let out_h = is.h + 2 * pad - r + 1;
+        let out_w = is.w + 2 * pad - r + 1;
+        let tiles_y = out_h.div_ceil(m);
+        let tiles_x = out_w.div_ceil(m);
+
+        let ctx = WinoCtx {
+            real: &self.real,
+            input: input.as_slice(),
+            in_shape: is,
+            v_bank: &self.v_bank,
+            k: self.k,
+            c: self.c,
+            m,
+            n2,
+            pad: pad as isize,
+            out_h,
+            out_w,
+            tiles_x,
+        };
+
+        let total = is.n * tiles_y;
+        let blocks =
+            run_chunked(total, threads, |item| ctx.run_item(item / tiles_y, item % tiles_y));
+
+        let mut output = Tensor4::zeros(Shape4 { n: is.n, c: self.k, h: out_h, w: out_w });
+        let out_flat = output.as_mut_slice();
+        for (item, local) in blocks.iter().enumerate() {
+            let (img, ty) = (item / tiles_y, item % tiles_y);
+            let rows_here = m.min(out_h - ty * m);
+            for k in 0..self.k {
+                for rr in 0..rows_here {
+                    let dst = ((img * self.k + k) * out_h + ty * m + rr) * out_w;
+                    let src = (k * rows_here + rr) * out_w;
+                    out_flat[dst..dst + out_w].copy_from_slice(&local[src..src + out_w]);
+                }
+            }
+        }
+        output
+    }
+}
+
 /// Batched, thread-parallel tiled Winograd layer convolution, generic
 /// over the datapath scalar.
 ///
@@ -188,6 +318,11 @@ impl<T: Scalar> WinoCtx<'_, T> {
 /// multiply as `n²` blocked channel GEMMs, and items execute on
 /// `threads` scoped workers under a deterministic chunk scheduler — so
 /// the output is bitwise identical at any thread count.
+///
+/// This one-shot entry point re-transforms the kernel bank on every
+/// call; callers running the same kernels repeatedly should prepare the
+/// bank once with [`PreparedWinograd`] (whose `execute` is bitwise
+/// identical) and reuse it.
 ///
 /// Instantiated at `f32` this is the paper's single-precision datapath;
 /// instantiated at [`wino_tensor::Fixed`] every multiply and accumulate
@@ -212,68 +347,8 @@ pub fn winograd_convolve<T: Scalar>(
 ) -> Result<Tensor4<T>, TransformError> {
     let is = input.shape();
     let ks = kernels.shape();
-    let r = params.r();
     assert_eq!(is.c, ks.c, "input and kernel channel counts must match");
-    assert_eq!((ks.h, ks.w), (r, r), "kernels must be {r}x{r} for {params}");
-    assert!(is.h + 2 * pad >= r && is.w + 2 * pad >= r, "input too small for kernel");
-
-    let real = TransformSet::generate(params)?.to_scalar::<T>();
-    let m = params.m();
-    let n2 = params.mults_per_tile_2d();
-    let out_h = is.h + 2 * pad - r + 1;
-    let out_w = is.w + 2 * pad - r + 1;
-    let tiles_y = out_h.div_ceil(m);
-    let tiles_x = out_w.div_ceil(m);
-
-    // Transform the whole kernel bank once, coordinate-major.
-    let mut v_bank = vec![T::zero(); n2 * ks.n * ks.c];
-    {
-        let mut scratch = vec![T::zero(); real.scratch_len()];
-        let mut v = vec![T::zero(); n2];
-        let kflat = kernels.as_slice();
-        for k in 0..ks.n {
-            for c in 0..ks.c {
-                let g = &kflat[(k * ks.c + c) * r * r..][..r * r];
-                real.apply_kernel(g, &mut v, &mut scratch);
-                for (e, &ve) in v.iter().enumerate() {
-                    v_bank[(e * ks.n + k) * ks.c + c] = ve;
-                }
-            }
-        }
-    }
-
-    let ctx = WinoCtx {
-        real,
-        input: input.as_slice(),
-        in_shape: is,
-        v_bank: &v_bank,
-        k: ks.n,
-        c: ks.c,
-        m,
-        n2,
-        pad: pad as isize,
-        out_h,
-        out_w,
-        tiles_x,
-    };
-
-    let total = is.n * tiles_y;
-    let blocks = run_chunked(total, threads, |item| ctx.run_item(item / tiles_y, item % tiles_y));
-
-    let mut output = Tensor4::zeros(Shape4 { n: is.n, c: ks.n, h: out_h, w: out_w });
-    let out_flat = output.as_mut_slice();
-    for (item, local) in blocks.iter().enumerate() {
-        let (img, ty) = (item / tiles_y, item % tiles_y);
-        let rows_here = m.min(out_h - ty * m);
-        for k in 0..ks.n {
-            for rr in 0..rows_here {
-                let dst = ((img * ks.n + k) * out_h + ty * m + rr) * out_w;
-                let src = (k * rows_here + rr) * out_w;
-                out_flat[dst..dst + out_w].copy_from_slice(&local[src..src + out_w]);
-            }
-        }
-    }
-    Ok(output)
+    Ok(PreparedWinograd::new(params, kernels)?.execute(input, pad, threads))
 }
 
 /// Thread-parallel direct spatial convolution with arbitrary stride —

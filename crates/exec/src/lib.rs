@@ -55,11 +55,15 @@
 
 mod executor;
 mod layer;
+mod prepared;
 mod quant;
 mod schedule;
 
 pub use executor::{LayerReport, NetworkExecutor, NetworkReport, VerifyError};
-pub use layer::{execute_plan, spatial_convolve_mt, winograd_convolve, ExecConfig};
+pub use layer::{
+    execute_plan, spatial_convolve_mt, winograd_convolve, ExecConfig, PreparedWinograd,
+};
+pub use prepared::PreparedPlan;
 pub use quant::{
     execute_plan_quantized, quant_error_bound, Precision, QuantConfig, QuantError, SUPPORTED_FRAC,
 };

@@ -1,0 +1,286 @@
+//! Reusable per-layer execution closures with pre-transformed kernel
+//! banks.
+//!
+//! [`execute_plan`](crate::execute_plan) regenerates the Winograd
+//! transform set and re-transforms the whole kernel bank on every call
+//! — the right trade for a one-shot run, pure overhead for anything
+//! that executes the same layer repeatedly (an executor timing loop, or
+//! the serving subsystem pushing thousands of requests through one
+//! model). A [`PreparedPlan`] pays that cost once at construction:
+//!
+//! * Winograd layers cache a [`PreparedWinograd`] bank (float) or a
+//!   monomorphized `PreparedWinograd<Fixed<FRAC>>` plus the quantized
+//!   kernel bank (fixed point);
+//! * spatial layers cache the (possibly quantized) kernel tensor —
+//!   there is no transform to hoist, so the win there is only skipping
+//!   the per-call quantization of the kernels.
+//!
+//! The closure is type-erased behind `Arc<dyn Fn … + Send + Sync>`, so
+//! a prepared plan is cheap to clone and can be shared across serving
+//! worker threads. Running a prepared plan is **bitwise identical** to
+//! the corresponding one-shot [`execute_plan`] /
+//! [`execute_plan_quantized`](crate::execute_plan_quantized) call — a
+//! property the tests pin — because preparation reorders no arithmetic;
+//! it only moves the bank transform out of the loop.
+
+use crate::layer::PreparedWinograd;
+use crate::quant::with_fixed;
+use crate::{spatial_convolve_mt, EnginePlan, LayerPlan, Precision, SUPPORTED_FRAC};
+use std::fmt;
+use std::sync::Arc;
+use wino_core::{ConvShape, TransformError};
+use wino_tensor::{Fixed, Tensor4};
+
+type Runner = dyn Fn(&Tensor4<f32>, usize) -> Tensor4<f32> + Send + Sync;
+
+/// One layer's ready-to-run execution closure: engine chosen, kernel
+/// bank transformed (and quantized, for fixed-point layers), datapath
+/// monomorphized. `Send + Sync + Clone`, so worker pools share it.
+#[derive(Clone)]
+pub struct PreparedPlan {
+    label: String,
+    shape: ConvShape,
+    runner: Arc<Runner>,
+}
+
+impl fmt::Debug for PreparedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedPlan")
+            .field("label", &self.label)
+            .field("shape", &self.shape)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedPlan {
+    /// Prepares `plan` for repeated execution in the arithmetic named
+    /// by `precision`, hoisting the kernel-bank transform (and the
+    /// kernel quantization) out of the per-run path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TransformError`] from Winograd transform
+    /// generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kernels` does not match `plan.shape`, when a
+    /// hand-built plan pairs a Winograd engine with a strided shape, or
+    /// when a fixed-point `precision` names an unsupported `FRAC`
+    /// (a validated [`QuantConfig`](crate::QuantConfig) never does).
+    pub fn new(
+        plan: &LayerPlan,
+        precision: Precision,
+        kernels: &Tensor4<f32>,
+    ) -> Result<PreparedPlan, TransformError> {
+        let s = plan.shape;
+        let ks = kernels.shape();
+        assert_eq!(
+            (ks.n, ks.c, ks.h, ks.w),
+            (s.k, s.c, s.r, s.r),
+            "kernels do not match plan '{}'",
+            plan.layer
+        );
+        let label = match precision {
+            Precision::Float => plan.engine.to_string(),
+            quantized => format!("{} {quantized}", plan.engine),
+        };
+        let runner: Arc<Runner> = match (plan.engine, precision) {
+            (EnginePlan::Winograd(params), Precision::Float) => {
+                assert_eq!(s.stride, 1, "Winograd plan '{}' requires unit stride", plan.layer);
+                let bank = PreparedWinograd::new(params, kernels)?;
+                let pad = s.pad;
+                Arc::new(move |input, threads| bank.execute(input, pad, threads))
+            }
+            (EnginePlan::Spatial, Precision::Float) => {
+                let kernels = kernels.clone();
+                let (pad, stride) = (s.pad, s.stride);
+                Arc::new(move |input, threads| {
+                    spatial_convolve_mt(input, &kernels, pad, stride, threads)
+                })
+            }
+            (EnginePlan::Winograd(params), Precision::Fixed { frac }) => {
+                assert_eq!(s.stride, 1, "Winograd plan '{}' requires unit stride", plan.layer);
+                let pad = s.pad;
+                with_fixed!(frac, F => {
+                    let bank = PreparedWinograd::new(params, &kernels.map(F::from_f32))?;
+                    Arc::new(move |input: &Tensor4<f32>, threads: usize| {
+                        bank.execute(&input.map(F::from_f32), pad, threads).map(|q| q.to_f32())
+                    })
+                })
+            }
+            (EnginePlan::Spatial, Precision::Fixed { frac }) => {
+                let (pad, stride) = (s.pad, s.stride);
+                with_fixed!(frac, F => {
+                    let qk = kernels.map(F::from_f32);
+                    Arc::new(move |input: &Tensor4<f32>, threads: usize| {
+                        spatial_convolve_mt(&input.map(F::from_f32), &qk, pad, stride, threads)
+                            .map(|q| q.to_f32())
+                    })
+                })
+            }
+        };
+        Ok(PreparedPlan { label, shape: s, runner })
+    }
+
+    /// Engine plus datapath, e.g. `F(4x4, 3x3)` or `spatial Q24.8` —
+    /// the same format [`NetworkExecutor::engine_label`] reports.
+    ///
+    /// [`NetworkExecutor::engine_label`]: crate::NetworkExecutor::engine_label
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The layer geometry this plan was prepared for.
+    pub fn shape(&self) -> ConvShape {
+        self.shape
+    }
+
+    /// Executes the prepared layer on `input` (batch is free; channel
+    /// and spatial extents must match the prepared geometry) across
+    /// `threads` workers. Bitwise identical to the one-shot
+    /// [`execute_plan`](crate::execute_plan) /
+    /// [`execute_plan_quantized`](crate::execute_plan_quantized) on the
+    /// same plan, kernels and precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` does not match the prepared geometry.
+    pub fn run(&self, input: &Tensor4<f32>, threads: usize) -> Tensor4<f32> {
+        let is = input.shape();
+        let s = self.shape;
+        assert_eq!(
+            (is.c, is.h, is.w),
+            (s.c, s.h, s.w),
+            "input does not match prepared layer ({})",
+            self.label
+        );
+        (self.runner)(input, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute_plan, execute_plan_quantized, ExecConfig};
+    use wino_core::WinogradParams;
+    use wino_tensor::{Shape4, SplitMix64};
+
+    fn fixture(stride: usize) -> (LayerPlan, LayerPlan, Tensor4<f32>, Tensor4<f32>) {
+        let shape = ConvShape { h: 9, w: 8, c: 3, k: 4, r: 3, stride, pad: 1 };
+        let mut rng = SplitMix64::new(77);
+        let input = Tensor4::from_fn(Shape4 { n: 2, c: 3, h: 9, w: 8 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 4, c: 3, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-0.5, 0.5)
+        });
+        let wino = LayerPlan {
+            layer: "l".into(),
+            shape,
+            engine: EnginePlan::Winograd(WinogradParams::new(2, 3).unwrap()),
+        };
+        let spat = LayerPlan { layer: "l".into(), shape, engine: EnginePlan::Spatial };
+        (wino, spat, input, kernels)
+    }
+
+    #[test]
+    fn prepared_float_is_bitwise_the_one_shot_path() {
+        let (wino, spat, input, kernels) = fixture(1);
+        let cfg = ExecConfig::with_threads(3);
+        for plan in [&wino, &spat] {
+            let prepared = PreparedPlan::new(plan, Precision::Float, &kernels).unwrap();
+            let one_shot = execute_plan(plan, &input, &kernels, &cfg).unwrap();
+            // Repeated runs reuse the cached bank and stay identical.
+            for _ in 0..2 {
+                let got = prepared.run(&input, cfg.threads);
+                assert_eq!(got.as_slice(), one_shot.as_slice(), "{}", prepared.label());
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_quantized_is_bitwise_the_one_shot_path() {
+        let (wino, spat, input, kernels) = fixture(1);
+        let cfg = ExecConfig::with_threads(2);
+        for plan in [&wino, &spat] {
+            let prepared =
+                PreparedPlan::new(plan, Precision::Fixed { frac: 10 }, &kernels).unwrap();
+            let one_shot = execute_plan_quantized(plan, &input, &kernels, &cfg, 10).unwrap();
+            let got = prepared.run(&input, cfg.threads);
+            assert_eq!(got.as_slice(), one_shot.as_slice(), "{}", prepared.label());
+            assert!(prepared.label().contains("Q22.10"));
+        }
+    }
+
+    #[test]
+    fn batch_is_free_at_run_time() {
+        let (wino, _, _, kernels) = fixture(1);
+        let prepared = PreparedPlan::new(&wino, Precision::Float, &kernels).unwrap();
+        let one = Tensor4::from_fn(Shape4 { n: 1, c: 3, h: 9, w: 8 }, |_, c, h, w| {
+            (c + h + w) as f32 * 0.1
+        });
+        let three = Tensor4::from_fn(Shape4 { n: 3, c: 3, h: 9, w: 8 }, |_, c, h, w| {
+            (c + h + w) as f32 * 0.1
+        });
+        let a = prepared.run(&one, 2);
+        let b = prepared.run(&three, 2);
+        // Every image of the batched run equals the batch-1 run bitwise.
+        let plane = a.as_slice().len();
+        for img in 0..3 {
+            assert_eq!(&b.as_slice()[img * plane..(img + 1) * plane], a.as_slice());
+        }
+    }
+
+    #[test]
+    fn cached_bank_beats_retransforming_every_call() {
+        // The point of preparation: repeated runs skip exact-rational
+        // transform generation and the whole-bank kernel transform.
+        // On a small layer those dominate, so the margin is enormous —
+        // the assertion only requires the cached path to win at all,
+        // which holds on any scheduler-noisy CI box.
+        let (wino, _, input, kernels) = fixture(1);
+        let cfg = ExecConfig::with_threads(1);
+        let reps = 5;
+        let prepared = PreparedPlan::new(&wino, Precision::Float, &kernels).unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            let _ = prepared.run(&input, cfg.threads);
+        }
+        let cached = start.elapsed();
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            let _ = execute_plan(&wino, &input, &kernels, &cfg).unwrap();
+        }
+        let retransform = start.elapsed();
+        assert!(
+            cached < retransform,
+            "cached {cached:?} should beat re-transforming {retransform:?}"
+        );
+    }
+
+    #[test]
+    fn debug_and_shape_are_exposed() {
+        let (wino, _, _, kernels) = fixture(1);
+        let prepared = PreparedPlan::new(&wino, Precision::Float, &kernels).unwrap();
+        assert!(format!("{prepared:?}").contains("F(2x2, 3x3)"));
+        assert_eq!(prepared.shape().k, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires unit stride")]
+    fn strided_winograd_preparation_panics() {
+        let (mut wino, _, _, kernels) = fixture(2);
+        wino.shape.stride = 2;
+        let _ = PreparedPlan::new(&wino, Precision::Float, &kernels);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match prepared layer")]
+    fn mismatched_input_panics() {
+        let (wino, _, _, kernels) = fixture(1);
+        let prepared = PreparedPlan::new(&wino, Precision::Float, &kernels).unwrap();
+        let bad = Tensor4::zeros(Shape4 { n: 1, c: 3, h: 4, w: 4 });
+        let _ = prepared.run(&bad, 1);
+    }
+}

@@ -260,6 +260,7 @@ macro_rules! with_fixed {
         }
     };
 }
+pub(crate) use with_fixed;
 
 /// Executes one layer plan on a `Q(32−frac).frac` fixed-point datapath:
 /// quantizes the `f32` input and kernel bank, runs the plan's engine

@@ -118,6 +118,22 @@ pub fn resnet18(batch: usize) -> Workload {
     wl
 }
 
+/// The four model workloads under their canonical names, in a stable
+/// order — the roster the serving subsystem's `ModelRegistry` and the
+/// study binaries iterate over, so "all models" means the same thing
+/// everywhere.
+///
+/// ```
+/// use wino_models::model_zoo;
+///
+/// let names: Vec<String> =
+///     model_zoo(1).iter().map(|wl| wl.name().to_owned()).collect();
+/// assert_eq!(names, ["VGG16-D", "AlexNet", "ResNet-18", "TinyCNN"]);
+/// ```
+pub fn model_zoo(batch: usize) -> Vec<Workload> {
+    vec![vgg16d(batch), alexnet(batch), resnet18(batch), tiny_cnn(batch)]
+}
+
 /// A structurally-identical reduced copy of `workload` with spatial
 /// extents capped at `max_hw` and channel counts capped at
 /// `max_channels` — same layer names, groups, kernel sizes, strides and

@@ -1,0 +1,519 @@
+//! Dynamic batching: coalescing single-image requests into model
+//! batches under a deadline, with per-priority-class FIFO ordering and
+//! bounded queues.
+//!
+//! [`DynamicBatcher`] is a *pure state machine*: every operation takes
+//! the current time as an argument and no operation blocks, sleeps, or
+//! reads a clock. The threaded [`Server`](crate::Server) wraps it in a
+//! mutex and turns [`Poll::Wait`] deadlines into condvar timeouts;
+//! the tests drive it with a [`VirtualClock`](crate::VirtualClock) and
+//! never sleep.
+//!
+//! ## Release policy
+//!
+//! A model's queue releases a batch when either
+//!
+//! * **full** — it holds at least `max_batch` requests (the executor's
+//!   batch dimension is saturated; waiting longer buys nothing), or
+//! * **due** — its oldest request has waited `max_wait` (the batching
+//!   gain is no longer worth the latency).
+//!
+//! Among releasable models the one whose oldest request is oldest goes
+//! first (most-overdue-first — the SLO-aware choice). Within the
+//! released batch, the model's **oldest request takes the first slot**
+//! regardless of class — the request whose age made the batch due
+//! always rides it, so sustained high-priority load can delay a
+//! low-priority request but never starve it — and the remaining slots
+//! fill class by class ([`Priority::High`] first) in strict FIFO order
+//! inside each class, the ordering property the serving proptests pin.
+//!
+//! ## Backpressure
+//!
+//! Each model's queue is bounded by `queue_capacity` across classes.
+//! [`submit`](DynamicBatcher::submit) refuses above that bound
+//! (admission control happens *here*, before a request is accepted) —
+//! so everything that was admitted stays queued until some worker
+//! takes it: the batcher never drops an admitted request.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+/// Request priority class. Classes are scheduling tiers, not strict
+/// preemption: a released batch fills from [`High`](Priority::High)
+/// down, and FIFO order is preserved *within* each class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic; fills batches first.
+    High,
+    /// The default class.
+    Normal,
+    /// Throughput traffic; fills batches last.
+    Low,
+}
+
+impl Priority {
+    /// All classes, highest first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::High => write!(f, "high"),
+            Priority::Normal => write!(f, "normal"),
+            Priority::Low => write!(f, "low"),
+        }
+    }
+}
+
+/// Batching policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Largest batch ever released (clamped to ≥ 1). Should match the
+    /// models' batch dimension ([`ModelEntry::max_batch`]).
+    ///
+    /// [`ModelEntry::max_batch`]: crate::ModelEntry::max_batch
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batchers before a partial
+    /// batch is released anyway.
+    pub max_wait: Duration,
+    /// Per-model queue bound (across all classes); submissions above
+    /// it are refused.
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    /// Batch up to 8, wait at most 2 ms, queue at most 64 per model.
+    fn default() -> BatchConfig {
+        BatchConfig { max_batch: 8, max_wait: Duration::from_millis(2), queue_capacity: 64 }
+    }
+}
+
+/// A queued request: opaque payload plus batching metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pending<T> {
+    seq: u64,
+    enqueued_at: Duration,
+    priority: Priority,
+    payload: T,
+}
+
+/// One request inside a released [`Batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchItem<T> {
+    /// Submission-order sequence number (globally unique, monotone).
+    pub seq: u64,
+    /// When the request entered the queue (clock-epoch relative).
+    pub enqueued_at: Duration,
+    /// The request's class.
+    pub priority: Priority,
+    /// The caller's payload.
+    pub payload: T,
+}
+
+/// A coalesced batch released for one model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch<T> {
+    /// Dense model index (the registry's
+    /// [`index_of`](crate::ModelRegistry::index_of)).
+    pub model: usize,
+    /// The requests, in the order they fill the executor's batch
+    /// dimension: class by class, FIFO within each class.
+    pub requests: Vec<BatchItem<T>>,
+}
+
+/// Why a submission was refused at the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The model's bounded queue is at capacity — backpressure.
+    QueueFull {
+        /// Dense model index.
+        model: usize,
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { model, capacity } => {
+                write!(f, "model {model} queue is full ({capacity} requests)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Outcome of a [`poll`](DynamicBatcher::poll).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Poll<T> {
+    /// A batch is due; run it.
+    Ready(Batch<T>),
+    /// Nothing is due. The payload is the absolute clock time at which
+    /// the oldest queued request becomes due (`None` when every queue
+    /// is empty) — the wait-with-timeout hint for worker threads.
+    Wait(Option<Duration>),
+}
+
+/// The dynamic batcher: per-(model, class) FIFO queues and the
+/// deadline/fullness release policy, as a clock-free state machine.
+#[derive(Debug, Clone)]
+pub struct DynamicBatcher<T> {
+    config: BatchConfig,
+    /// Effective per-model batch ceiling:
+    /// `min(config.max_batch, model's batch dimension)`.
+    caps: Vec<usize>,
+    /// `queues[model][class]`.
+    queues: Vec<[VecDeque<Pending<T>>; 3]>,
+    seq: u64,
+}
+
+impl<T> DynamicBatcher<T> {
+    /// A batcher for `model_count` models under `config`
+    /// (`max_batch` and `queue_capacity` are clamped to ≥ 1), with
+    /// every model batched up to `config.max_batch`.
+    pub fn new(model_count: usize, config: BatchConfig) -> DynamicBatcher<T> {
+        DynamicBatcher::with_caps(vec![config.max_batch; model_count], config)
+    }
+
+    /// A batcher whose model `m` never releases more than
+    /// `min(caps[m], config.max_batch)` requests per batch — the
+    /// schedule's batch dimension is a hard executor limit, so the
+    /// server builds its batcher with each model's
+    /// [`max_batch`](crate::ModelEntry::max_batch) as the cap.
+    pub fn with_caps(caps: Vec<usize>, config: BatchConfig) -> DynamicBatcher<T> {
+        let config = BatchConfig {
+            max_batch: config.max_batch.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            ..config
+        };
+        let caps: Vec<usize> = caps.into_iter().map(|c| c.clamp(1, config.max_batch)).collect();
+        let queues = caps.iter().map(|_| std::array::from_fn(|_| VecDeque::new())).collect();
+        DynamicBatcher { config, caps, queues, seq: 0 }
+    }
+
+    /// The (clamped) configuration in force.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// The effective batch ceiling of `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` is out of range.
+    pub fn cap(&self, model: usize) -> usize {
+        self.caps[model]
+    }
+
+    /// Requests currently queued for `model`, all classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` is out of range.
+    pub fn queued(&self, model: usize) -> usize {
+        self.queues[model].iter().map(VecDeque::len).sum()
+    }
+
+    /// Requests currently queued across every model.
+    pub fn total_queued(&self) -> usize {
+        (0..self.queues.len()).map(|m| self.queued(m)).sum()
+    }
+
+    /// `true` when no request is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.total_queued() == 0
+    }
+
+    /// Enqueues a request for `model` at time `now`, returning its
+    /// submission sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when the model's bounded
+    /// queue is at capacity — the admitted/refused line of the serving
+    /// subsystem's backpressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` is out of range.
+    pub fn submit(
+        &mut self,
+        model: usize,
+        priority: Priority,
+        payload: T,
+        now: Duration,
+    ) -> Result<u64, SubmitError> {
+        if self.queued(model) >= self.config.queue_capacity {
+            return Err(SubmitError::QueueFull { model, capacity: self.config.queue_capacity });
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.queues[model][priority.index()].push_back(Pending {
+            seq,
+            enqueued_at: now,
+            priority,
+            payload,
+        });
+        Ok(seq)
+    }
+
+    /// When `model`'s oldest queued request entered the queue.
+    fn oldest_enqueue(&self, model: usize) -> Option<Duration> {
+        self.queues[model].iter().filter_map(|q| q.front()).map(|p| p.enqueued_at).min()
+    }
+
+    /// The class whose front holds `model`'s oldest request
+    /// (ties broken by submission sequence).
+    fn oldest_class(&self, model: usize) -> Option<usize> {
+        (0..3)
+            .filter_map(|c| self.queues[model][c].front().map(|p| ((p.enqueued_at, p.seq), c)))
+            .min()
+            .map(|(_, c)| c)
+    }
+
+    /// Pops up to the model's batch cap: the model's **oldest request
+    /// first** (whatever its class — the anti-starvation guarantee:
+    /// the request whose age made the batch due always rides it, so a
+    /// low-priority request can wait at most one batch per
+    /// higher-priority occupant ahead of it, never forever), then
+    /// class by class in priority order, FIFO within each class. The
+    /// reserved request is its own class's front, so per-class FIFO
+    /// order is preserved.
+    fn drain_batch(&mut self, model: usize) -> Batch<T> {
+        let mut requests = Vec::new();
+        let item = |p: Pending<T>| BatchItem {
+            seq: p.seq,
+            enqueued_at: p.enqueued_at,
+            priority: p.priority,
+            payload: p.payload,
+        };
+        if let Some(class) = self.oldest_class(model) {
+            let p = self.queues[model][class].pop_front().expect("front exists");
+            requests.push(item(p));
+        }
+        for class in 0..3 {
+            while requests.len() < self.caps[model] {
+                match self.queues[model][class].pop_front() {
+                    Some(p) => requests.push(item(p)),
+                    None => break,
+                }
+            }
+        }
+        Batch { model, requests }
+    }
+
+    /// Releases a batch if one is due at `now`, otherwise reports how
+    /// long the caller may wait.
+    pub fn poll(&mut self, now: Duration) -> Poll<T> {
+        // Most-overdue-first among releasable models; ties broken by
+        // model index for determinism.
+        let mut release: Option<(Duration, usize)> = None;
+        let mut next_deadline: Option<Duration> = None;
+        for model in 0..self.queues.len() {
+            let Some(oldest) = self.oldest_enqueue(model) else { continue };
+            let deadline = oldest + self.config.max_wait;
+            let releasable = self.queued(model) >= self.caps[model] || deadline <= now;
+            if releasable {
+                if release.is_none_or(|(best, _)| oldest < best) {
+                    release = Some((oldest, model));
+                }
+            } else if next_deadline.is_none_or(|d| deadline < d) {
+                next_deadline = Some(deadline);
+            }
+        }
+        match release {
+            Some((_, model)) => Poll::Ready(self.drain_batch(model)),
+            None => Poll::Wait(next_deadline),
+        }
+    }
+
+    /// Releases the most-overdue batch regardless of deadlines — the
+    /// shutdown drain: admitted requests are served, never dropped,
+    /// even when the server stops before their batch fills or ages.
+    pub fn pop_any(&mut self) -> Option<Batch<T>> {
+        let model = (0..self.queues.len())
+            .filter_map(|m| self.oldest_enqueue(m).map(|t| (t, m)))
+            .min()
+            .map(|(_, m)| m)?;
+        Some(self.drain_batch(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    fn config(max_batch: usize, max_wait_ms: u64, cap: usize) -> BatchConfig {
+        BatchConfig { max_batch, max_wait: Duration::from_millis(max_wait_ms), queue_capacity: cap }
+    }
+
+    #[test]
+    fn full_queue_releases_immediately_without_waiting() {
+        let mut b = DynamicBatcher::new(2, config(3, 10, 16));
+        for seed in 0..3u64 {
+            b.submit(1, Priority::Normal, seed, at(0)).unwrap();
+        }
+        // Deadline is far away, but the batch is full → ready at t=0.
+        match b.poll(at(0)) {
+            Poll::Ready(batch) => {
+                assert_eq!(batch.model, 1);
+                assert_eq!(batch.requests.len(), 3);
+            }
+            other => panic!("expected ready, got {other:?}"),
+        }
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn partial_batch_waits_until_the_deadline_then_releases() {
+        let mut b = DynamicBatcher::new(1, config(8, 5, 16));
+        b.submit(0, Priority::Normal, 1u64, at(2)).unwrap();
+        b.submit(0, Priority::Normal, 2u64, at(4)).unwrap();
+        // Not due yet: poll reports the oldest request's deadline.
+        assert_eq!(b.poll(at(3)), Poll::Wait(Some(at(7))));
+        // At the deadline the partial batch (both requests) releases.
+        match b.poll(at(7)) {
+            Poll::Ready(batch) => {
+                assert_eq!(batch.requests.len(), 2);
+                assert_eq!(batch.requests[0].payload, 1);
+            }
+            other => panic!("expected ready, got {other:?}"),
+        }
+        assert_eq!(b.poll(at(8)), Poll::Wait(None));
+    }
+
+    #[test]
+    fn oldest_rides_first_then_classes_fill_in_priority_order() {
+        let mut b = DynamicBatcher::new(1, config(8, 1, 16));
+        b.submit(0, Priority::Low, 30u64, at(0)).unwrap();
+        b.submit(0, Priority::Normal, 20, at(0)).unwrap();
+        b.submit(0, Priority::High, 10, at(0)).unwrap();
+        b.submit(0, Priority::High, 11, at(0)).unwrap();
+        b.submit(0, Priority::Low, 31, at(0)).unwrap();
+        let Poll::Ready(batch) = b.poll(at(1)) else { panic!("due") };
+        let order: Vec<u64> = batch.requests.iter().map(|r| r.payload).collect();
+        // The oldest request (Low 30, submitted first) is guaranteed
+        // the first slot; then High..Low, FIFO within each class.
+        assert_eq!(order, [30, 10, 11, 20, 31]);
+    }
+
+    #[test]
+    fn deadline_triggered_release_cannot_starve_a_low_priority_request() {
+        // Cap 2, one Low request, then a sustained stream of High
+        // requests that keeps the queue at fullness forever. Without
+        // the oldest-rides-first guarantee every released batch would
+        // be all-High and the Low request would wait unboundedly.
+        let mut b = DynamicBatcher::new(1, config(2, 5, 64));
+        b.submit(0, Priority::Low, 999u64, at(0)).unwrap();
+        let mut served_low_after = None;
+        for round in 0..10u64 {
+            b.submit(0, Priority::High, round, at(round)).unwrap();
+            b.submit(0, Priority::High, 100 + round, at(round)).unwrap();
+            let Poll::Ready(batch) = b.poll(at(round)) else { panic!("full at cap") };
+            if batch.requests.iter().any(|r| r.payload == 999) {
+                served_low_after = Some(round);
+                break;
+            }
+        }
+        assert_eq!(
+            served_low_after,
+            Some(0),
+            "the oldest request must ride the very first released batch"
+        );
+    }
+
+    #[test]
+    fn most_overdue_model_goes_first() {
+        let mut b = DynamicBatcher::new(3, config(4, 2, 16));
+        b.submit(2, Priority::Normal, 2u64, at(0)).unwrap();
+        b.submit(0, Priority::Normal, 0, at(1)).unwrap();
+        let Poll::Ready(first) = b.poll(at(5)) else { panic!("due") };
+        assert_eq!(first.model, 2, "older request wins");
+        let Poll::Ready(second) = b.poll(at(5)) else { panic!("due") };
+        assert_eq!(second.model, 0);
+    }
+
+    #[test]
+    fn bounded_queue_refuses_above_capacity_and_recovers() {
+        let mut b = DynamicBatcher::new(1, config(8, 1, 2));
+        b.submit(0, Priority::Normal, 1u64, at(0)).unwrap();
+        b.submit(0, Priority::High, 2, at(0)).unwrap();
+        let err = b.submit(0, Priority::Normal, 3, at(0)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { model: 0, capacity: 2 });
+        assert!(err.to_string().contains("full"));
+        // Draining frees capacity again.
+        let Poll::Ready(_) = b.poll(at(2)) else { panic!("due") };
+        b.submit(0, Priority::Normal, 3, at(2)).unwrap();
+        assert_eq!(b.queued(0), 1);
+    }
+
+    #[test]
+    fn oversized_backlog_releases_in_max_batch_chunks_in_order() {
+        let mut b = DynamicBatcher::new(1, config(2, 1, 16));
+        for seed in 0..5u64 {
+            b.submit(0, Priority::Normal, seed, at(0)).unwrap();
+        }
+        let mut order = Vec::new();
+        while let Poll::Ready(batch) = b.poll(at(3)) {
+            assert!(batch.requests.len() <= 2);
+            order.extend(batch.requests.iter().map(|r| r.payload));
+        }
+        assert_eq!(order, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_any_drains_everything_for_shutdown() {
+        let mut b = DynamicBatcher::new(2, config(8, 1000, 16));
+        b.submit(0, Priority::Normal, 1u64, at(0)).unwrap();
+        b.submit(1, Priority::Low, 2, at(0)).unwrap();
+        // Nothing is due (huge max_wait), but shutdown must not drop.
+        assert!(matches!(b.poll(at(1)), Poll::Wait(Some(_))));
+        let mut drained = 0;
+        while let Some(batch) = b.pop_any() {
+            drained += batch.requests.len();
+        }
+        assert_eq!(drained, 2);
+        assert!(b.pop_any().is_none());
+    }
+
+    #[test]
+    fn per_model_caps_bound_release_and_fullness() {
+        // Model 0 is capped at 2 even though policy allows 8.
+        let mut b = DynamicBatcher::with_caps(vec![2, 8], config(8, 1000, 16));
+        assert_eq!(b.cap(0), 2);
+        assert_eq!(b.cap(1), 8);
+        b.submit(0, Priority::Normal, 1u64, at(0)).unwrap();
+        b.submit(0, Priority::Normal, 2, at(0)).unwrap();
+        b.submit(0, Priority::Normal, 3, at(0)).unwrap();
+        // Two queued ≥ cap → full, releases without waiting; never
+        // more than the cap in one batch.
+        let Poll::Ready(batch) = b.poll(at(0)) else { panic!("full at cap") };
+        assert_eq!(batch.requests.len(), 2);
+        let Some(rest) = b.pop_any() else { panic!("drainable") };
+        assert_eq!(rest.requests.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_and_zero_batch_are_clamped() {
+        let b: DynamicBatcher<u64> = DynamicBatcher::new(1, config(0, 1, 0));
+        assert_eq!(b.config().max_batch, 1);
+        assert_eq!(b.config().queue_capacity, 1);
+        assert_eq!(BatchConfig::default().max_batch, 8);
+    }
+}

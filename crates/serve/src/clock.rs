@@ -1,0 +1,122 @@
+//! Time as a capability: real for production, virtual for tests.
+//!
+//! Every latency measurement, batching deadline and SLO check in this
+//! crate reads time through the [`Clock`] trait instead of calling
+//! `Instant::now()` directly. Production uses [`SystemClock`]
+//! (monotonic, epoch = construction). Tests use [`VirtualClock`], whose
+//! time only moves when the test calls [`advance`](VirtualClock::advance)
+//! — so batching-deadline behavior ("release a partial batch once the
+//! oldest request has waited `max_wait`") is exercised deterministically,
+//! with no sleeps and no wall-clock flakiness.
+//!
+//! Timestamps are plain [`Duration`]s since the clock's epoch, which —
+//! unlike the opaque `std::time::Instant` — can be fabricated, compared
+//! across the virtual and real implementations, and serialized into
+//! metrics.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source: `now()` never decreases.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+}
+
+/// The real monotonic clock; epoch is the moment of construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> SystemClock {
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A clock that only moves when told to — the deterministic test
+/// double that makes batching deadlines and latency accounting
+/// unit-testable without sleeping.
+///
+/// ```
+/// use std::time::Duration;
+/// use wino_serve::{Clock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// assert_eq!(clock.now(), Duration::ZERO);
+/// clock.advance(Duration::from_millis(5));
+/// assert_eq!(clock.now(), Duration::from_millis(5));
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: Mutex<Duration>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at its epoch (`Duration::ZERO`).
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Moves time forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        let mut now = self.now.lock().expect("clock lock");
+        *now += delta;
+    }
+
+    /// Jumps time to `target` if it is later than the current reading
+    /// (a virtual clock is still monotonic: earlier targets are
+    /// ignored).
+    pub fn advance_to(&self, target: Duration) {
+        let mut now = self.now.lock().expect("clock lock");
+        if target > *now {
+            *now = target;
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock().expect("clock lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock::default();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_moves_only_on_advance() {
+        let clock = VirtualClock::new();
+        let t0 = clock.now();
+        assert_eq!(clock.now(), t0, "time is frozen between advances");
+        clock.advance(Duration::from_micros(250));
+        assert_eq!(clock.now(), t0 + Duration::from_micros(250));
+        clock.advance_to(Duration::from_millis(2));
+        assert_eq!(clock.now(), Duration::from_millis(2));
+        clock.advance_to(Duration::from_millis(1));
+        assert_eq!(clock.now(), Duration::from_millis(2), "never goes backwards");
+    }
+}

@@ -1,0 +1,68 @@
+//! # wino-serve
+//!
+//! Multi-tenant batched inference serving on top of the `wino-exec`
+//! Winograd execution engine — the `winofpga` workspace's software
+//! analogue of the paper's central systems argument: fast-algorithm
+//! datapaths only pay off when the machinery around them keeps the
+//! compute saturated. The rest of the workspace searches, schedules
+//! and executes designs; this crate puts a *request path* in front of
+//! them.
+//!
+//! The pieces, front to back:
+//!
+//! * [`ModelRegistry`] — the four `wino-models` workloads in float and
+//!   fixed-point variants behind stable [`ModelId`]s, each with its
+//!   schedule pre-lowered and every Winograd kernel bank pre-transformed
+//!   (via `wino_exec::PreparedPlan`), so no request ever pays transform
+//!   generation;
+//! * [`DynamicBatcher`] — coalesces single-image requests into batches
+//!   up to the model's batch dimension under a `max_wait` deadline,
+//!   with per-[`Priority`]-class FIFO ordering and bounded queues for
+//!   backpressure, as a clock-free state machine;
+//! * [`Server`] — admission control (bounded queues, optional
+//!   SLO-based shedding) in front of a `std::thread` worker pool that
+//!   executes released batches through the cached banks and fulfills
+//!   per-request [`ResponseHandle`]s;
+//! * [`Metrics`] — per-model throughput and p50/p95/p99 latency from
+//!   constant-space log histograms;
+//! * [`Clock`] — real ([`SystemClock`]) or deterministic
+//!   ([`VirtualClock`]) time, so every deadline and latency figure is
+//!   unit-testable without sleeps.
+//!
+//! Two properties carry the whole design and are pinned by tests:
+//! a served request's output is **bitwise identical** to running it
+//! alone (batching never changes results — every Winograd work item
+//! touches one image only, in a fixed accumulation order), and an
+//! admitted request is **never dropped** (refusal happens only at
+//! admission; shutdown drains the queue before the pool stops).
+//!
+//! ```
+//! use wino_serve::{ModelRegistry, Priority, ServeConfig, Server};
+//!
+//! // Four models × {f32, Q24.8}, kernel banks transformed up front.
+//! let registry = ModelRegistry::standard(4, 2)?;
+//! let direct = registry.get(&"tinycnn-f32".into()).unwrap().infer_one(7);
+//!
+//! let server = Server::start(registry, ServeConfig::default());
+//! let handle = server.submit(&"tinycnn-f32".into(), Priority::High, 7)?;
+//! let result = handle.wait();
+//! assert_eq!(result.output, direct); // batched == solo, bitwise
+//! let metrics = server.shutdown();
+//! assert_eq!(metrics.total_completed(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batcher;
+mod clock;
+mod metrics;
+mod registry;
+mod server;
+
+pub use batcher::{Batch, BatchConfig, BatchItem, DynamicBatcher, Poll, Priority, SubmitError};
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot, ModelSnapshot};
+pub use registry::{InferOutput, ModelEntry, ModelId, ModelRegistry, RegistryError};
+pub use server::{AdmissionError, InferResult, ResponseHandle, ServeConfig, Server};

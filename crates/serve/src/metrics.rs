@@ -1,0 +1,348 @@
+//! Serving metrics: per-model throughput and latency distribution.
+//!
+//! Latencies are recorded into fixed-size logarithmic histograms (one
+//! bucket per power of two of microseconds), so recording is O(1),
+//! memory is constant, and the p50/p95/p99 read-out is a bucket walk —
+//! the classic production-serving trade of exact quantiles for bounded
+//! state. Quantiles are reported as the upper bound of the bucket the
+//! rank falls in (pessimistic: a reported p99 is never lower than the
+//! true one by more than a bucket's width).
+//!
+//! All recording goes through interior mutability behind one mutex per
+//! [`Metrics`] — workers record once per *batch*, not per request, so
+//! contention stays negligible next to the convolution work.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of power-of-two microsecond buckets: covers up to
+/// 2^39 µs ≈ 6.4 days, far beyond any sane request latency.
+const BUCKETS: usize = 40;
+
+/// A fixed-size log₂-bucketed latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_us: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram { counts: [0; BUCKETS], total: 0, sum_us: 0 }
+    }
+
+    fn bucket(us: u128) -> usize {
+        // Bucket b holds latencies in [2^(b-1), 2^b) µs; bucket 0 holds
+        // sub-microsecond samples.
+        (128 - us.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros();
+        self.counts[Self::bucket(us)] += 1;
+        self.total += 1;
+        self.sum_us += us;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency (`ZERO` when empty).
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.sum_us / u128::from(self.total)) as u64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket containing that rank; `ZERO` when empty.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use wino_serve::LatencyHistogram;
+    ///
+    /// let mut h = LatencyHistogram::new();
+    /// for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 40] {
+    ///     h.record(Duration::from_millis(ms));
+    /// }
+    /// // Nine of ten samples sit in the ~1 ms bucket…
+    /// assert!(h.quantile(0.5) < Duration::from_millis(3));
+    /// // …but the p99 walk reaches the 40 ms outlier's bucket.
+    /// assert!(h.quantile(0.99) >= Duration::from_millis(40));
+    /// ```
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Duration::from_micros(1u64 << b);
+            }
+        }
+        Duration::from_micros(1u64 << (BUCKETS - 1))
+    }
+}
+
+/// Accumulated counters of one model.
+#[derive(Debug, Clone, Default)]
+struct ModelCounters {
+    completed: u64,
+    rejected: u64,
+    batches: u64,
+    latency: LatencyHistogram,
+    queue_wait: LatencyHistogram,
+    /// EWMA of per-image service time, the admission controller's
+    /// backlog estimate.
+    ewma_image_us: Option<f64>,
+}
+
+/// Point-in-time metrics of one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// The model's stable ID.
+    pub model: String,
+    /// Requests completed (responses delivered).
+    pub completed: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean images per executed batch.
+    pub mean_batch: f64,
+    /// Mean end-to-end latency.
+    pub mean_latency: Duration,
+    /// Median end-to-end latency (bucket upper bound).
+    pub p50: Duration,
+    /// 95th-percentile end-to-end latency (bucket upper bound).
+    pub p95: Duration,
+    /// 99th-percentile end-to-end latency (bucket upper bound).
+    pub p99: Duration,
+    /// Mean time spent queued before execution started.
+    pub mean_queue_wait: Duration,
+}
+
+/// Point-in-time metrics of the whole server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Wall time the snapshot covers (since metrics construction).
+    pub elapsed: Duration,
+    /// Per-model snapshots, registry order.
+    pub per_model: Vec<ModelSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Requests completed across every model.
+    pub fn total_completed(&self) -> u64 {
+        self.per_model.iter().map(|m| m.completed).sum()
+    }
+
+    /// Requests refused at admission across every model.
+    pub fn total_rejected(&self) -> u64 {
+        self.per_model.iter().map(|m| m.rejected).sum()
+    }
+
+    /// Completed requests per second over the covered window
+    /// (`0.0` for an empty window).
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.total_completed() as f64 / secs
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} requests in {:.2} s ({:.1} req/s, {} rejected)",
+            self.total_completed(),
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps(),
+            self.total_rejected()
+        )?;
+        for m in &self.per_model {
+            writeln!(
+                f,
+                "  {:<14} {:>6} done {:>5} rej {:>6.2} img/batch  p50 {:>9.3?}  p95 {:>9.3?}  p99 {:>9.3?}",
+                m.model, m.completed, m.rejected, m.mean_batch, m.p50, m.p95, m.p99
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Thread-safe per-model metrics recorder.
+#[derive(Debug)]
+pub struct Metrics {
+    models: Vec<String>,
+    state: Mutex<Vec<ModelCounters>>,
+}
+
+impl Metrics {
+    /// A recorder for the given model IDs (registry order).
+    pub fn new(models: Vec<String>) -> Metrics {
+        let state = Mutex::new(models.iter().map(|_| ModelCounters::default()).collect());
+        Metrics { models, state }
+    }
+
+    /// Records one executed batch: its size, the service time of the
+    /// whole batch, and each request's queue wait and end-to-end
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` is out of range or the slices disagree in
+    /// length.
+    pub fn record_batch(
+        &self,
+        model: usize,
+        service: Duration,
+        waits: &[Duration],
+        latencies: &[Duration],
+    ) {
+        assert_eq!(waits.len(), latencies.len());
+        let batch = waits.len() as u64;
+        let mut state = self.state.lock().expect("metrics lock");
+        let c = &mut state[model];
+        c.batches += 1;
+        c.completed += batch;
+        for (&w, &l) in waits.iter().zip(latencies) {
+            c.queue_wait.record(w);
+            c.latency.record(l);
+        }
+        if batch > 0 {
+            let per_image = service.as_micros() as f64 / batch as f64;
+            // EWMA with alpha 0.3: reactive enough for admission
+            // control, smooth enough to ignore one noisy batch.
+            c.ewma_image_us =
+                Some(c.ewma_image_us.map_or(per_image, |old| 0.7 * old + 0.3 * per_image));
+        }
+    }
+
+    /// Records one request refused at admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` is out of range.
+    pub fn record_rejected(&self, model: usize) {
+        self.state.lock().expect("metrics lock")[model].rejected += 1;
+    }
+
+    /// The smoothed per-image service-time estimate of `model`, if any
+    /// batch has completed yet — what admission control multiplies by
+    /// the backlog to estimate queueing delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` is out of range.
+    pub fn estimated_image_time(&self, model: usize) -> Option<Duration> {
+        self.state.lock().expect("metrics lock")[model]
+            .ewma_image_us
+            .map(|us| Duration::from_micros(us as u64))
+    }
+
+    /// A consistent snapshot covering `elapsed` of wall time.
+    pub fn snapshot(&self, elapsed: Duration) -> MetricsSnapshot {
+        let state = self.state.lock().expect("metrics lock");
+        let per_model = self
+            .models
+            .iter()
+            .zip(state.iter())
+            .map(|(id, c)| ModelSnapshot {
+                model: id.clone(),
+                completed: c.completed,
+                rejected: c.rejected,
+                batches: c.batches,
+                mean_batch: if c.batches == 0 {
+                    0.0
+                } else {
+                    c.completed as f64 / c.batches as f64
+                },
+                mean_latency: c.latency.mean(),
+                p50: c.latency.quantile(0.50),
+                p95: c.latency.quantile(0.95),
+                p99: c.latency.quantile(0.99),
+                mean_queue_wait: c.queue_wait.mean(),
+            })
+            .collect();
+        MetricsSnapshot { elapsed, per_model }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_buckets_pessimistically() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(ms(1));
+        }
+        h.record(ms(500));
+        assert_eq!(h.count(), 100);
+        // p50 stays in the 1 ms bucket (upper bound ≤ 2.048 ms)…
+        assert!(h.quantile(0.5) <= Duration::from_micros(2048));
+        // …p99 still does; only the very tail sees the outlier.
+        assert!(h.quantile(0.99) <= Duration::from_micros(2048));
+        assert!(h.quantile(1.0) >= ms(500));
+        assert!(h.mean() >= ms(5));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn batch_recording_feeds_snapshot_and_ewma() {
+        let m = Metrics::new(vec!["a".into(), "b".into()]);
+        m.record_batch(0, ms(8), &[ms(1), ms(2)], &[ms(5), ms(6)]);
+        m.record_batch(0, ms(4), &[ms(1)], &[ms(3)]);
+        m.record_rejected(1);
+        let snap = m.snapshot(ms(1000));
+        assert_eq!(snap.total_completed(), 3);
+        assert_eq!(snap.total_rejected(), 1);
+        assert_eq!(snap.per_model[0].batches, 2);
+        assert!((snap.per_model[0].mean_batch - 1.5).abs() < 1e-9);
+        assert!((snap.throughput_rps() - 3.0).abs() < 1e-9);
+        // EWMA: 0.7 * 4000 µs + 0.3 * 4000 µs = 4000 µs per image.
+        let est = m.estimated_image_time(0).unwrap();
+        assert_eq!(est, Duration::from_micros(4000));
+        assert_eq!(m.estimated_image_time(1), None);
+        let text = snap.to_string();
+        assert!(text.contains("a") && text.contains("req/s"));
+    }
+
+    #[test]
+    fn zero_window_throughput_is_zero_not_nan() {
+        let m = Metrics::new(vec!["a".into()]);
+        let snap = m.snapshot(Duration::ZERO);
+        assert_eq!(snap.throughput_rps(), 0.0);
+    }
+}

@@ -1,0 +1,578 @@
+//! The serving front end: admission control, the worker pool, and
+//! response delivery.
+//!
+//! A [`Server`] owns a [`ModelRegistry`] (every kernel bank already
+//! transformed), a mutex-wrapped [`DynamicBatcher`] and a pool of
+//! worker threads. The request lifecycle:
+//!
+//! 1. **Submit** — [`Server::submit`] resolves the model ID, applies
+//!    admission control (bounded queue; optionally, the SLO test:
+//!    reject when `backlog × smoothed-per-image-service-time` already
+//!    exceeds the configured SLO), stamps the arrival time and enqueues.
+//!    The caller gets a [`ResponseHandle`] — a one-shot slot the
+//!    serving side fulfills.
+//! 2. **Batch** — the batcher coalesces same-model requests until the
+//!    batch dimension fills or the oldest request has waited
+//!    `max_wait` (see [`DynamicBatcher`]).
+//! 3. **Execute** — a worker takes the released batch, stacks the
+//!    requests' inputs, and runs every layer through the model's cached
+//!    [`PreparedPlan`](wino_exec::PreparedPlan)s in one call per layer.
+//! 4. **Respond** — per-request outputs (bitwise identical to a solo
+//!    run) are split out of the batch, metrics record queue wait and
+//!    end-to-end latency, and each handle is fulfilled.
+//!
+//! Admitted requests are never dropped: workers only exit once the
+//! shutdown flag is up *and* the queue is drained, and
+//! [`Server::shutdown`] (also run on drop) releases leftover partial
+//! batches past their deadlines before joining the pool.
+
+use crate::{
+    Batch, BatchConfig, Clock, DynamicBatcher, InferOutput, Metrics, MetricsSnapshot, ModelId,
+    ModelRegistry, Poll, Priority, SubmitError, SystemClock,
+};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads taking batches from the queue (clamped to ≥ 1).
+    /// Each worker executes one batch at a time; the *intra*-batch
+    /// thread fan-out is the `ExecConfig` the registry's executors
+    /// were built with.
+    pub workers: usize,
+    /// Dynamic batching policy (see [`BatchConfig`]).
+    pub batch: BatchConfig,
+    /// End-to-end latency objective. When set, admission refuses
+    /// requests whose estimated queueing delay (model backlog ×
+    /// smoothed per-image service time) already exceeds it — shedding
+    /// load early instead of serving answers that are already late.
+    pub slo: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    /// Two workers, default batching, no SLO-based shedding.
+    fn default() -> ServeConfig {
+        ServeConfig { workers: 2, batch: BatchConfig::default(), slo: None }
+    }
+}
+
+/// Why a request was refused at the door.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// No model is registered under the given ID.
+    UnknownModel(String),
+    /// The model's bounded queue is full — retry later.
+    QueueFull {
+        /// The refused model.
+        model: ModelId,
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// The backlog already implies missing the SLO.
+    SloUnattainable {
+        /// The refused model.
+        model: ModelId,
+        /// Estimated queueing delay at admission time.
+        estimated: Duration,
+        /// The configured objective it exceeds.
+        slo: Duration,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::UnknownModel(id) => write!(f, "unknown model '{id}'"),
+            AdmissionError::QueueFull { model, capacity } => {
+                write!(f, "queue for '{model}' is full ({capacity} requests)")
+            }
+            AdmissionError::SloUnattainable { model, estimated, slo } => {
+                write!(f, "'{model}' backlog implies ~{estimated:?} queueing, over the {slo:?} SLO")
+            }
+            AdmissionError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A finished request as delivered to the submitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResult {
+    /// The model that served the request.
+    pub model: ModelId,
+    /// The request's input seed (echoed back).
+    pub seed: u64,
+    /// Per-layer outputs of the request's image.
+    pub output: InferOutput,
+    /// Time spent queued before the batch started executing.
+    pub queue_wait: Duration,
+    /// End-to-end latency (admission to response).
+    pub latency: Duration,
+    /// How many requests shared the executed batch.
+    pub batch_size: usize,
+}
+
+/// One-shot response slot shared between a worker and the submitter.
+#[derive(Debug, Default)]
+struct ResponseSlot {
+    cell: Mutex<Option<InferResult>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn fulfill(&self, result: InferResult) {
+        let mut cell = self.cell.lock().expect("slot lock");
+        *cell = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// The submitter's end of an admitted request. Deliberately one-shot
+/// (not `Clone`): [`wait`](Self::wait) / [`try_take`](Self::try_take)
+/// move the single result out of the slot, so a second waiter on the
+/// same request would block forever — the type makes that unwritable.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives. Admitted requests are always
+    /// served (the server drains its queue before stopping), so this
+    /// cannot hang on a live or shutting-down server.
+    pub fn wait(&self) -> InferResult {
+        let mut cell = self.slot.cell.lock().expect("slot lock");
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = self.slot.ready.wait(cell).expect("slot lock");
+        }
+    }
+
+    /// Takes the response if it has already arrived.
+    pub fn try_take(&self) -> Option<InferResult> {
+        self.slot.cell.lock().expect("slot lock").take()
+    }
+}
+
+/// Per-request payload carried through the batcher.
+struct Ticket {
+    seed: u64,
+    slot: Arc<ResponseSlot>,
+}
+
+struct Inner {
+    registry: ModelRegistry,
+    clock: Arc<dyn Clock>,
+    slo: Option<Duration>,
+    queue: Mutex<DynamicBatcher<Ticket>>,
+    /// Signaled on submit and shutdown; workers park here when no
+    /// batch is due.
+    wake: Condvar,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    /// One worker's life: take a due batch, execute it, respond;
+    /// park until a deadline or a submit otherwise. Exits only when
+    /// shutdown is flagged *and* the queue is fully drained.
+    fn worker_loop(&self) {
+        let mut queue = self.queue.lock().expect("queue lock");
+        loop {
+            let shutting_down = self.shutdown.load(Ordering::Acquire);
+            let now = self.clock.now();
+            let next = if shutting_down {
+                queue.pop_any().map(Poll::Ready)
+            } else {
+                Some(queue.poll(now))
+            };
+            match next {
+                Some(Poll::Ready(batch)) => {
+                    drop(queue);
+                    self.execute(batch);
+                    queue = self.queue.lock().expect("queue lock");
+                }
+                None => return, // shutdown and drained
+                Some(Poll::Wait(deadline)) => {
+                    // Cap the park so a shutdown flag or a virtual
+                    // clock advance is noticed promptly even without a
+                    // matching notify.
+                    let timeout = deadline
+                        .map(|d| d.saturating_sub(now))
+                        .unwrap_or(Duration::from_millis(50))
+                        .min(Duration::from_millis(50));
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(queue, timeout.max(Duration::from_micros(100)))
+                        .expect("queue lock");
+                    queue = guard;
+                }
+            }
+        }
+    }
+
+    /// Executes one released batch and fulfills its responses.
+    fn execute(&self, batch: Batch<Ticket>) {
+        let entry = self.registry.entry(batch.model);
+        let seeds: Vec<u64> = batch.requests.iter().map(|r| r.payload.seed).collect();
+        let started = self.clock.now();
+        let outputs = entry.infer_batch(&seeds);
+        let finished = self.clock.now();
+
+        let waits: Vec<Duration> =
+            batch.requests.iter().map(|r| started.saturating_sub(r.enqueued_at)).collect();
+        let latencies: Vec<Duration> =
+            batch.requests.iter().map(|r| finished.saturating_sub(r.enqueued_at)).collect();
+        self.metrics.record_batch(
+            batch.model,
+            finished.saturating_sub(started),
+            &waits,
+            &latencies,
+        );
+
+        let size = batch.requests.len();
+        for ((request, output), (&wait, &latency)) in
+            batch.requests.into_iter().zip(outputs).zip(waits.iter().zip(&latencies))
+        {
+            request.payload.slot.fulfill(InferResult {
+                model: entry.id().clone(),
+                seed: request.payload.seed,
+                output,
+                queue_wait: wait,
+                latency,
+                batch_size: size,
+            });
+        }
+    }
+}
+
+/// A running inference server: registry + batcher + worker pool +
+/// metrics. Construct with [`Server::start`], feed with
+/// [`Server::submit`], stop with [`Server::shutdown`] (or drop).
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("models", &self.inner.registry.len())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts the worker pool over `registry` on the real monotonic
+    /// clock.
+    pub fn start(registry: ModelRegistry, config: ServeConfig) -> Server {
+        Server::with_clock(registry, config, Arc::new(SystemClock::new()))
+    }
+
+    /// Starts the worker pool on an explicit clock — a
+    /// [`VirtualClock`](crate::VirtualClock) makes latency accounting
+    /// deterministic in tests. Note that with a clock nobody advances,
+    /// a *partial* batch never comes due: pair a frozen clock with
+    /// `max_wait == 0` (or always-full batches), or advance the clock
+    /// from the test. Fully deterministic batching tests should drive
+    /// [`DynamicBatcher`] directly instead of a threaded server.
+    pub fn with_clock(
+        registry: ModelRegistry,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Server {
+        let metrics = Metrics::new(registry.entries().iter().map(|e| e.id().to_string()).collect());
+        // Per-model batch caps: never release more than a model's
+        // schedule-declared batch dimension, whatever the policy says.
+        let caps = registry.entries().iter().map(|e| e.max_batch()).collect();
+        let queue = Mutex::new(DynamicBatcher::with_caps(caps, config.batch));
+        let inner = Arc::new(Inner {
+            registry,
+            clock,
+            slo: config.slo,
+            queue,
+            wake: Condvar::new(),
+            metrics,
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("wino-serve-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// The models being served.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.inner.registry
+    }
+
+    /// Submits one single-image request for `model` at `priority`.
+    /// `seed` identifies the request's deterministic input (see
+    /// [`ModelEntry::request_input`](crate::ModelEntry::request_input)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmissionError`] when the request is refused — unknown
+    /// model, bounded queue full, the SLO test failing, or shutdown in
+    /// progress. Refusal is the *only* loss mode: an `Ok` here
+    /// guarantees a response.
+    pub fn submit(
+        &self,
+        model: &ModelId,
+        priority: Priority,
+        seed: u64,
+    ) -> Result<ResponseHandle, AdmissionError> {
+        let inner = &self.inner;
+        let Some(index) = inner.registry.index_of(model) else {
+            return Err(AdmissionError::UnknownModel(model.to_string()));
+        };
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket { seed, slot: Arc::clone(&slot) };
+        let mut queue = inner.queue.lock().expect("queue lock");
+        // Shutdown is checked *under the queue lock*: the workers'
+        // exit decision (shutdown && drained) is made under this same
+        // lock, so nothing can be admitted after the pool has decided
+        // to stop — the no-orphaned-ticket half of "an Ok here
+        // guarantees a response".
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        // SLO admission test: refuse when the backlog alone already
+        // implies blowing the objective.
+        if let (Some(slo), Some(per_image)) = (inner.slo, inner.metrics.estimated_image_time(index))
+        {
+            let estimated = per_image * (queue.queued(index) as u32 + 1);
+            if estimated > slo {
+                drop(queue);
+                inner.metrics.record_rejected(index);
+                return Err(AdmissionError::SloUnattainable {
+                    model: model.clone(),
+                    estimated,
+                    slo,
+                });
+            }
+        }
+        match queue.submit(index, priority, ticket, inner.clock.now()) {
+            Ok(_) => {
+                drop(queue);
+                inner.wake.notify_one();
+                Ok(ResponseHandle { slot })
+            }
+            Err(SubmitError::QueueFull { capacity, .. }) => {
+                drop(queue);
+                inner.metrics.record_rejected(index);
+                Err(AdmissionError::QueueFull { model: model.clone(), capacity })
+            }
+        }
+    }
+
+    /// A metrics snapshot covering the server's lifetime so far.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(self.inner.clock.now())
+    }
+
+    /// Requests currently queued (admitted, not yet executing).
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().expect("queue lock").total_queued()
+    }
+
+    /// Stops accepting work, drains every admitted request, joins the
+    /// pool, and returns the final metrics. Dropping the server does
+    /// the same minus the snapshot.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop();
+        self.metrics()
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("worker panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualClock;
+    use wino_core::{ConvShape, Workload};
+    use wino_exec::{ExecConfig, Schedule};
+
+    fn tiny_registry(max_batch: usize) -> ModelRegistry {
+        let mut wl = Workload::new("toy", max_batch);
+        wl.push("a", "G", ConvShape::same_padded(6, 6, 1, 2, 3));
+        let schedule = Schedule::homogeneous(&wl, 2).unwrap();
+        let mut registry = ModelRegistry::new();
+        registry.register("toy", wl, schedule, ExecConfig::with_threads(1), 3).unwrap();
+        registry
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            batch: BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(200),
+                queue_capacity: 64,
+            },
+            slo: None,
+        }
+    }
+
+    #[test]
+    fn served_response_matches_direct_inference() {
+        let registry = tiny_registry(4);
+        let direct = registry.entry(0).infer_one(99);
+        let server = Server::start(registry, quick_config());
+        let handle = server.submit(&"toy".into(), Priority::Normal, 99).expect("admitted");
+        let result = handle.wait();
+        assert_eq!(result.output, direct, "served == direct, bitwise");
+        assert_eq!(result.seed, 99);
+        assert!(result.batch_size >= 1);
+        let snap = server.shutdown();
+        assert_eq!(snap.total_completed(), 1);
+    }
+
+    #[test]
+    fn every_admitted_request_is_answered_even_through_shutdown() {
+        let server = Server::start(
+            tiny_registry(4),
+            ServeConfig {
+                workers: 1,
+                // An hour-long max_wait: only shutdown's drain (or a
+                // full batch) can release these.
+                batch: BatchConfig {
+                    max_batch: 64,
+                    max_wait: Duration::from_secs(3600),
+                    queue_capacity: 64,
+                },
+                slo: None,
+            },
+        );
+        let handles: Vec<_> = (0..5u64)
+            .map(|seed| server.submit(&"toy".into(), Priority::Normal, seed).expect("admitted"))
+            .collect();
+        let snap = server.shutdown();
+        assert_eq!(snap.total_completed(), 5, "drain served everything");
+        for (seed, h) in handles.iter().enumerate() {
+            let result = h.try_take().expect("response delivered");
+            assert_eq!(result.seed, seed as u64);
+        }
+    }
+
+    #[test]
+    fn unknown_model_and_post_shutdown_submissions_are_refused() {
+        let server = Server::start(tiny_registry(2), quick_config());
+        let err = server.submit(&"nope".into(), Priority::Normal, 1).unwrap_err();
+        assert!(matches!(err, AdmissionError::UnknownModel(_)));
+        assert!(err.to_string().contains("nope"));
+        let inner = Arc::clone(&server.inner);
+        drop(server);
+        assert!(inner.shutdown.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_reaches_the_submitter() {
+        // One worker, glacial batching, capacity 2: the third
+        // outstanding submit must see QueueFull.
+        let server = Server::start(
+            tiny_registry(2),
+            ServeConfig {
+                workers: 1,
+                batch: BatchConfig {
+                    max_batch: 64,
+                    max_wait: Duration::from_secs(3600),
+                    queue_capacity: 2,
+                },
+                slo: None,
+            },
+        );
+        let _a = server.submit(&"toy".into(), Priority::Normal, 1).expect("admitted");
+        let _b = server.submit(&"toy".into(), Priority::Normal, 2).expect("admitted");
+        let err = server.submit(&"toy".into(), Priority::Normal, 3).unwrap_err();
+        assert!(matches!(err, AdmissionError::QueueFull { .. }), "{err}");
+        let snap = server.shutdown();
+        assert_eq!(snap.total_completed(), 2);
+        assert_eq!(snap.total_rejected(), 1);
+    }
+
+    #[test]
+    fn virtual_clock_latency_accounting_is_deterministic() {
+        // With a frozen virtual clock every duration the server can
+        // measure is exactly zero — queue wait, latency, percentiles.
+        // max_wait must be zero: frozen time means a partial batch
+        // would otherwise never come due.
+        let clock = Arc::new(VirtualClock::new());
+        let config = ServeConfig {
+            workers: 1,
+            batch: BatchConfig { max_batch: 4, max_wait: Duration::ZERO, queue_capacity: 16 },
+            slo: None,
+        };
+        let server =
+            Server::with_clock(tiny_registry(2), config, Arc::clone(&clock) as Arc<dyn Clock>);
+        let h = server.submit(&"toy".into(), Priority::High, 7).expect("admitted");
+        let result = h.wait();
+        assert_eq!(result.queue_wait, Duration::ZERO);
+        assert_eq!(result.latency, Duration::ZERO);
+        let snap = server.shutdown();
+        assert_eq!(snap.per_model[0].mean_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn slo_shedding_kicks_in_once_backlog_implies_misses() {
+        // Big enough that one batch's service time is comfortably over
+        // a microsecond, so the EWMA estimate cannot round to zero.
+        let mut wl = Workload::new("mid", 4);
+        wl.push("a", "G", ConvShape::same_padded(24, 24, 8, 8, 3));
+        let schedule = Schedule::homogeneous(&wl, 2).unwrap();
+        let mut registry = ModelRegistry::new();
+        registry.register("toy", wl, schedule, ExecConfig::with_threads(1), 3).unwrap();
+        let server = Server::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                batch: BatchConfig {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(100),
+                    queue_capacity: 1024,
+                },
+                // Nanosecond SLO: once any batch has completed (so a
+                // service-time estimate exists), everything sheds.
+                slo: Some(Duration::from_nanos(1)),
+            },
+        );
+        // First request: no estimate yet, admitted; wait for it so the
+        // EWMA is primed.
+        let h = server.submit(&"toy".into(), Priority::Normal, 1).expect("admitted");
+        let _ = h.wait();
+        // Estimate now exists (a real convolution takes far over 1 ns
+        // per image), so even an empty queue estimates over the SLO.
+        let err = server.submit(&"toy".into(), Priority::Normal, 2).unwrap_err();
+        assert!(matches!(err, AdmissionError::SloUnattainable { .. }), "{err}");
+        assert!(err.to_string().contains("SLO"));
+    }
+}

@@ -16,7 +16,10 @@
 //! batched thread-parallel Winograd execution engine — generic over the
 //! datapath scalar, so the same kernels run the paper's `f32` and the
 //! saturating fixed-point arithmetic of the quantization study — that
-//! turns search results into runnable, oracle-verified schedules. See
+//! turns search results into runnable, oracle-verified schedules, and
+//! `wino-serve`, a multi-tenant serving subsystem (model registry,
+//! dynamic batcher, SLO-aware admission, worker pool, latency metrics)
+//! that puts a request path in front of the execution engine. See
 //! `DESIGN.md` at the repository root for the system inventory,
 //! `docs/ARCHITECTURE.md` for the crate map, and `EXPERIMENTS.md`
 //! for the command reproducing every paper artifact.
@@ -74,6 +77,7 @@
 //! | [`dse`] | `wino-dse` | exploration, figures, tables |
 //! | [`search`] | `wino-search` | strategy engine, heterogeneous spaces, Pareto archive |
 //! | [`exec`] | `wino-exec` | batched thread-parallel execution engine, schedules |
+//! | [`serve`] | `wino-serve` | multi-tenant batched inference serving |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -86,6 +90,7 @@ pub use wino_exec as exec;
 pub use wino_fpga as fpga;
 pub use wino_models as models;
 pub use wino_search as search;
+pub use wino_serve as serve;
 pub use wino_tensor as tensor;
 
 /// One-stop imports for applications.
@@ -104,17 +109,23 @@ pub mod prelude {
     pub use wino_exec::{
         execute_plan, execute_plan_quantized, quant_error_bound, spatial_convolve_mt,
         winograd_convolve, EnginePlan, ExecConfig, LayerPlan, LayerReport, NetworkExecutor,
-        NetworkReport, Precision, QuantConfig, QuantError, Schedule, ScheduleError, VerifyError,
+        NetworkReport, Precision, PreparedPlan, PreparedWinograd, QuantConfig, QuantError,
+        Schedule, ScheduleError, VerifyError,
     };
     pub use wino_fpga::{
         paper_calibrated_model, stratix_v_gt, virtex7_485t, zynq_7045, Architecture,
         EngineResources, FpgaDevice, PowerModel, ResourceUsage,
     };
-    pub use wino_models::{alexnet, resnet18, shrink, tiny_cnn, vgg16d};
+    pub use wino_models::{alexnet, model_zoo, resnet18, shrink, tiny_cnn, vgg16d};
     pub use wino_search::{
         compare_strategies, EvalCache, Evaluation, Exhaustive, Genetic, Genome, Greedy,
         HeterogeneousSpace, HomogeneousSpace, ParetoArchive, SearchObjective, SearchOutcome,
         SearchSpace, SimulatedAnnealing, Strategy,
+    };
+    pub use wino_serve::{
+        AdmissionError, BatchConfig, Clock, DynamicBatcher, InferOutput, InferResult,
+        MetricsSnapshot, ModelEntry, ModelId, ModelRegistry, Priority, ResponseHandle, ServeConfig,
+        Server, SystemClock, VirtualClock,
     };
     pub use wino_tensor::{
         ratio, ErrorStats, Fixed, Ratio, Scalar, Shape4, SplitMix64, Tensor2, Tensor4,

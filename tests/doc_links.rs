@@ -83,6 +83,37 @@ fn the_documentation_spine_cross_references_itself() {
     // …and the architecture map links back to both.
     let arch = read("docs/ARCHITECTURE.md");
     assert!(arch.contains("../DESIGN.md") && arch.contains("../EXPERIMENTS.md"));
-    // The quantization study is documented where EXPERIMENTS promises.
-    assert!(read("EXPERIMENTS.md").contains("BENCH_quant.json"));
+    // The quantization and serving studies are documented where
+    // EXPERIMENTS promises.
+    let experiments = read("EXPERIMENTS.md");
+    assert!(experiments.contains("BENCH_quant.json"));
+    assert!(experiments.contains("BENCH_serve.json"));
+    // The serving subsystem is on the architecture map.
+    assert!(arch.contains("wino-serve"), "ARCHITECTURE must map the serve crate");
+}
+
+#[test]
+fn every_bench_binary_is_documented_in_experiments() {
+    // EXPERIMENTS.md is the experiment book: a bench binary nobody can
+    // find the command for might as well not exist. Every file in
+    // crates/bench/src/bin must be mentioned by name.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let experiments = std::fs::read_to_string(root.join("EXPERIMENTS.md")).expect("EXPERIMENTS.md");
+    let bin_dir = root.join("crates/bench/src/bin");
+    let mut missing = Vec::new();
+    for entry in std::fs::read_dir(&bin_dir).expect("bench bin dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = path.file_stem().expect("stem").to_string_lossy().to_string();
+            if !experiments.contains(&name) {
+                missing.push(name);
+            }
+        }
+    }
+    missing.sort();
+    assert!(
+        missing.is_empty(),
+        "bench binaries undocumented in EXPERIMENTS.md: {}",
+        missing.join(", ")
+    );
 }

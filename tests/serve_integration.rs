@@ -1,0 +1,70 @@
+//! Facade-level integration: the serving subsystem end to end through
+//! `winofpga::prelude` — standard registry (four models × two
+//! precisions, kernel banks pre-transformed), a running server, mixed
+//! priorities, and the two serving invariants (bitwise equality with
+//! direct execution; every admitted request answered).
+
+use winofpga::prelude::*;
+
+#[test]
+fn standard_registry_serves_mixed_traffic_end_to_end() {
+    let registry = ModelRegistry::standard(4, 1).expect("standard registry");
+    assert_eq!(registry.len(), 8, "four models x {{f32, Q24.8}}");
+
+    // Direct references computed before the server exists.
+    let direct: Vec<_> = (0..registry.len())
+        .map(|i| (registry.entry(i).id().clone(), registry.entry(i).infer_one(42 + i as u64)))
+        .collect();
+
+    let config = ServeConfig {
+        workers: 2,
+        batch: BatchConfig {
+            max_batch: 4,
+            max_wait: std::time::Duration::from_micros(300),
+            queue_capacity: 64,
+        },
+        slo: None,
+    };
+    let server = Server::start(registry, config);
+
+    // One request per variant, cycling priorities.
+    let priorities = [Priority::High, Priority::Normal, Priority::Low];
+    let handles: Vec<_> = direct
+        .iter()
+        .enumerate()
+        .map(|(i, (id, _))| {
+            server
+                .submit(id, priorities[i % 3], 42 + i as u64)
+                .expect("queue has room for one request per model")
+        })
+        .collect();
+
+    for (handle, (id, reference)) in handles.iter().zip(&direct) {
+        let result = handle.wait();
+        assert_eq!(&result.model, id);
+        assert_eq!(&result.output, reference, "served '{id}' must be bitwise the direct run");
+    }
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.total_completed(), 8, "every admitted request answered");
+    assert_eq!(snapshot.total_rejected(), 0);
+    assert!(snapshot.per_model.iter().all(|m| m.completed == 1));
+}
+
+#[test]
+fn served_quantized_variant_differs_from_float_as_designed() {
+    // The -q8 variants run a genuinely different (saturating Q24.8)
+    // datapath: same seed, different bits. Serving preserves exactly
+    // that distinction.
+    let registry = ModelRegistry::standard(2, 1).expect("standard registry");
+    let f32_out = registry.get(&"tinycnn-f32".into()).unwrap().infer_one(7);
+    let q8_out = registry.get(&"tinycnn-q8".into()).unwrap().infer_one(7);
+    assert_ne!(f32_out, q8_out);
+
+    let server = Server::start(registry, ServeConfig::default());
+    let a = server.submit(&"tinycnn-f32".into(), Priority::Normal, 7).unwrap();
+    let b = server.submit(&"tinycnn-q8".into(), Priority::Normal, 7).unwrap();
+    assert_eq!(a.wait().output, f32_out);
+    assert_eq!(b.wait().output, q8_out);
+    drop(server);
+}
