@@ -117,6 +117,7 @@ fn main() {
     // --- served (dynamic batching over cached kernel banks) ---
     let config = ServeConfig {
         workers,
+        exec_threads_per_worker: None,
         batch: BatchConfig {
             max_batch,
             max_wait,

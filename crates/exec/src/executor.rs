@@ -189,6 +189,21 @@ impl NetworkExecutor {
         &self.config
     }
 
+    /// Clamps the per-run worker fan-out to at most `budget` threads
+    /// (floored at 1), leaving smaller configurations untouched.
+    ///
+    /// This is the oversubscription valve for hosts that run several
+    /// executors concurrently — the serving worker pool divides the
+    /// machine between its workers and clamps each registered model's
+    /// executor to its share, so `workers × exec threads` can never
+    /// exceed the hardware. Clamping only changes how many scoped
+    /// workers the deterministic chunk scheduler fans across, and
+    /// outputs are bitwise thread-count-invariant, so results are
+    /// unaffected.
+    pub fn clamp_threads(&mut self, budget: usize) {
+        self.config.threads = self.config.threads.min(budget.max(1));
+    }
+
     /// The seeded kernel bank of layer `index`.
     ///
     /// # Panics

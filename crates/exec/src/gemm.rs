@@ -1,0 +1,338 @@
+//! The packed, cache-blocked GEMM micro-kernel behind the
+//! transform-domain multiply.
+//!
+//! The hot loop of Winograd layer execution is `n²` independent channel
+//! GEMMs — for every transform coordinate `e`,
+//! `M_e[K][T] = V_e[K][C] · U_e[C][T]` — and this module is the one
+//! place that computes them. The kernel is written once, generically
+//! over [`Scalar`], and monomorphizes to the paper's `f32` datapath and
+//! to every `Fixed<FRAC>` width of the quantization study.
+//!
+//! ## Blocking scheme
+//!
+//! The kernel follows the classic three-level GOTO/BLIS decomposition,
+//! sized for the layer geometries this workspace actually runs
+//! (`C, K ≤ 512`, tile panels of [`PANEL_TILES`] columns):
+//!
+//! * **Register micro-tile** — outputs are produced [`MR`]`×`[`NR`] at a
+//!   time into a `[[T; NR]; MR]` accumulator block that lives entirely
+//!   in registers across the whole channel loop. Every output element
+//!   is touched once in memory (the final store) instead of once per
+//!   channel, which is what the pre-GEMM per-row loop paid.
+//! * **Packed operands** — the `A` operand (the kernel bank `V_e`) is
+//!   packed into `MR`-row column-major micro-panels
+//!   (`apack[p][0..MR]` contiguous per channel step `p`), and each
+//!   `NR`-column slice of the `B` operand (the data panel `U_e`) is
+//!   packed into an `NR`-wide row-major micro-panel before use, so the
+//!   innermost loop issues only contiguous loads. Ragged edges are
+//!   zero-padded to full micro-tiles: the padding lanes multiply
+//!   against zero and are masked off at store time, so one code path
+//!   serves every shape at full vector width.
+//! * **`KC` cache blocking** — the channel loop runs in [`KC`]-sized
+//!   blocks, keeping the active `KC×NR` slice of the packed `B` panel
+//!   (≤ 2 KiB at `f32`) pinned in L1 while the `A` micro-panels stream
+//!   past it. Accumulation stays in the same register block across
+//!   blocks, so blocking never reorders a sum.
+//!
+//! ## Determinism contract
+//!
+//! Every output element is one fixed-order accumulation chain over the
+//! inner dimension (`p = 0, 1, …, k−1`), regardless of micro-tile
+//! position, panel width, edge raggedness or how many threads share the
+//! surrounding loop. [`gemm`] is therefore **bitwise identical** to
+//! [`gemm_naive`] for every shape and every `Scalar` instantiation — a
+//! property the `gemm_props` suite pins — which is what lets the
+//! execution engine keep its bitwise thread-count-invariance guarantee
+//! while going fast.
+
+use wino_tensor::Scalar;
+
+/// Rows of one register micro-tile (the `K`/kernel dimension).
+///
+/// `8 × 8` was picked by sweeping `{4, 6, 8} × {8, 16, 24}` on the
+/// vgg16d-conv3 geometry (see `DESIGN.md`): it fills the sixteen
+/// 4-lane registers of the baseline x86-64 (SSE2) target with
+/// accumulators, which measured fastest despite leaving the operand
+/// loads to flow through the load ports — wider tiles spill, narrower
+/// ones leave multiply throughput idle.
+pub const MR: usize = 8;
+
+/// Columns of one register micro-tile (the tile/`T` dimension).
+pub const NR: usize = 8;
+
+/// Channel-loop cache block: the innermost loop walks the reduction
+/// dimension in `KC`-sized chunks so the live `KC × NR` slice of the
+/// packed `B` panel stays L1-resident. Chosen so that slice is ≤ 2 KiB
+/// at `f32` (and the matching `A` micro-panel slice ≤ 1 KiB) — far
+/// under any L1 — while still long enough to amortize loop overhead.
+pub const KC: usize = 64;
+
+/// Tiles per packed data panel — the unit of the engine's
+/// tile-panel-major work decomposition (see `layer.rs`). A panel of
+/// `PANEL_TILES` columns bounds the per-work-item footprint of the
+/// packed `U` buffer (`n² · C · PANEL_TILES` elements) and, as a
+/// multiple of [`NR`], keeps every non-final micro-panel full-width.
+pub const PANEL_TILES: usize = 64;
+
+/// Packs row-major `a` (`m × k`, row stride `lda`) into `MR`-row
+/// micro-panels: panel `ip` holds rows `ip·MR..ip·MR+MR` laid out
+/// `apack[(ip·k + p)·MR + i] = a[(ip·MR + i)·lda + p]`, with rows past
+/// `m` zero-filled. The packed buffer has `m.div_ceil(MR)·MR·k`
+/// elements and is what [`gemm_packed_a`] consumes.
+///
+/// Packing is worth a separate entry point because the execution engine
+/// packs each layer's kernel bank **once** at preparation time and then
+/// replays thousands of GEMMs against it.
+///
+/// # Panics
+///
+/// Panics if `lda < k` or `a` is too short for the described matrix.
+pub fn pack_a<T: Scalar>(m: usize, k: usize, a: &[T], lda: usize) -> Vec<T> {
+    assert!(lda >= k, "row stride {lda} shorter than row length {k}");
+    if m > 0 && k > 0 {
+        assert!((m - 1) * lda + k <= a.len(), "matrix exceeds the supplied slice");
+    }
+    let panels = m.div_ceil(MR).max(1);
+    let mut apack = vec![T::zero(); panels * k * MR];
+    for ip in 0..m.div_ceil(MR) {
+        let rows = MR.min(m - ip * MR);
+        let dst = &mut apack[ip * k * MR..(ip + 1) * k * MR];
+        for i in 0..rows {
+            let row = &a[(ip * MR + i) * lda..][..k];
+            for (p, &v) in row.iter().enumerate() {
+                dst[p * MR + i] = v;
+            }
+        }
+    }
+    apack
+}
+
+/// One register micro-tile: `acc[i][j] += Σ_p apack[p][i] · bpack[p][j]`
+/// over `p = 0..kc`, with `p` strictly increasing — the fixed
+/// accumulation order every caller relies on. `apack`/`bpack` are the
+/// contiguous micro-panels produced by the packing routines.
+#[inline]
+fn micro_kernel<T: Scalar>(kc: usize, apack: &[T], bpack: &[T], acc: &mut [[T; NR]; MR]) {
+    for p in 0..kc {
+        let arow = &apack[p * MR..p * MR + MR];
+        let brow = &bpack[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let av = arow[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// `C[m × n] = A[m × k] · B[k × n]` with `A` pre-packed by [`pack_a`]
+/// and row-major `B`/`C` (row strides `ldb`/`ldc`). Overwrites `c`.
+///
+/// This is the engine's hot path: the kernel bank arrives packed once,
+/// `B` is packed `NR` columns at a time on the fly, and outputs are
+/// produced through [`MR`]`×`[`NR`] register tiles with the channel
+/// loop [`KC`]-blocked. Every output element accumulates over
+/// `p = 0..k` in increasing order, so the result is bitwise identical
+/// to [`gemm_naive`] at any shape.
+///
+/// # Panics
+///
+/// Panics if `apack` has the wrong length for `(m, k)`, `ldb < n`,
+/// `ldc < n`, or `b`/`c` are too short for the described matrices.
+#[allow(clippy::too_many_arguments)] // BLAS-style flat dims-and-strides signature
+pub fn gemm_packed_a<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    apack: &[T],
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    assert_eq!(apack.len(), m.div_ceil(MR).max(1) * k * MR, "packed A length mismatch");
+    assert!(ldb >= n, "B row stride {ldb} shorter than row length {n}");
+    assert!(ldc >= n, "C row stride {ldc} shorter than row length {n}");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k > 0 {
+        assert!((k - 1) * ldb + n <= b.len(), "B exceeds the supplied slice");
+    }
+    assert!((m - 1) * ldc + n <= c.len(), "C exceeds the supplied slice");
+
+    // One NR-wide packed B panel, zero-padded on the ragged edge.
+    let mut bpack = vec![T::zero(); k.max(1) * NR];
+    for j0 in (0..n).step_by(NR) {
+        let cols = NR.min(n - j0);
+        for p in 0..k {
+            let src = &b[p * ldb + j0..p * ldb + j0 + cols];
+            let dst = &mut bpack[p * NR..p * NR + NR];
+            dst[..cols].copy_from_slice(src);
+            for slot in dst[cols..].iter_mut() {
+                *slot = T::zero();
+            }
+        }
+        for i0 in (0..m).step_by(MR) {
+            let rows = MR.min(m - i0);
+            let apanel = &apack[(i0 / MR) * k * MR..];
+            let mut acc = [[T::zero(); NR]; MR];
+            // KC-blocked channel loop; the accumulator block persists
+            // across blocks, so the per-element sum order is exactly
+            // p = 0..k no matter how the blocks fall.
+            let mut p0 = 0;
+            while p0 < k {
+                let kc = KC.min(k - p0);
+                micro_kernel(kc, &apanel[p0 * MR..], &bpack[p0 * NR..], &mut acc);
+                p0 += kc;
+            }
+            for i in 0..rows {
+                let dst = &mut c[(i0 + i) * ldc + j0..(i0 + i) * ldc + j0 + cols];
+                dst.copy_from_slice(&acc[i][..cols]);
+            }
+        }
+    }
+}
+
+/// `C[m × n] = A[m × k] · B[k × n]`, all operands row-major with
+/// explicit row strides, through the packed micro-kernel. Packs `A`
+/// internally; callers replaying many multiplies against one `A` (the
+/// engine) should [`pack_a`] once and use [`gemm_packed_a`].
+///
+/// Bitwise identical to [`gemm_naive`] for every shape, stride and
+/// [`Scalar`] instantiation.
+///
+/// # Panics
+///
+/// Panics on the same stride/length mismatches as [`pack_a`] and
+/// [`gemm_packed_a`].
+#[allow(clippy::too_many_arguments)] // BLAS-style flat dims-and-strides signature
+pub fn gemm<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let apack = pack_a(m, k, a, lda);
+    gemm_packed_a(m, n, k, &apack, b, ldb, c, ldc);
+}
+
+/// The reference multiply: the naive three-loop per-coordinate product
+/// the engine ran before the packed kernel existed, kept as the
+/// semantics oracle. `c[i][j] = Σ_p a[i][p] · b[p][j]`, accumulated
+/// with `p` strictly increasing. Overwrites `c`.
+///
+/// # Panics
+///
+/// Panics if a stride is shorter than its row or a slice is too short.
+#[allow(clippy::too_many_arguments)] // BLAS-style flat dims-and-strides signature
+pub fn gemm_naive<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &mut [T],
+    ldc: usize,
+) {
+    assert!(lda >= k && ldb >= n && ldc >= n, "stride shorter than row");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::zero();
+            for p in 0..k {
+                acc += a[i * lda + p] * b[p * ldb + j];
+            }
+            c[i * ldc + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_tensor::{Fixed, SplitMix64};
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..len).map(|_| rng.uniform_f32(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn packed_matches_naive_on_awkward_shapes() {
+        for (m, n, k) in [(1, 1, 1), (3, 7, 5), (4, 8, 64), (13, 17, 9), (129, 65, 130)] {
+            let a = filled(m * k, 1);
+            let b = filled(k * n, 2);
+            let mut fast = vec![0.0f32; m * n];
+            let mut slow = vec![0.0f32; m * n];
+            gemm(m, n, k, &a, k, &b, n, &mut fast, n);
+            gemm_naive(m, n, k, &a, k, &b, n, &mut slow, n);
+            assert_eq!(fast, slow, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn strided_operands_match_naive() {
+        let (m, n, k) = (5, 9, 6);
+        let (lda, ldb, ldc) = (k + 3, n + 2, n + 5);
+        let a = filled(m * lda, 3);
+        let b = filled(k * ldb, 4);
+        let mut fast = vec![0.0f32; m * ldc];
+        let mut slow = fast.clone();
+        gemm(m, n, k, &a, lda, &b, ldb, &mut fast, ldc);
+        gemm_naive(m, n, k, &a, lda, &b, ldb, &mut slow, ldc);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fixed_point_matches_naive_bitwise() {
+        let (m, n, k) = (6, 10, 7);
+        let a: Vec<Fixed<10>> = filled(m * k, 5).iter().map(|&x| Fixed::from_f32(x)).collect();
+        let b: Vec<Fixed<10>> = filled(k * n, 6).iter().map(|&x| Fixed::from_f32(x)).collect();
+        let mut fast = vec![Fixed::<10>::ZERO; m * n];
+        let mut slow = fast.clone();
+        gemm(m, n, k, &a, k, &b, n, &mut fast, n);
+        gemm_naive(m, n, k, &a, k, &b, n, &mut slow, n);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_safe() {
+        // k = 0: every output is an empty sum, i.e. zero (overwrite).
+        let mut c = vec![1.0f32; 6];
+        gemm(2, 3, 0, &[], 0, &[], 3, &mut c, 3);
+        assert_eq!(c, vec![0.0; 6]);
+        // m = 0 / n = 0: nothing to write, nothing read out of bounds.
+        gemm::<f32>(0, 3, 2, &[], 2, &[0.0; 6], 3, &mut [], 3);
+        gemm::<f32>(2, 0, 2, &[0.0; 4], 2, &[], 0, &mut [], 0);
+    }
+
+    #[test]
+    fn pack_a_zero_fills_the_ragged_panel() {
+        // m = MR + 1 leaves a single-row trailing panel; its other
+        // MR − 1 rows must be zero so the shared micro-kernel stays
+        // exact.
+        let m = MR + 1;
+        let k = 3;
+        let a: Vec<f32> = (0..m * k).map(|x| x as f32 + 1.0).collect();
+        let apack = pack_a(m, k, &a, k);
+        assert_eq!(apack.len(), 2 * k * MR);
+        // Trailing panel, channel 0: the last row of `a`, then zeros.
+        assert_eq!(apack[k * MR], (MR * k) as f32 + 1.0);
+        assert!(apack[k * MR + 1..k * MR + MR].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn short_stride_is_rejected() {
+        let mut c = [0.0f32; 4];
+        gemm(2, 2, 3, &[0.0; 6], 2, &[0.0; 6], 2, &mut c, 2);
+    }
+}

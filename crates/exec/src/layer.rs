@@ -3,20 +3,38 @@
 //!
 //! ## Parallel decomposition
 //!
-//! Work is split into independent *items*. For the Winograd path an item
-//! is one `(image, tile-row)` pair: the worker gathers and transforms
-//! every input tile of that row, runs the transform-domain multiply as
-//! `n²` small GEMMs over channels (`M_e = V_e · U_e`, one `K×C · C×T`
-//! product per transform coordinate `e`), inverse-transforms, and emits
-//! the finished output rows. For the spatial path an item is one
-//! `(image, kernel)` output plane.
+//! The Winograd path runs as a three-phase pipeline over *tile panels*
+//! (contiguous groups of [`PANEL_TILES`](crate::gemm::PANEL_TILES)
+//! tiles in global `(image, tile-row, tile-col)` order):
+//!
+//! 1. **Pack** — one work item per panel: gather and transform every
+//!    input tile of the panel, scattering the results into a
+//!    coordinate-major `U` panel (`u[e][c][tile]`, contiguous per
+//!    coordinate) — the packed right-hand side of the multiply.
+//! 2. **Multiply** — one work item per `(coordinate, panel)` pair, in
+//!    coordinate-major order: the transform-domain product
+//!    `M_e = V_e · U_e` runs through the packed, register-tiled,
+//!    `KC`-blocked GEMM micro-kernel of [`crate::gemm`] against the
+//!    kernel bank that [`PreparedWinograd::new`] packed once. Items are
+//!    chunked coordinate-major across threads, so one thread sweeps
+//!    tile panels of a coordinate before moving to the next — the
+//!    two-level (coordinate × panel) decomposition that scales past
+//!    one core without splitting any accumulation.
+//! 3. **Inverse** — one work item per `(image, tile-row)` pair:
+//!    gather each tile's `n²` products, inverse-transform, and emit the
+//!    finished output rows.
+//!
+//! The spatial path keeps its one-item-per-`(image, kernel)`-plane
+//! decomposition.
 //!
 //! Items are distributed over `std::thread::scope` workers in fixed
-//! contiguous chunks (no work stealing), and every item is computed
-//! entirely independently with a fixed channel accumulation order — so
-//! the output is **bitwise identical for any thread count**, a property
+//! contiguous chunks (no work stealing), every item is computed
+//! entirely independently, and every output element accumulates its
+//! channels in one fixed order inside a single GEMM item — so the
+//! output is **bitwise identical for any thread count**, a property
 //! the tests pin.
 
+use crate::gemm::{gemm_packed_a, pack_a, MR, PANEL_TILES};
 use crate::{EnginePlan, LayerPlan};
 use wino_core::{TransformError, TransformSet, WinogradParams};
 use wino_tensor::{Scalar, Shape4, Tensor4};
@@ -82,8 +100,15 @@ struct WinoCtx<'a, T: Scalar> {
     real: &'a wino_core::RealTransforms<T>,
     input: &'a [T],
     in_shape: Shape4,
-    /// Transform-domain kernel bank, coordinate-major: `v[e][k][c]`.
-    v_bank: &'a [T],
+    /// Transform-domain kernel bank, coordinate-major and pre-packed
+    /// into `MR`-row GEMM micro-panels: slab `e` (of `v_slab` elements)
+    /// is `pack_a` of `V_e[k][c]`.
+    v_pack: &'a [T],
+    /// Length of one packed per-coordinate slab.
+    v_slab: usize,
+    /// Flattened per-coordinate data-transform terms (see
+    /// [`PreparedWinograd`]).
+    data_terms: &'a [Vec<(T, usize)>],
     k: usize,
     c: usize,
     m: usize,
@@ -92,76 +117,131 @@ struct WinoCtx<'a, T: Scalar> {
     out_h: usize,
     out_w: usize,
     tiles_x: usize,
+    tiles_y: usize,
+    /// Tiles across the whole batch: `N · tiles_y · tiles_x`.
+    total_tiles: usize,
 }
 
 impl<T: Scalar> WinoCtx<'_, T> {
-    /// Executes one `(image, tile-row)` item, returning the finished
-    /// output rows as a flat `K × rows_here × out_w` buffer.
-    fn run_item(&self, img: usize, ty: usize) -> Vec<T> {
-        let (m, n2, c_in, k_out, tx_count) = (self.m, self.n2, self.c, self.k, self.tiles_x);
+    /// Tiles in panel `p` (the last panel may be ragged).
+    fn panel_len(&self, p: usize) -> usize {
+        PANEL_TILES.min(self.total_tiles - p * PANEL_TILES)
+    }
+
+    /// Phase 1 — one item per tile panel: gathers and data-transforms
+    /// every tile of panel `p` into a packed coordinate-major `U`
+    /// panel, `u[(e·C + c)·np + tp]` with `tp` the within-panel tile
+    /// index — each coordinate's `C × np` slice is exactly the `B`
+    /// operand of one GEMM.
+    ///
+    /// Tiles are gathered structure-of-arrays (`dg[a·n + b][tp]`), so
+    /// the flattened data transform runs as a handful of
+    /// coefficient-times-row vector operations across the whole panel
+    /// instead of one scalar matrix sandwich per tile.
+    fn pack_panel(&self, p: usize) -> Vec<T> {
+        let (m, n2, c_in) = (self.m, self.n2, self.c);
         let n = self.real.params().input_tile();
-        let rows_here = m.min(self.out_h - ty * m);
+        let np = self.panel_len(p);
         let plane_stride = self.in_shape.h * self.in_shape.w;
-        let top = (ty * m) as isize - self.pad;
+        let tiles_per_image = self.tiles_y * self.tiles_x;
+
+        // Global tile index -> (image, top-row, left-col) of its input
+        // window, hoisted out of the channel loop.
+        let coords: Vec<(usize, isize, isize)> = (0..np)
+            .map(|tp| {
+                let t = p * PANEL_TILES + tp;
+                let (img, rem) = (t / tiles_per_image, t % tiles_per_image);
+                let (ty, tx) = (rem / self.tiles_x, rem % self.tiles_x);
+                (img, (ty * m) as isize - self.pad, (tx * m) as isize - self.pad)
+            })
+            .collect();
+
+        let (in_h, in_w) = (self.in_shape.h, self.in_shape.w);
+        // Tile windows of the panel, structure-of-arrays: dg[ab][tp].
+        let mut dg = vec![T::zero(); n2 * np];
+        let mut panel = vec![T::zero(); n2 * c_in * np];
+        for c in 0..c_in {
+            for (tp, &(img, top, left)) in coords.iter().enumerate() {
+                let plane = &self.input[(img * c_in + c) * plane_stride..][..plane_stride];
+                if top >= 0 && left >= 0 && top as usize + n <= in_h && left as usize + n <= in_w {
+                    // Interior tile (the common case): n contiguous
+                    // source rows, no per-element bounds logic.
+                    let (t0, l0) = (top as usize, left as usize);
+                    for r in 0..n {
+                        let src = &plane[(t0 + r) * in_w + l0..][..n];
+                        for (col, &v) in src.iter().enumerate() {
+                            dg[(n * r + col) * np + tp] = v;
+                        }
+                    }
+                } else {
+                    for r in 0..n {
+                        let rr = top + r as isize;
+                        let row_ok = rr >= 0 && (rr as usize) < in_h;
+                        for col in 0..n {
+                            let cc = left + col as isize;
+                            dg[(n * r + col) * np + tp] =
+                                if row_ok && cc >= 0 && (cc as usize) < in_w {
+                                    plane[rr as usize * in_w + cc as usize]
+                                } else {
+                                    T::zero()
+                                };
+                        }
+                    }
+                }
+            }
+            // Flattened transform, vectorized across the panel: for
+            // each coordinate, a fixed-order sparse sum of scaled
+            // window rows. Every tile sees the identical term order,
+            // so the result does not depend on panel or thread counts.
+            for (e, terms) in self.data_terms.iter().enumerate() {
+                let dst = &mut panel[(e * c_in + c) * np..(e * c_in + c) * np + np];
+                for &(coef, ab) in terms {
+                    let src = &dg[ab * np..ab * np + np];
+                    for (o, &s) in dst.iter_mut().zip(src) {
+                        *o += coef * s;
+                    }
+                }
+            }
+        }
+        panel
+    }
+
+    /// Phase 2 — one item per `(coordinate, panel)` pair: the
+    /// transform-domain multiply `M_e[k][tp] = Σ_c V_e[k][c] · U_e[c][tp]`
+    /// for panel `p`, run through the packed GEMM micro-kernel against
+    /// the pre-packed kernel slab. Channels accumulate in fixed
+    /// increasing order inside the kernel, so the result is bitwise
+    /// identical to the naive multiply at any thread or panel count.
+    fn multiply(&self, e: usize, u_panel: &[T], p: usize) -> Vec<T> {
+        let np = self.panel_len(p);
+        let mut m_e = vec![T::zero(); self.k * np];
+        let v_e = &self.v_pack[e * self.v_slab..(e + 1) * self.v_slab];
+        let u_e = &u_panel[e * self.c * np..(e + 1) * self.c * np];
+        gemm_packed_a(self.k, np, self.c, v_e, u_e, np, &mut m_e, np);
+        m_e
+    }
+
+    /// Phase 3 — one item per `(image, tile-row)` pair: gathers each
+    /// tile's `n²` transform-domain products from the per-`(e, panel)`
+    /// GEMM outputs, inverse-transforms, and returns the finished
+    /// output rows as a flat `K × rows_here × out_w` buffer.
+    fn inverse_item(&self, img: usize, ty: usize, m_chunks: &[Vec<T>]) -> Vec<T> {
+        let (m, n2, k_out) = (self.m, self.n2, self.k);
+        let panels = self.total_tiles.div_ceil(PANEL_TILES);
+        let rows_here = m.min(self.out_h - ty * m);
+        let row_base = (img * self.tiles_y + ty) * self.tiles_x;
 
         let mut scratch = vec![T::zero(); self.real.scratch_len()];
-        let mut d = vec![T::zero(); n2];
-        let mut u = vec![T::zero(); n2];
-        // U block, coordinate-major: u[e][c][tx].
-        let mut u_block = vec![T::zero(); n2 * c_in * tx_count];
-        for c in 0..c_in {
-            let plane = &self.input[(img * c_in + c) * plane_stride..][..plane_stride];
-            for tx in 0..tx_count {
-                let left = (tx * m) as isize - self.pad;
-                for r in 0..n {
-                    let rr = top + r as isize;
-                    let row_ok = rr >= 0 && (rr as usize) < self.in_shape.h;
-                    for col in 0..n {
-                        let cc = left + col as isize;
-                        d[n * r + col] = if row_ok && cc >= 0 && (cc as usize) < self.in_shape.w {
-                            plane[rr as usize * self.in_shape.w + cc as usize]
-                        } else {
-                            T::zero()
-                        };
-                    }
-                }
-                self.real.apply_data(&d, &mut u, &mut scratch);
-                for (e, &ue) in u.iter().enumerate() {
-                    u_block[(e * c_in + c) * tx_count + tx] = ue;
-                }
-            }
-        }
-
-        // Transform-domain multiply as n² channel GEMMs:
-        // M_e[k][tx] = Σ_c V_e[k][c] · U_e[c][tx], accumulated in fixed
-        // channel order (thread-count invariant).
-        let mut m_block = vec![T::zero(); n2 * k_out * tx_count];
-        for e in 0..n2 {
-            let u_e = &u_block[e * c_in * tx_count..(e + 1) * c_in * tx_count];
-            let v_e = &self.v_bank[e * k_out * c_in..(e + 1) * k_out * c_in];
-            let m_e = &mut m_block[e * k_out * tx_count..(e + 1) * k_out * tx_count];
-            for k in 0..k_out {
-                let m_row = &mut m_e[k * tx_count..(k + 1) * tx_count];
-                for (c, &v) in v_e[k * c_in..(k + 1) * c_in].iter().enumerate() {
-                    if v == T::zero() {
-                        continue;
-                    }
-                    let u_row = &u_e[c * tx_count..(c + 1) * tx_count];
-                    for (acc, &uu) in m_row.iter_mut().zip(u_row) {
-                        *acc += v * uu;
-                    }
-                }
-            }
-        }
-
-        // Inverse transforms into the finished output rows.
         let mut local = vec![T::zero(); k_out * rows_here * self.out_w];
         let mut prod = vec![T::zero(); n2];
         let mut y = vec![T::zero(); m * m];
         for k in 0..k_out {
-            for tx in 0..tx_count {
-                for (e, p) in prod.iter_mut().enumerate() {
-                    *p = m_block[(e * k_out + k) * tx_count + tx];
+            for tx in 0..self.tiles_x {
+                let t = row_base + tx;
+                let (p, tp) = (t / PANEL_TILES, t % PANEL_TILES);
+                let np = self.panel_len(p);
+                for (e, slot) in prod.iter_mut().enumerate() {
+                    *slot = m_chunks[e * panels + p][k * np + tp];
                 }
                 self.real.apply_inverse(&prod, &mut y, &mut scratch);
                 let cols_here = m.min(self.out_w - tx * m);
@@ -192,14 +272,28 @@ impl<T: Scalar> WinoCtx<'_, T> {
 #[derive(Debug, Clone)]
 pub struct PreparedWinograd<T: Scalar> {
     real: wino_core::RealTransforms<T>,
-    v_bank: Vec<T>,
+    /// Coordinate-major transform-domain bank, pre-packed into `MR`-row
+    /// GEMM micro-panels: slab `e` (of `v_slab` elements) is
+    /// `gemm::pack_a` of `V_e[k][c]`, ready for any number of
+    /// [`execute`](Self::execute) calls.
+    v_pack: Vec<T>,
+    v_slab: usize,
+    /// The flattened 2-D data transform: for each coordinate
+    /// `e = (i, j)`, the nonzero coefficients of
+    /// `U[e] = Σ_{a,b} Bᵀ[i][a] · Bᵀ[j][b] · d[a][b]` as
+    /// `(coefficient, a·n + b)` pairs in fixed `(a, b)` order — the
+    /// vectorizable one-pass form the pack phase applies across a whole
+    /// tile panel at once.
+    data_terms: Vec<Vec<(T, usize)>>,
     k: usize,
     c: usize,
 }
 
 impl<T: Scalar> PreparedWinograd<T> {
-    /// Transforms the whole kernel bank once, coordinate-major
-    /// (`v[e][k][c]`), caching it for any number of later executions.
+    /// Transforms the whole kernel bank once, coordinate-major, and
+    /// packs each coordinate's `V_e[k][c]` matrix into the GEMM
+    /// micro-kernel's `A` layout ([`crate::gemm::pack_a`]), caching it
+    /// for any number of later executions.
     ///
     /// # Errors
     ///
@@ -228,7 +322,32 @@ impl<T: Scalar> PreparedWinograd<T> {
                 }
             }
         }
-        Ok(PreparedWinograd { real, v_bank, k: ks.n, c: ks.c })
+        let v_slab = ks.n.div_ceil(MR).max(1) * ks.c * MR;
+        let mut v_pack = Vec::with_capacity(n2 * v_slab);
+        for e in 0..n2 {
+            let v_e = &v_bank[e * ks.n * ks.c..(e + 1) * ks.n * ks.c];
+            v_pack.extend_from_slice(&pack_a(ks.n, ks.c, v_e, ks.c));
+        }
+        // Flatten the two-pass data transform U = Bᵀ d B into one
+        // sparse pass per coordinate (most Bᵀ entries are zero), so the
+        // pack phase can apply it across a whole tile panel at once.
+        let n = params.input_tile();
+        let data_terms = (0..n2)
+            .map(|e| {
+                let (i, j) = (e / n, e % n);
+                let mut terms = Vec::new();
+                for a in 0..n {
+                    for b in 0..n {
+                        let coef = real.bt.row(i)[a] * real.bt.row(j)[b];
+                        if coef != T::zero() {
+                            terms.push((coef, a * n + b));
+                        }
+                    }
+                }
+                terms
+            })
+            .collect();
+        Ok(PreparedWinograd { real, v_pack, v_slab, data_terms, k: ks.n, c: ks.c })
     }
 
     /// The `F(m×m, r×r)` parameters the bank was transformed for.
@@ -246,10 +365,16 @@ impl<T: Scalar> PreparedWinograd<T> {
         self.c
     }
 
-    /// Runs the convolution against the cached transformed bank —
-    /// identical semantics (and bitwise-identical output) to
-    /// [`winograd_convolve`] with the kernels this bank was prepared
-    /// from.
+    /// Runs the convolution against the cached packed bank — identical
+    /// semantics (and bitwise-identical output) to [`winograd_convolve`]
+    /// with the kernels this bank was prepared from, at any thread
+    /// count.
+    ///
+    /// Execution is the three-phase pipeline described in the module
+    /// docs: pack tile panels, multiply coordinate-major through the
+    /// GEMM micro-kernel, inverse-transform — each phase fanned across
+    /// `threads` scoped workers under the deterministic chunk
+    /// scheduler.
     ///
     /// # Panics
     ///
@@ -268,12 +393,20 @@ impl<T: Scalar> PreparedWinograd<T> {
         let out_w = is.w + 2 * pad - r + 1;
         let tiles_y = out_h.div_ceil(m);
         let tiles_x = out_w.div_ceil(m);
+        let total_tiles = is.n * tiles_y * tiles_x;
+
+        let mut output = Tensor4::zeros(Shape4 { n: is.n, c: self.k, h: out_h, w: out_w });
+        if total_tiles == 0 {
+            return output; // empty batch: nothing to transform
+        }
 
         let ctx = WinoCtx {
             real: &self.real,
             input: input.as_slice(),
             in_shape: is,
-            v_bank: &self.v_bank,
+            v_pack: &self.v_pack,
+            v_slab: self.v_slab,
+            data_terms: &self.data_terms,
             k: self.k,
             c: self.c,
             m,
@@ -282,13 +415,26 @@ impl<T: Scalar> PreparedWinograd<T> {
             out_h,
             out_w,
             tiles_x,
+            tiles_y,
+            total_tiles,
         };
+        let panels = total_tiles.div_ceil(PANEL_TILES);
 
-        let total = is.n * tiles_y;
-        let blocks =
-            run_chunked(total, threads, |item| ctx.run_item(item / tiles_y, item % tiles_y));
+        // Phase 1: pack tile panels (one item per panel).
+        let u_panels = run_chunked(panels, threads, |p| ctx.pack_panel(p));
+        // Phase 2: coordinate-major GEMMs (one item per (e, panel),
+        // e-major so a thread's contiguous chunk sweeps the panels of
+        // one coordinate before moving on).
+        let m_chunks = run_chunked(n2 * panels, threads, |item| {
+            let (e, p) = (item / panels, item % panels);
+            ctx.multiply(e, &u_panels[p], p)
+        });
+        drop(u_panels);
+        // Phase 3: inverse transforms (one item per (image, tile-row)).
+        let blocks = run_chunked(is.n * tiles_y, threads, |item| {
+            ctx.inverse_item(item / tiles_y, item % tiles_y, &m_chunks)
+        });
 
-        let mut output = Tensor4::zeros(Shape4 { n: is.n, c: self.k, h: out_h, w: out_w });
         let out_flat = output.as_mut_slice();
         for (item, local) in blocks.iter().enumerate() {
             let (img, ty) = (item / tiles_y, item % tiles_y);
@@ -313,11 +459,13 @@ impl<T: Scalar> PreparedWinograd<T> {
 /// Winograd supports. Functionally equivalent to
 /// `wino_core::WinogradAlgorithm::convolve_layer` and to the spatial
 /// oracle (within datapath tolerance), but organized for speed: the
-/// kernel bank is transformed once into a coordinate-major `V` buffer,
-/// each `(image, tile-row)` work item runs the transform-domain
-/// multiply as `n²` blocked channel GEMMs, and items execute on
-/// `threads` scoped workers under a deterministic chunk scheduler — so
-/// the output is bitwise identical at any thread count.
+/// kernel bank is transformed once into a coordinate-major, GEMM-packed
+/// `V` buffer, input tiles are packed into coordinate-major panels, and
+/// the transform-domain multiply runs as `n²` channel GEMMs through the
+/// register-tiled, cache-blocked micro-kernel of [`crate::gemm`] —
+/// every phase fanned across `threads` scoped workers under a
+/// deterministic chunk scheduler, so the output is bitwise identical at
+/// any thread count.
 ///
 /// This one-shot entry point re-transforms the kernel bank on every
 /// call; callers running the same kernels repeatedly should prepare the

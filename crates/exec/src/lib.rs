@@ -6,11 +6,13 @@
 //!
 //! Every other crate in the workspace *models* the fast algorithms; this
 //! one *runs* them. Each eligible layer executes as tiled `F(m×m, r×r)`
-//! Winograd convolution — per-tile data transform, transform-domain
-//! multiply batched into a blocked GEMM over channels, per-tile inverse
-//! transform — parallelized across batch×tile-row blocks with
-//! `std::thread` scoped workers under a deterministic (work-stealing-free)
-//! chunk scheduler, so results are bitwise identical at any thread count.
+//! Winograd convolution — input tiles packed into coordinate-major
+//! panels, the transform-domain multiply run as `n²` channel GEMMs
+//! through the packed, register-tiled, cache-blocked micro-kernel of
+//! [`gemm`], then per-tile inverse transforms — with each phase fanned
+//! across `std::thread` scoped workers under a deterministic
+//! (work-stealing-free) chunk scheduler, so results are bitwise
+//! identical at any thread count.
 //! Strided or oversized-kernel layers fall back to a thread-parallel
 //! spatial engine that matches `wino_baselines::spatial_convolve_strided`
 //! bit for bit.
@@ -54,6 +56,7 @@
 #![forbid(unsafe_code)]
 
 mod executor;
+pub mod gemm;
 mod layer;
 mod prepared;
 mod quant;

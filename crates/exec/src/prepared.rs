@@ -10,7 +10,10 @@
 //!
 //! * Winograd layers cache a [`PreparedWinograd`] bank (float) or a
 //!   monomorphized `PreparedWinograd<Fixed<FRAC>>` plus the quantized
-//!   kernel bank (fixed point);
+//!   kernel bank (fixed point) — the bank is both transformed and
+//!   pre-packed into the GEMM micro-kernel's operand layout
+//!   ([`crate::gemm::pack_a`]), so every later run enters the packed
+//!   multiply with zero per-call packing cost for the kernel side;
 //! * spatial layers cache the (possibly quantized) kernel tensor —
 //!   there is no transform to hoist, so the win there is only skipping
 //!   the per-call quantization of the kernels.

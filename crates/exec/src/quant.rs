@@ -11,7 +11,10 @@
 //! kernels, transform-domain products and accumulators all quantized,
 //! every op saturating like an FPGA DSP block), returning the
 //! dequantized `f32` result so callers can measure the error against
-//! the float oracle.
+//! the float oracle. The fixed-point path rides the same packed GEMM
+//! micro-kernel ([`crate::gemm`]) as the float path — the kernel is
+//! generic over `Scalar`, so each `Fixed<FRAC>` width monomorphizes
+//! its own saturating register-tiled multiply.
 //!
 //! The supported fractional widths are [`SUPPORTED_FRAC`] (the
 //! quantization study sweeps 6..=14; 8 approximates the dynamic range

@@ -131,6 +131,12 @@ impl ModelEntry {
         &self.executor
     }
 
+    /// Clamps this entry's per-call execution fan-out to at most
+    /// `budget` threads (see [`NetworkExecutor::clamp_threads`]).
+    pub fn clamp_exec_threads(&mut self, budget: usize) {
+        self.executor.clamp_threads(budget);
+    }
+
     /// The largest batch one execution accepts — the workload's
     /// declared batch dimension, which is what the dynamic batcher
     /// coalesces up to.
@@ -305,6 +311,22 @@ impl ModelRegistry {
     /// `true` when nothing is registered.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Clamps every registered entry's execution fan-out to at most
+    /// `budget` threads per call.
+    ///
+    /// A registry built with [`ExecConfig::default`] (one thread per
+    /// core) is correct for a single-tenant executor but oversubscribes
+    /// a multi-worker [`Server`](crate::Server), where each of `W`
+    /// workers runs one batch concurrently: thread demand becomes
+    /// `W × cores`. The server calls this at startup with its
+    /// per-worker budget; it is public so embedders running their own
+    /// pools can do the same.
+    pub fn clamp_exec_threads(&mut self, budget: usize) {
+        for entry in &mut self.entries {
+            entry.clamp_exec_threads(budget);
+        }
     }
 
     /// The dense index of `id`, if registered — the handle the batcher

@@ -42,8 +42,20 @@ pub struct ServeConfig {
     /// Worker threads taking batches from the queue (clamped to ≥ 1).
     /// Each worker executes one batch at a time; the *intra*-batch
     /// thread fan-out is the `ExecConfig` the registry's executors
-    /// were built with.
+    /// were built with, clamped at startup to the per-worker budget
+    /// below.
     pub workers: usize,
+    /// Per-worker execution thread budget. At startup every registered
+    /// model's executor is clamped to at most this many threads, so
+    /// total demand is bounded by `workers × budget` regardless of the
+    /// `ExecConfig` the registry was built with — a registry built with
+    /// `ExecConfig::default()` (all cores) under a multi-worker pool
+    /// would otherwise demand `workers × cores` threads and thrash.
+    /// `None` (the default) divides the machine evenly:
+    /// `max(1, available_parallelism / workers)`. Clamping cannot
+    /// change results — engine outputs are bitwise
+    /// thread-count-invariant.
+    pub exec_threads_per_worker: Option<usize>,
     /// Dynamic batching policy (see [`BatchConfig`]).
     pub batch: BatchConfig,
     /// End-to-end latency objective. When set, admission refuses
@@ -54,9 +66,28 @@ pub struct ServeConfig {
 }
 
 impl Default for ServeConfig {
-    /// Two workers, default batching, no SLO-based shedding.
+    /// Two workers, an even per-worker split of the machine, default
+    /// batching, no SLO-based shedding.
     fn default() -> ServeConfig {
-        ServeConfig { workers: 2, batch: BatchConfig::default(), slo: None }
+        ServeConfig {
+            workers: 2,
+            exec_threads_per_worker: None,
+            batch: BatchConfig::default(),
+            slo: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The execution thread budget each worker gets: the explicit
+    /// [`exec_threads_per_worker`](Self::exec_threads_per_worker) if
+    /// set, otherwise an even division of the hardware threads across
+    /// the worker pool (never below 1).
+    pub fn worker_thread_budget(&self) -> usize {
+        self.exec_threads_per_worker.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            (cores / self.workers.max(1)).max(1)
+        })
     }
 }
 
@@ -287,10 +318,14 @@ impl Server {
     /// from the test. Fully deterministic batching tests should drive
     /// [`DynamicBatcher`] directly instead of a threaded server.
     pub fn with_clock(
-        registry: ModelRegistry,
+        mut registry: ModelRegistry,
         config: ServeConfig,
         clock: Arc<dyn Clock>,
     ) -> Server {
+        // Bound total thread demand: `workers` batches execute
+        // concurrently, so each model's executor gets at most the
+        // per-worker budget (see `ServeConfig::exec_threads_per_worker`).
+        registry.clamp_exec_threads(config.worker_thread_budget());
         let metrics = Metrics::new(registry.entries().iter().map(|e| e.id().to_string()).collect());
         // Per-model batch caps: never release more than a model's
         // schedule-declared batch dimension, whatever the policy says.
@@ -434,6 +469,7 @@ mod tests {
     fn quick_config() -> ServeConfig {
         ServeConfig {
             workers: 2,
+            exec_threads_per_worker: None,
             batch: BatchConfig {
                 max_batch: 4,
                 max_wait: Duration::from_micros(200),
@@ -463,6 +499,7 @@ mod tests {
             tiny_registry(4),
             ServeConfig {
                 workers: 1,
+                exec_threads_per_worker: None,
                 // An hour-long max_wait: only shutdown's drain (or a
                 // full batch) can release these.
                 batch: BatchConfig {
@@ -503,6 +540,7 @@ mod tests {
             tiny_registry(2),
             ServeConfig {
                 workers: 1,
+                exec_threads_per_worker: None,
                 batch: BatchConfig {
                     max_batch: 64,
                     max_wait: Duration::from_secs(3600),
@@ -529,6 +567,7 @@ mod tests {
         let clock = Arc::new(VirtualClock::new());
         let config = ServeConfig {
             workers: 1,
+            exec_threads_per_worker: None,
             batch: BatchConfig { max_batch: 4, max_wait: Duration::ZERO, queue_capacity: 16 },
             slo: None,
         };
@@ -540,6 +579,45 @@ mod tests {
         assert_eq!(result.latency, Duration::ZERO);
         let snap = server.shutdown();
         assert_eq!(snap.per_model[0].mean_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_pool_clamps_executor_threads_to_its_budget() {
+        // A registry registered with a greedy ExecConfig (here: 64
+        // threads per call) under a 4-worker pool must be clamped to
+        // the per-worker budget, so `workers × exec threads` never
+        // exceeds `workers × budget`.
+        let mut wl = Workload::new("toy", 2);
+        wl.push("a", "G", ConvShape::same_padded(6, 6, 1, 2, 3));
+        let schedule = Schedule::homogeneous(&wl, 2).unwrap();
+        let mut registry = ModelRegistry::new();
+        registry.register("greedy", wl, schedule, ExecConfig::with_threads(64), 3).unwrap();
+        let config = ServeConfig {
+            workers: 4,
+            exec_threads_per_worker: Some(2),
+            batch: BatchConfig::default(),
+            slo: None,
+        };
+        assert_eq!(config.worker_thread_budget(), 2);
+        let server = Server::start(registry, config);
+        for entry in server.registry().entries() {
+            assert!(
+                entry.executor().config().threads <= 2,
+                "entry '{}' still demands {} threads",
+                entry.id(),
+                entry.executor().config().threads
+            );
+        }
+        // The clamped server still serves correctly.
+        let direct = server.registry().entry(0).infer_one(5);
+        let got = server.submit(&"greedy".into(), Priority::Normal, 5).expect("admitted").wait();
+        assert_eq!(got.output, direct);
+        server.shutdown();
+
+        // The automatic budget divides the machine across the pool and
+        // never rounds to zero, even with more workers than cores.
+        let auto = ServeConfig { workers: 1024, ..ServeConfig::default() };
+        assert!(auto.worker_thread_budget() >= 1);
     }
 
     #[test]
@@ -555,6 +633,7 @@ mod tests {
             registry,
             ServeConfig {
                 workers: 1,
+                exec_threads_per_worker: None,
                 batch: BatchConfig {
                     max_batch: 4,
                     max_wait: Duration::from_micros(100),

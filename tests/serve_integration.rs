@@ -18,6 +18,7 @@ fn standard_registry_serves_mixed_traffic_end_to_end() {
 
     let config = ServeConfig {
         workers: 2,
+        exec_threads_per_worker: None,
         batch: BatchConfig {
             max_batch: 4,
             max_wait: std::time::Duration::from_micros(300),
