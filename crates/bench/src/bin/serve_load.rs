@@ -1,5 +1,11 @@
 //! Serving study: open-loop load against the `wino-serve` subsystem,
-//! emitted as `BENCH_serve.json`.
+//! emitted as `BENCH_serve.json` (now including per-priority-class
+//! queue-wait quantiles, so the anti-starvation claim is measured,
+//! not just proptested) and merged into `BENCH_obs.json` (section
+//! `"serve"`) as `wino-obs` metric families. The run executes with
+//! tracing **enabled** and a ring-buffer [`TraceRecorder`] attached,
+//! capturing the per-request lifecycle intervals (admitted → queued →
+//! batch-wait → exec → completed) the serve instrumentation emits.
 //!
 //! A deterministic synthetic trace (seeded `SplitMix64`) of
 //! single-image requests — all eight registry variants (four models ×
@@ -21,7 +27,10 @@
 //! answered), and a sampled subset of responses is **bitwise equal**
 //! to direct solo execution.
 
+use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wino_obs::{update_artifact, MetricFamily, MetricKind, ObsReport, TraceRecorder};
 use wino_serve::{
     BatchConfig, InferResult, ModelRegistry, Priority, ResponseHandle, ServeConfig, Server,
 };
@@ -134,6 +143,16 @@ fn main() {
         .map(|item| (item.model, item.seed, registry.entry(item.model).infer_one(item.seed)))
         .collect();
 
+    // Trace the request lifecycle (admitted → queued → batch-wait →
+    // exec → completed) through the serve instrumentation: five
+    // interval records per request into a bounded ring, cheap enough
+    // to leave on for the measured run.
+    // Sized for ~5 lifecycle intervals per request plus the exec
+    // phase spans the workers emit while tracing is on.
+    let tracer = Arc::new(TraceRecorder::new(24 * requests));
+    wino_obs::set_recorder(tracer.clone());
+    wino_obs::enable();
+
     let server = Server::start(registry, config);
     let start = Instant::now();
     let mut handles: Vec<(usize, u64, ResponseHandle)> = Vec::with_capacity(trace.len());
@@ -154,6 +173,8 @@ fn main() {
         handles.into_iter().map(|(m, _, h)| (m, h.wait())).collect();
     let serve_wall = start.elapsed();
     let snapshot = server.shutdown();
+    wino_obs::disable();
+    wino_obs::clear_recorder();
     let serve_rps = results.len() as f64 / serve_wall.as_secs_f64();
 
     println!(
@@ -210,7 +231,55 @@ fn main() {
             if i + 1 < snapshot.per_model.len() { "," } else { "" }
         ));
     }
-    json.push_str(&format!("  ]}},\n  \"speedup\": {speedup:.2}\n}}\n"));
+    // Per-priority-class queue waits, measured by the serve
+    // instrumentation on every executed batch — the anti-starvation
+    // claim as numbers, not just a property test: higher classes must
+    // show the shorter waits under the same load.
+    json.push_str("  ]},\n  \"queue_wait_by_class\": [\n");
+    let classes: Vec<_> = snapshot.queue_wait_by_class.iter().filter(|c| c.completed > 0).collect();
+    for (i, c) in classes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"class\": \"{}\", \"completed\": {}, \"mean_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            c.priority,
+            c.completed,
+            ms(c.mean),
+            ms(c.p50),
+            ms(c.p95),
+            ms(c.p99),
+            if i + 1 < classes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!("  ],\n  \"speedup\": {speedup:.2}\n}}\n"));
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
+
+    // --- observability exposition: the serve section of BENCH_obs.json ---
+    let mut metrics = snapshot.to_metric_families();
+    metrics.push(MetricFamily::scalar(
+        "wino_serve_speedup_over_serial",
+        "open-loop serving throughput over the serial one-image-at-a-time baseline",
+        MetricKind::Gauge,
+        speedup,
+    ));
+    metrics.push(MetricFamily::scalar(
+        "wino_serve_trace_events_total",
+        "trace records captured during the run (request lifecycle intervals plus exec phase spans)",
+        MetricKind::Counter,
+        tracer.len() as f64,
+    ));
+    metrics.push(MetricFamily::scalar(
+        "wino_serve_trace_events_dropped_total",
+        "trace records dropped by the bounded ring buffer",
+        MetricKind::Counter,
+        tracer.dropped() as f64,
+    ));
+    let report = ObsReport { metrics, profile: None };
+    println!("\n{}", report.to_prometheus());
+    update_artifact(Path::new("BENCH_obs.json"), "serve", &report.to_json())
+        .expect("update BENCH_obs.json");
+    println!(
+        "merged serve section into BENCH_obs.json ({} trace records, {} dropped)",
+        tracer.len(),
+        tracer.dropped()
+    );
 }

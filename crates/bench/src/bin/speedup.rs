@@ -1,5 +1,11 @@
 //! Single-layer speedup of the `wino-exec` Winograd engine over the
-//! `wino-baselines` spatial oracle, emitted as `BENCH_exec.json`.
+//! `wino-baselines` spatial oracle, emitted as `BENCH_exec.json` —
+//! plus, after all timing is done, an instrumented pass whose
+//! phase-level profile and speedup metrics are merged into
+//! `BENCH_obs.json` (section `"exec"`) through the `wino-obs`
+//! exposition layer. Tracing stays **disabled** for every timed run,
+//! so the numbers are the uninstrumented hot path; the profiled pass
+//! runs afterwards, untimed.
 //!
 //! The layer is VGG16-D's conv3 geometry at 56×56 with 128 → 128
 //! channels (~0.92 GFLOP of spatial-equivalent work). Each engine
@@ -28,11 +34,16 @@
 //!   single-thread throughput — multi-thread regressions fail the
 //!   bench (and CI) instead of uploading as an artifact nobody reads.
 
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 use wino_baselines::spatial_convolve;
 use wino_bench::print_comparison;
 use wino_core::{spatial_ops, ConvShape, WinogradParams};
 use wino_exec::PreparedWinograd;
+use wino_obs::{
+    update_artifact, AggregatingProfiler, MetricFamily, MetricKind, MetricSample, ObsReport,
+};
 use wino_tensor::{ErrorStats, Shape4, SplitMix64, Tensor4};
 
 /// Acceptance floor on the best single-thread speedup over the spatial
@@ -202,6 +213,65 @@ fn main() {
         if speedup_mt > 0.0 { format!("{speedup_mt:.2}x") } else { "n/a".into() },
         if skipped.is_empty() { "" } else { ", multi-thread configs skipped on this machine" },
     );
+
+    // --- observability exposition (untimed: all measurement is done) ---
+    // One instrumented pass per engine, profiler attached globally so
+    // prepare-time spans (kernel-transform, gemm-pack) land in the
+    // tree alongside the execute phases.
+    let profiler = Arc::new(AggregatingProfiler::new());
+    wino_obs::set_recorder(profiler.clone());
+    wino_obs::enable();
+    for m in [2usize, 4] {
+        let params = WinogradParams::new(m, 3).expect("valid");
+        let bank = PreparedWinograd::new(params, &kernels).expect("bank prepares");
+        let _ = bank.execute(&input, shape.pad, 1);
+    }
+    wino_obs::disable();
+    wino_obs::clear_recorder();
+
+    let mut wall = MetricFamily {
+        name: "wino_exec_wall_ms".into(),
+        help: "best-of-3 execute wall time per measured configuration".into(),
+        kind: MetricKind::Gauge,
+        samples: Vec::new(),
+    };
+    for r in &results {
+        wall.samples.push(MetricSample {
+            labels: vec![
+                ("engine".into(), r.engine.clone()),
+                ("threads".into(), r.threads.to_string()),
+            ],
+            value: r.millis,
+        });
+    }
+    let mut metrics = vec![
+        MetricFamily::scalar(
+            "wino_exec_oracle_ms",
+            "spatial-oracle wall time for the same layer",
+            MetricKind::Gauge,
+            oracle_ms,
+        ),
+        MetricFamily::scalar(
+            "wino_exec_speedup_1t",
+            "best single-thread speedup over the spatial oracle",
+            MetricKind::Gauge,
+            speedup_1t,
+        ),
+        wall,
+    ];
+    if speedup_mt > 0.0 {
+        metrics.push(MetricFamily::scalar(
+            "wino_exec_speedup_mt",
+            "best multi-thread speedup over the spatial oracle",
+            MetricKind::Gauge,
+            speedup_mt,
+        ));
+    }
+    let report = ObsReport { metrics, profile: Some(profiler.snapshot()) };
+    println!("\n{}", report.to_prometheus());
+    update_artifact(Path::new("BENCH_obs.json"), "exec", &report.to_json())
+        .expect("update BENCH_obs.json");
+    println!("merged exec section into BENCH_obs.json");
 
     assert!(
         speedup_1t >= MIN_SPEEDUP_1T,

@@ -20,13 +20,14 @@
 //! | `speedup` | `wino-exec` vs spatial-oracle wall time → `BENCH_exec.json` |
 //! | `quant_study` | fixed-point FRAC × m accuracy surface → `BENCH_quant.json` |
 //! | `serve_load` | `wino-serve` open-loop serving study → `BENCH_serve.json` |
+//! | `obs_overhead` | `wino-obs` overhead self-test + phase coverage → `BENCH_obs.json` |
 //!
 //! Run all of them:
 //!
 //! ```sh
 //! for b in fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 roofline \
 //!          engine_demo error_growth overhead speedup quant_study \
-//!          serve_load; do
+//!          serve_load obs_overhead; do
 //!     cargo run --release -p wino-bench --bin $b
 //! done
 //! ```

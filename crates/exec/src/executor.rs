@@ -5,6 +5,7 @@ use crate::{ExecConfig, Precision, PreparedPlan, Schedule, ScheduleError};
 use std::fmt;
 use std::time::Instant;
 use wino_core::{spatial_ops, TransformError, Workload};
+use wino_obs::Span;
 use wino_tensor::{ErrorStats, Shape4, SplitMix64, Tensor4};
 
 /// One layer's outcome in a [`NetworkReport`].
@@ -16,6 +17,15 @@ pub struct LayerReport {
     pub engine: String,
     /// Wall-clock execution time in milliseconds.
     pub millis: f64,
+    /// Per-phase breakdown of `millis`, in phase completion order:
+    /// `("pack" | "multiply" | "inverse" | "spatial" | "quantize" |
+    /// "dequantize", milliseconds)`. Collected from the engine's
+    /// `"exec.phase"` spans on every run — no global tracing needed —
+    /// via [`wino_obs::collect`]. The phases nest strictly inside the
+    /// layer's wall-clock, so their sum is ≤ `millis`; on the Winograd
+    /// engine the three pipeline phases cover ≥ 90% of it for
+    /// non-trivial layers (pinned by the `obs_overhead` bench).
+    pub phase_millis: Vec<(String, f64)>,
     /// Effective throughput in GFLOP/s (spatial-equivalent operations
     /// over wall time — the software analogue of the paper's GOPS).
     pub gflops: f64,
@@ -64,11 +74,24 @@ impl fmt::Display for NetworkReport {
             self.threads
         )?;
         for l in &self.layers {
-            writeln!(
+            // The engine label (tile size and datapath) rides next to
+            // the timing so phase breakdowns are attributable without
+            // cross-referencing the schedule.
+            write!(
                 f,
-                "  {:<12} {:<14} {:>9.3} ms {:>8.2} GFLOP/s",
+                "  {:<12} {:<20} {:>9.3} ms {:>8.2} GFLOP/s",
                 l.layer, l.engine, l.millis, l.gflops
             )?;
+            if !l.phase_millis.is_empty() {
+                let phases = l
+                    .phase_millis
+                    .iter()
+                    .map(|(name, ms)| format!("{name} {ms:.3}"))
+                    .collect::<Vec<_>>()
+                    .join(" | ");
+                write!(f, "  [{phases}]")?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -300,13 +323,32 @@ impl NetworkExecutor {
             .map(|(i, l)| {
                 let input = self.layer_input(i);
                 let start = Instant::now();
-                let output = self.execute_layer(i, &input).expect("validated plan executes");
+                // Collect the engine's "exec.phase" spans for this run
+                // (thread-local, independent of global tracing) so the
+                // report carries a per-phase breakdown; the layer span
+                // groups them for any active global recorder too.
+                let (output, spans) = wino_obs::collect(|| {
+                    let _layer = Span::enter("exec.layer", &l.name);
+                    self.execute_layer(i, &input).expect("validated plan executes")
+                });
                 let secs = start.elapsed().as_secs_f64().max(1e-9);
+                let mut phase_millis: Vec<(String, f64)> = Vec::new();
+                for span in &spans {
+                    if span.category != "exec.phase" {
+                        continue;
+                    }
+                    let ms = span.duration.as_secs_f64() * 1e3;
+                    match phase_millis.iter_mut().find(|(name, _)| *name == span.label) {
+                        Some((_, total)) => *total += ms,
+                        None => phase_millis.push((span.label.clone(), ms)),
+                    }
+                }
                 let ops = spatial_ops(self.workload.batch(), &l.shape) as f64;
                 LayerReport {
                     layer: l.name.clone(),
                     engine: self.engine_label(i),
                     millis: secs * 1e3,
+                    phase_millis,
                     gflops: ops / secs / 1e9,
                     checksum: output.as_slice().iter().map(|&x| x as f64).sum(),
                 }
@@ -437,6 +479,45 @@ mod tests {
         assert_eq!(report.total_millis(), 0.0);
         assert_eq!(report.effective_gflops(), 0.0);
         assert!(!report.effective_gflops().is_nan());
+    }
+
+    #[test]
+    fn run_collects_per_phase_breakdowns() {
+        let report = exec(2, 2).run();
+        // The Winograd layer reports the three pipeline phases, whose
+        // times nest inside (so sum to at most) the layer wall-clock.
+        let wino = &report.layers[0];
+        let phases: Vec<&str> = wino.phase_millis.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(phases, ["pack", "multiply", "inverse"]);
+        let phase_sum: f64 = wino.phase_millis.iter().map(|(_, ms)| ms).sum();
+        assert!(phase_sum > 0.0 && phase_sum <= wino.millis, "{phase_sum} vs {}", wino.millis);
+        // The strided layer runs the spatial engine as one phase.
+        let spat = &report.layers[1];
+        assert_eq!(spat.phase_millis.len(), 1);
+        assert_eq!(spat.phase_millis[0].0, "spatial");
+    }
+
+    #[test]
+    fn display_attributes_engine_and_phases_per_layer() {
+        let wl = toy();
+        let schedule = Schedule::homogeneous(&wl, 2)
+            .unwrap()
+            .with_quant(
+                crate::QuantConfig::per_layer(vec![
+                    crate::Precision::Fixed { frac: 10 },
+                    crate::Precision::Float,
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        let exec = NetworkExecutor::new(wl, schedule, ExecConfig::with_threads(1)).unwrap();
+        let text = exec.run().to_string();
+        // Engine labels (tile size and datapath) ride next to the
+        // timings, and quantized layers report their conversion phases.
+        assert!(text.contains("F(2x2, 3x3) Q22.10"), "{text}");
+        assert!(text.contains("spatial"), "{text}");
+        assert!(text.contains("[quantize") && text.contains("dequantize"), "{text}");
+        assert!(text.contains("pack") && text.contains("multiply"), "{text}");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 use crate::gemm::{gemm_packed_a, pack_a, MR, PANEL_TILES};
 use crate::{EnginePlan, LayerPlan};
 use wino_core::{TransformError, TransformSet, WinogradParams};
+use wino_obs::Span;
 use wino_tensor::{Scalar, Shape4, Tensor4};
 
 /// Execution-engine configuration.
@@ -62,7 +63,18 @@ impl ExecConfig {
 
 /// Runs `items.len()` independent jobs across `threads` scoped workers
 /// in deterministic contiguous chunks, returning results in item order.
-fn run_chunked<T: Send, F: Fn(usize) -> T + Sync>(total: usize, threads: usize, job: F) -> Vec<T> {
+///
+/// `label` names the phase for observability: each *spawned* worker
+/// wraps its chunk in an `"exec.worker"` span (per-thread self-time for
+/// the profile tree). The inline single-thread path opens no span —
+/// its time already belongs to the caller's enclosing phase span, and
+/// a nested worker span would steal that span's self-time.
+fn run_chunked<T: Send, F: Fn(usize) -> T + Sync>(
+    total: usize,
+    threads: usize,
+    label: &'static str,
+    job: F,
+) -> Vec<T> {
     let threads = threads.clamp(1, total.max(1));
     if threads == 1 {
         return (0..total).map(job).collect();
@@ -78,7 +90,13 @@ fn run_chunked<T: Send, F: Fn(usize) -> T + Sync>(total: usize, threads: usize, 
             if lo >= hi {
                 break;
             }
-            handles.push((lo, scope.spawn(move || (lo..hi).map(job).collect::<Vec<T>>())));
+            handles.push((
+                lo,
+                scope.spawn(move || {
+                    let _worker = Span::enter("exec.worker", label);
+                    (lo..hi).map(job).collect::<Vec<T>>()
+                }),
+            ));
         }
         for (lo, handle) in handles {
             for (offset, value) in
@@ -310,23 +328,29 @@ impl<T: Scalar> PreparedWinograd<T> {
         let real = TransformSet::generate(params)?.to_scalar::<T>();
         let n2 = params.mults_per_tile_2d();
         let mut v_bank = vec![T::zero(); n2 * ks.n * ks.c];
-        let mut scratch = vec![T::zero(); real.scratch_len()];
-        let mut v = vec![T::zero(); n2];
-        let kflat = kernels.as_slice();
-        for k in 0..ks.n {
-            for c in 0..ks.c {
-                let g = &kflat[(k * ks.c + c) * r * r..][..r * r];
-                real.apply_kernel(g, &mut v, &mut scratch);
-                for (e, &ve) in v.iter().enumerate() {
-                    v_bank[(e * ks.n + k) * ks.c + c] = ve;
+        {
+            let _prep = Span::enter("exec.prepare", "kernel-transform");
+            let mut scratch = vec![T::zero(); real.scratch_len()];
+            let mut v = vec![T::zero(); n2];
+            let kflat = kernels.as_slice();
+            for k in 0..ks.n {
+                for c in 0..ks.c {
+                    let g = &kflat[(k * ks.c + c) * r * r..][..r * r];
+                    real.apply_kernel(g, &mut v, &mut scratch);
+                    for (e, &ve) in v.iter().enumerate() {
+                        v_bank[(e * ks.n + k) * ks.c + c] = ve;
+                    }
                 }
             }
         }
         let v_slab = ks.n.div_ceil(MR).max(1) * ks.c * MR;
         let mut v_pack = Vec::with_capacity(n2 * v_slab);
-        for e in 0..n2 {
-            let v_e = &v_bank[e * ks.n * ks.c..(e + 1) * ks.n * ks.c];
-            v_pack.extend_from_slice(&pack_a(ks.n, ks.c, v_e, ks.c));
+        {
+            let _prep = Span::enter("exec.prepare", "gemm-pack");
+            for e in 0..n2 {
+                let v_e = &v_bank[e * ks.n * ks.c..(e + 1) * ks.n * ks.c];
+                v_pack.extend_from_slice(&pack_a(ks.n, ks.c, v_e, ks.c));
+            }
         }
         // Flatten the two-pass data transform U = Bᵀ d B into one
         // sparse pass per coordinate (most Bᵀ entries are zero), so the
@@ -421,17 +445,25 @@ impl<T: Scalar> PreparedWinograd<T> {
         let panels = total_tiles.div_ceil(PANEL_TILES);
 
         // Phase 1: pack tile panels (one item per panel).
-        let u_panels = run_chunked(panels, threads, |p| ctx.pack_panel(p));
+        let u_panels = {
+            let _phase = Span::enter("exec.phase", "pack");
+            run_chunked(panels, threads, "pack", |p| ctx.pack_panel(p))
+        };
         // Phase 2: coordinate-major GEMMs (one item per (e, panel),
         // e-major so a thread's contiguous chunk sweeps the panels of
         // one coordinate before moving on).
-        let m_chunks = run_chunked(n2 * panels, threads, |item| {
-            let (e, p) = (item / panels, item % panels);
-            ctx.multiply(e, &u_panels[p], p)
-        });
+        let m_chunks = {
+            let _phase = Span::enter("exec.phase", "multiply");
+            run_chunked(n2 * panels, threads, "multiply", |item| {
+                let (e, p) = (item / panels, item % panels);
+                ctx.multiply(e, &u_panels[p], p)
+            })
+        };
         drop(u_panels);
-        // Phase 3: inverse transforms (one item per (image, tile-row)).
-        let blocks = run_chunked(is.n * tiles_y, threads, |item| {
+        // Phase 3: inverse transforms (one item per (image, tile-row)),
+        // including the scatter of finished rows into the output tensor.
+        let _phase = Span::enter("exec.phase", "inverse");
+        let blocks = run_chunked(is.n * tiles_y, threads, "inverse", |item| {
             ctx.inverse_item(item / tiles_y, item % tiles_y, &m_chunks)
         });
 
@@ -533,8 +565,9 @@ pub fn spatial_convolve_mt<T: Scalar>(
     let in_flat = input.as_slice();
     let k_flat = kernels.as_slice();
 
+    let _phase = Span::enter("exec.phase", "spatial");
     let total = is.n * ks.n;
-    let planes = run_chunked(total, threads, |item| {
+    let planes = run_chunked(total, threads, "spatial", |item| {
         let (img, k) = (item / ks.n, item % ks.n);
         let mut plane = vec![T::zero(); out_h * out_w];
         for (o, out) in plane.iter_mut().enumerate() {

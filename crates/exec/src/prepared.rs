@@ -32,6 +32,7 @@ use crate::{spatial_convolve_mt, EnginePlan, LayerPlan, Precision, SUPPORTED_FRA
 use std::fmt;
 use std::sync::Arc;
 use wino_core::{ConvShape, TransformError};
+use wino_obs::Span;
 use wino_tensor::{Fixed, Tensor4};
 
 type Runner = dyn Fn(&Tensor4<f32>, usize) -> Tensor4<f32> + Send + Sync;
@@ -108,7 +109,13 @@ impl PreparedPlan {
                 with_fixed!(frac, F => {
                     let bank = PreparedWinograd::new(params, &kernels.map(F::from_f32))?;
                     Arc::new(move |input: &Tensor4<f32>, threads: usize| {
-                        bank.execute(&input.map(F::from_f32), pad, threads).map(|q| q.to_f32())
+                        let q = {
+                            let _phase = Span::enter("exec.phase", "quantize");
+                            input.map(F::from_f32)
+                        };
+                        let out = bank.execute(&q, pad, threads);
+                        let _phase = Span::enter("exec.phase", "dequantize");
+                        out.map(|q| q.to_f32())
                     })
                 })
             }
@@ -117,8 +124,13 @@ impl PreparedPlan {
                 with_fixed!(frac, F => {
                     let qk = kernels.map(F::from_f32);
                     Arc::new(move |input: &Tensor4<f32>, threads: usize| {
-                        spatial_convolve_mt(&input.map(F::from_f32), &qk, pad, stride, threads)
-                            .map(|q| q.to_f32())
+                        let q = {
+                            let _phase = Span::enter("exec.phase", "quantize");
+                            input.map(F::from_f32)
+                        };
+                        let out = spatial_convolve_mt(&q, &qk, pad, stride, threads);
+                        let _phase = Span::enter("exec.phase", "dequantize");
+                        out.map(|q| q.to_f32())
                     })
                 })
             }

@@ -1,0 +1,69 @@
+//! # wino-obs
+//!
+//! Dependency-free observability for the winofpga workspace: tracing
+//! spans, an aggregating phase profiler, a bounded trace recorder that
+//! exports Chrome `trace_event` JSON, and a metrics exposition layer
+//! (Prometheus text + JSON) behind one [`ObsReport`] entry point.
+//!
+//! ## Design
+//!
+//! The hot path is the *disabled* path. [`Span::enter`] performs a
+//! single relaxed atomic load when nothing is listening — no
+//! allocation, no locking, no timestamp. Work is only done when a sink
+//! is active, which happens in exactly two ways:
+//!
+//! * **Global tracing** ([`enable`]) dispatches every completed span to
+//!   the installed [`Recorder`] (see [`set_recorder`]). This is what
+//!   benches use to build profile trees and Chrome traces.
+//! * **Thread-local collection** ([`collect`]) captures the spans that
+//!   complete on the current thread during a closure. This is how
+//!   `wino-exec` fills `LayerReport::phase_millis` without turning
+//!   tracing on for the whole process.
+//!
+//! Span stacks are thread-local, so self-time (total minus time spent
+//! in child spans *on the same thread*) needs no synchronisation.
+//! Cross-thread intervals that cannot be expressed as a lexical scope
+//! — e.g. a serve request's queue wait, measured between threads — are
+//! reported with [`record_interval`].
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wino_obs::{collect, AggregatingProfiler, Span};
+//!
+//! // Thread-local collection: no global state touched.
+//! let ((), spans) = collect(|| {
+//!     let _outer = Span::enter("demo", "outer");
+//!     let _inner = Span::enter("demo", "inner");
+//! });
+//! assert_eq!(spans.len(), 2);
+//! assert_eq!(spans[0].path, "outer/inner"); // inner closes first
+//!
+//! // Global tracing into an aggregating profiler.
+//! let profiler = Arc::new(AggregatingProfiler::new());
+//! wino_obs::set_recorder(profiler.clone());
+//! wino_obs::enable();
+//! {
+//!     let _span = Span::enter("demo", "traced");
+//! }
+//! wino_obs::disable();
+//! wino_obs::clear_recorder();
+//! assert_eq!(profiler.snapshot().entries.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod artifact;
+mod recorder;
+mod report;
+mod span;
+
+pub use artifact::{merge_section, update_artifact};
+pub use recorder::{AggregatingProfiler, ProfileEntry, ProfileSnapshot, Recorder, TraceRecorder};
+pub use report::{json_escape, MetricFamily, MetricKind, MetricSample, ObsReport};
+pub use span::{
+    clear_recorder, collect, disable, enable, is_enabled, record_interval, set_recorder, Span,
+    SpanRecord,
+};

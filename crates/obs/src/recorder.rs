@@ -1,0 +1,253 @@
+//! Span sinks: the [`Recorder`] trait and the two shipped
+//! implementations — an aggregating profiler (poor-man's flamegraph)
+//! and a bounded ring-buffer trace recorder with Chrome `trace_event`
+//! export.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::report::json_escape;
+use crate::span::SpanRecord;
+
+/// A sink for completed spans. Installed globally with
+/// [`crate::set_recorder`]; called from whichever thread the span
+/// completed on, so implementations must be `Send + Sync`.
+/// Implementations must not open spans themselves (that would
+/// recurse).
+pub trait Recorder: Send + Sync {
+    /// Accepts one completed span.
+    fn record(&self, span: &SpanRecord);
+}
+
+/// Aggregated statistics for one `(path)` node of the span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Slash-joined stack path identifying the node (`"conv3/pack"`).
+    pub path: String,
+    /// Category of the spans folded into this node.
+    pub category: &'static str,
+    /// Label of the spans folded into this node (last path segment).
+    pub label: String,
+    /// Number of spans folded in.
+    pub count: u64,
+    /// Sum of wall-clock durations.
+    pub total: Duration,
+    /// Sum of self-times (duration minus same-thread children).
+    pub self_time: Duration,
+}
+
+/// A point-in-time copy of an [`AggregatingProfiler`], renderable as a
+/// sorted text tree or JSON.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileSnapshot {
+    /// All aggregated nodes, sorted by path.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl ProfileSnapshot {
+    /// Looks up the node with the exact given path.
+    pub fn get(&self, path: &str) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.path == path)
+    }
+
+    /// Renders the profile as an indented tree, siblings sorted by
+    /// total time descending — a poor-man's flamegraph:
+    ///
+    /// ```text
+    /// conv3                 [exec.layer]      1 calls   24.500 ms total   0.400 ms self
+    ///   multiply            [exec.phase]      1 calls   14.100 ms total  14.100 ms self
+    ///   pack                [exec.phase]      1 calls    6.000 ms total   6.000 ms self
+    /// ```
+    pub fn render_tree(&self) -> String {
+        let mut children: BTreeMap<&str, Vec<&ProfileEntry>> = BTreeMap::new();
+        let mut roots: Vec<&ProfileEntry> = Vec::new();
+        for entry in &self.entries {
+            match entry.path.rsplit_once('/') {
+                Some((parent, _)) => children.entry(parent).or_default().push(entry),
+                None => roots.push(entry),
+            }
+        }
+        let mut out = String::new();
+        let by_total_desc =
+            |a: &&ProfileEntry, b: &&ProfileEntry| b.total.cmp(&a.total).then(a.path.cmp(&b.path));
+        roots.sort_by(by_total_desc);
+        let mut stack: Vec<(&ProfileEntry, usize)> =
+            roots.into_iter().rev().map(|e| (e, 0)).collect();
+        while let Some((entry, depth)) = stack.pop() {
+            let _ = writeln!(
+                out,
+                "{:indent$}{:<24} [{}] {:>7} calls {:>12.3} ms total {:>12.3} ms self",
+                "",
+                entry.label,
+                entry.category,
+                entry.count,
+                entry.total.as_secs_f64() * 1e3,
+                entry.self_time.as_secs_f64() * 1e3,
+                indent = depth * 2,
+            );
+            if let Some(kids) = children.get(entry.path.as_str()) {
+                let mut kids = kids.clone();
+                kids.sort_by(by_total_desc);
+                for kid in kids.into_iter().rev() {
+                    stack.push((kid, depth + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON array of node objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":\"{}\",\"category\":\"{}\",\"label\":\"{}\",\"count\":{},\
+                 \"total_ms\":{:.6},\"self_ms\":{:.6}}}",
+                json_escape(&entry.path),
+                json_escape(entry.category),
+                json_escape(&entry.label),
+                entry.count,
+                entry.total.as_secs_f64() * 1e3,
+                entry.self_time.as_secs_f64() * 1e3,
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Folded per-path statistics, keyed by span path.
+#[derive(Default)]
+struct ProfileStats {
+    by_path: BTreeMap<String, ProfileEntry>,
+}
+
+/// A [`Recorder`] that folds spans into per-path call-count / total /
+/// self-time aggregates. Cheap enough to stay installed for a whole
+/// bench run; snapshot at any point with
+/// [`AggregatingProfiler::snapshot`].
+#[derive(Default)]
+pub struct AggregatingProfiler {
+    stats: Mutex<ProfileStats>,
+}
+
+impl AggregatingProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the current aggregates out, sorted by path.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let stats = self.stats.lock().expect("profiler lock poisoned");
+        ProfileSnapshot { entries: stats.by_path.values().cloned().collect() }
+    }
+
+    /// Discards all aggregates.
+    pub fn reset(&self) {
+        self.stats.lock().expect("profiler lock poisoned").by_path.clear();
+    }
+}
+
+impl Recorder for AggregatingProfiler {
+    fn record(&self, span: &SpanRecord) {
+        let mut stats = self.stats.lock().expect("profiler lock poisoned");
+        let entry = stats.by_path.entry(span.path.clone()).or_insert_with(|| ProfileEntry {
+            path: span.path.clone(),
+            category: span.category,
+            label: span.label.clone(),
+            count: 0,
+            total: Duration::ZERO,
+            self_time: Duration::ZERO,
+        });
+        entry.count += 1;
+        entry.total += span.duration;
+        entry.self_time += span.self_time;
+    }
+}
+
+/// A [`Recorder`] keeping the most recent spans in a bounded ring
+/// buffer, exportable as Chrome `trace_event` JSON
+/// (`chrome://tracing` / Perfetto's "complete event" format).
+pub struct TraceRecorder {
+    capacity: usize,
+    buffer: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder retaining at most `capacity` spans; older
+    /// spans are evicted first.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buffer: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of spans evicted because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of spans currently retained.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().expect("trace lock poisoned").len()
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exports the retained spans as a Chrome `trace_event` JSON
+    /// document (one `"X"` complete event per span, timestamps in
+    /// microseconds). Load the result in `chrome://tracing` or
+    /// Perfetto for a real flamegraph.
+    pub fn chrome_trace_json(&self) -> String {
+        let buffer = self.buffer.lock().expect("trace lock poisoned");
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, span) in buffer.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"id\":{},\"self_us\":{:.3}}}}}",
+                json_escape(&span.label),
+                json_escape(span.category),
+                span.thread,
+                span.start.as_secs_f64() * 1e6,
+                span.duration.as_secs_f64() * 1e6,
+                span.id,
+                span.self_time.as_secs_f64() * 1e6,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":{}}}}}",
+            self.dropped()
+        );
+        out
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record(&self, span: &SpanRecord) {
+        let mut buffer = self.buffer.lock().expect("trace lock poisoned");
+        if buffer.len() == self.capacity {
+            buffer.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buffer.push_back(span.clone());
+    }
+}

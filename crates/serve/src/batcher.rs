@@ -56,7 +56,9 @@ impl Priority {
     /// All classes, highest first.
     pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
 
-    fn index(self) -> usize {
+    /// Dense index of the class (0 = high … 2 = low), the position of
+    /// the class in [`Priority::ALL`] — what per-class metrics key on.
+    pub fn index(self) -> usize {
         match self {
             Priority::High => 0,
             Priority::Normal => 1,

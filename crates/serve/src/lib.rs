@@ -24,7 +24,11 @@
 //!   executes released batches through the cached banks and fulfills
 //!   per-request [`ResponseHandle`]s;
 //! * [`Metrics`] — per-model throughput and p50/p95/p99 latency from
-//!   constant-space log histograms;
+//!   constant-space log histograms, plus server-wide per-priority-class
+//!   queue-wait distributions, exportable as `wino_obs` metric families
+//!   for Prometheus/JSON exposition (and, with tracing enabled, a
+//!   per-request lifecycle trace: admitted → queued → batch-wait →
+//!   exec → completed intervals keyed by request id);
 //! * [`Clock`] — real ([`SystemClock`]) or deterministic
 //!   ([`VirtualClock`]) time, so every deadline and latency figure is
 //!   unit-testable without sleeps.
@@ -63,6 +67,6 @@ mod server;
 
 pub use batcher::{Batch, BatchConfig, BatchItem, DynamicBatcher, Poll, Priority, SubmitError};
 pub use clock::{Clock, SystemClock, VirtualClock};
-pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot, ModelSnapshot};
+pub use metrics::{ClassWaitSnapshot, LatencyHistogram, Metrics, MetricsSnapshot, ModelSnapshot};
 pub use registry::{InferOutput, ModelEntry, ModelId, ModelRegistry, RegistryError};
 pub use server::{AdmissionError, InferResult, ResponseHandle, ServeConfig, Server};

@@ -4,17 +4,23 @@
 //! bucket per power of two of microseconds), so recording is O(1),
 //! memory is constant, and the p50/p95/p99 read-out is a bucket walk —
 //! the classic production-serving trade of exact quantiles for bounded
-//! state. Quantiles are reported as the upper bound of the bucket the
-//! rank falls in (pessimistic: a reported p99 is never lower than the
-//! true one by more than a bucket's width).
+//! state. Quantiles are reported as the *midpoint* of the bucket the
+//! rank falls in, keeping the reported value within 2× of the true
+//! sample in both directions (see [`LatencyHistogram::quantile`]).
 //!
 //! All recording goes through interior mutability behind one mutex per
 //! [`Metrics`] — workers record once per *batch*, not per request, so
-//! contention stays negligible next to the convolution work.
+//! contention stays negligible next to the convolution work. Besides
+//! per-model counters the recorder keeps server-wide per-priority-class
+//! queue-wait histograms, so the batcher's anti-starvation behaviour is
+//! measurable per class; [`MetricsSnapshot::to_metric_families`]
+//! exports everything for `wino_obs`' Prometheus/JSON exposition.
 
+use crate::Priority;
 use std::fmt;
 use std::sync::Mutex;
 use std::time::Duration;
+use wino_obs::{MetricFamily, MetricKind, MetricSample};
 
 /// Number of power-of-two microsecond buckets: covers up to
 /// 2^39 µs ≈ 6.4 days, far beyond any sane request latency.
@@ -67,8 +73,20 @@ impl LatencyHistogram {
         Duration::from_micros((self.sum_us / u128::from(self.total)) as u64)
     }
 
-    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the *midpoint* of the
     /// bucket containing that rank; `ZERO` when empty.
+    ///
+    /// Log₂ buckets cannot resolve where inside a bucket the true
+    /// quantile sits: bucket `b ≥ 1` spans `[2^(b-1), 2^b)` µs, a 2×
+    /// range. Reporting the bucket's upper bound (as earlier versions
+    /// did) therefore over-reports by up to 2× systematically at the
+    /// bucket's lower edge. The arithmetic midpoint `1.5 · 2^(b-1)` µs
+    /// instead brackets the true sample from both sides: the
+    /// reported/true ratio stays in `[0.75, 1.5]` — comfortably within
+    /// the ≤2× relative-error bound that `tests/metrics_props.rs` pins
+    /// by proptest — for every sample of at least 1 µs. Bucket 0
+    /// (sub-microsecond) reports its midpoint 0.5 µs, where no
+    /// relative bound is possible.
     ///
     /// ```
     /// use std::time::Duration;
@@ -80,8 +98,10 @@ impl LatencyHistogram {
     /// }
     /// // Nine of ten samples sit in the ~1 ms bucket…
     /// assert!(h.quantile(0.5) < Duration::from_millis(3));
-    /// // …but the p99 walk reaches the 40 ms outlier's bucket.
+    /// // …but the p99 walk reaches the 40 ms outlier's bucket, whose
+    /// // midpoint (≈49 ms) stays within 2× of the true sample.
     /// assert!(h.quantile(0.99) >= Duration::from_millis(40));
+    /// assert!(h.quantile(0.99) <= Duration::from_millis(80));
     /// ```
     pub fn quantile(&self, q: f64) -> Duration {
         if self.total == 0 {
@@ -92,10 +112,20 @@ impl LatencyHistogram {
         for (b, &count) in self.counts.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return Duration::from_micros(1u64 << b);
+                return Self::bucket_midpoint(b);
             }
         }
-        Duration::from_micros(1u64 << (BUCKETS - 1))
+        Self::bucket_midpoint(BUCKETS - 1)
+    }
+
+    /// Midpoint of bucket `b`: 0.5 µs for the sub-microsecond bucket,
+    /// `1.5 · 2^(b-1)` µs (= `1500 · 2^(b-1)` ns) otherwise.
+    fn bucket_midpoint(b: usize) -> Duration {
+        if b == 0 {
+            Duration::from_nanos(500)
+        } else {
+            Duration::from_nanos(1500u64 << (b - 1))
+        }
     }
 }
 
@@ -127,14 +157,33 @@ pub struct ModelSnapshot {
     pub mean_batch: f64,
     /// Mean end-to-end latency.
     pub mean_latency: Duration,
-    /// Median end-to-end latency (bucket upper bound).
+    /// Median end-to-end latency (bucket midpoint).
     pub p50: Duration,
-    /// 95th-percentile end-to-end latency (bucket upper bound).
+    /// 95th-percentile end-to-end latency (bucket midpoint).
     pub p95: Duration,
-    /// 99th-percentile end-to-end latency (bucket upper bound).
+    /// 99th-percentile end-to-end latency (bucket midpoint).
     pub p99: Duration,
     /// Mean time spent queued before execution started.
     pub mean_queue_wait: Duration,
+}
+
+/// Server-wide queue-wait distribution of one priority class — the
+/// measurement behind the batcher's anti-starvation claim: if low
+/// priority starved, its p95 would run away from the others.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassWaitSnapshot {
+    /// The priority class.
+    pub priority: Priority,
+    /// Requests of this class completed.
+    pub completed: u64,
+    /// Mean queue wait of the class.
+    pub mean: Duration,
+    /// Median queue wait (bucket midpoint).
+    pub p50: Duration,
+    /// 95th-percentile queue wait (bucket midpoint).
+    pub p95: Duration,
+    /// 99th-percentile queue wait (bucket midpoint).
+    pub p99: Duration,
 }
 
 /// Point-in-time metrics of the whole server.
@@ -144,6 +193,9 @@ pub struct MetricsSnapshot {
     pub elapsed: Duration,
     /// Per-model snapshots, registry order.
     pub per_model: Vec<ModelSnapshot>,
+    /// Server-wide queue-wait distribution per priority class,
+    /// highest class first ([`Priority::ALL`] order).
+    pub queue_wait_by_class: Vec<ClassWaitSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -166,6 +218,92 @@ impl MetricsSnapshot {
         }
         self.total_completed() as f64 / secs
     }
+
+    /// Exports the snapshot as [`wino_obs`] metric families, ready for
+    /// Prometheus text or JSON exposition through
+    /// [`wino_obs::ObsReport`].
+    pub fn to_metric_families(&self) -> Vec<MetricFamily> {
+        let model_label = |m: &ModelSnapshot| vec![("model".to_owned(), m.model.clone())];
+        let per_model =
+            |name: &str, help: &str, kind, value: &dyn Fn(&ModelSnapshot) -> f64| MetricFamily {
+                name: name.to_owned(),
+                help: help.to_owned(),
+                kind,
+                samples: self
+                    .per_model
+                    .iter()
+                    .map(|m| MetricSample { labels: model_label(m), value: value(m) })
+                    .collect(),
+            };
+        let mut families = vec![
+            MetricFamily::scalar(
+                "wino_serve_uptime_seconds",
+                "Wall time the snapshot covers.",
+                MetricKind::Gauge,
+                self.elapsed.as_secs_f64(),
+            ),
+            per_model(
+                "wino_serve_completed_total",
+                "Requests completed (responses delivered).",
+                MetricKind::Counter,
+                &|m| m.completed as f64,
+            ),
+            per_model(
+                "wino_serve_rejected_total",
+                "Requests refused at admission.",
+                MetricKind::Counter,
+                &|m| m.rejected as f64,
+            ),
+            per_model("wino_serve_batches_total", "Batches executed.", MetricKind::Counter, &|m| {
+                m.batches as f64
+            }),
+            per_model(
+                "wino_serve_mean_batch_images",
+                "Mean images per executed batch.",
+                MetricKind::Gauge,
+                &|m| m.mean_batch,
+            ),
+        ];
+        type Pick = fn(&ModelSnapshot) -> Duration;
+        let quantiles: [(&str, Pick); 3] =
+            [("p50", |m| m.p50), ("p95", |m| m.p95), ("p99", |m| m.p99)];
+        for (suffix, pick) in quantiles {
+            families.push(per_model(
+                &format!("wino_serve_latency_{suffix}_seconds"),
+                &format!("{suffix} end-to-end latency (log2-bucket midpoint)."),
+                MetricKind::Gauge,
+                &move |m| pick(m).as_secs_f64(),
+            ));
+        }
+        families.push(MetricFamily {
+            name: "wino_serve_queue_wait_p95_seconds".to_owned(),
+            help: "95th-percentile queue wait per priority class (log2-bucket midpoint)."
+                .to_owned(),
+            kind: MetricKind::Gauge,
+            samples: self
+                .queue_wait_by_class
+                .iter()
+                .map(|c| MetricSample {
+                    labels: vec![("class".to_owned(), c.priority.to_string())],
+                    value: c.p95.as_secs_f64(),
+                })
+                .collect(),
+        });
+        families.push(MetricFamily {
+            name: "wino_serve_class_completed_total".to_owned(),
+            help: "Requests completed per priority class.".to_owned(),
+            kind: MetricKind::Counter,
+            samples: self
+                .queue_wait_by_class
+                .iter()
+                .map(|c| MetricSample {
+                    labels: vec![("class".to_owned(), c.priority.to_string())],
+                    value: c.completed as f64,
+                })
+                .collect(),
+        });
+        families
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -185,27 +323,57 @@ impl fmt::Display for MetricsSnapshot {
                 m.model, m.completed, m.rejected, m.mean_batch, m.p50, m.p95, m.p99
             )?;
         }
+        for c in &self.queue_wait_by_class {
+            if c.completed > 0 {
+                writeln!(
+                    f,
+                    "  queue-wait {:<7} {:>6} done  mean {:>9.3?}  p95 {:>9.3?}  p99 {:>9.3?}",
+                    c.priority.to_string(),
+                    c.completed,
+                    c.mean,
+                    c.p95,
+                    c.p99
+                )?;
+            }
+        }
         Ok(())
     }
+}
+
+/// Everything one metrics mutex protects: per-model counters plus the
+/// server-wide per-priority-class queue-wait histograms.
+#[derive(Debug)]
+struct MetricsState {
+    models: Vec<ModelCounters>,
+    /// Queue waits keyed by [`Priority::index`] — server-wide, because
+    /// scheduling between classes happens across models in one batcher.
+    class_waits: [LatencyHistogram; 3],
 }
 
 /// Thread-safe per-model metrics recorder.
 #[derive(Debug)]
 pub struct Metrics {
     models: Vec<String>,
-    state: Mutex<Vec<ModelCounters>>,
+    state: Mutex<MetricsState>,
 }
 
 impl Metrics {
     /// A recorder for the given model IDs (registry order).
     pub fn new(models: Vec<String>) -> Metrics {
-        let state = Mutex::new(models.iter().map(|_| ModelCounters::default()).collect());
+        let state = Mutex::new(MetricsState {
+            models: models.iter().map(|_| ModelCounters::default()).collect(),
+            class_waits: [
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+            ],
+        });
         Metrics { models, state }
     }
 
     /// Records one executed batch: its size, the service time of the
-    /// whole batch, and each request's queue wait and end-to-end
-    /// latency.
+    /// whole batch, and each request's priority class, queue wait and
+    /// end-to-end latency (the three slices are index-aligned).
     ///
     /// # Panics
     ///
@@ -215,13 +383,15 @@ impl Metrics {
         &self,
         model: usize,
         service: Duration,
+        priorities: &[Priority],
         waits: &[Duration],
         latencies: &[Duration],
     ) {
         assert_eq!(waits.len(), latencies.len());
+        assert_eq!(waits.len(), priorities.len());
         let batch = waits.len() as u64;
         let mut state = self.state.lock().expect("metrics lock");
-        let c = &mut state[model];
+        let c = &mut state.models[model];
         c.batches += 1;
         c.completed += batch;
         for (&w, &l) in waits.iter().zip(latencies) {
@@ -235,6 +405,9 @@ impl Metrics {
             c.ewma_image_us =
                 Some(c.ewma_image_us.map_or(per_image, |old| 0.7 * old + 0.3 * per_image));
         }
+        for (&p, &w) in priorities.iter().zip(waits) {
+            state.class_waits[p.index()].record(w);
+        }
     }
 
     /// Records one request refused at admission.
@@ -243,7 +416,7 @@ impl Metrics {
     ///
     /// Panics when `model` is out of range.
     pub fn record_rejected(&self, model: usize) {
-        self.state.lock().expect("metrics lock")[model].rejected += 1;
+        self.state.lock().expect("metrics lock").models[model].rejected += 1;
     }
 
     /// The smoothed per-image service-time estimate of `model`, if any
@@ -254,7 +427,7 @@ impl Metrics {
     ///
     /// Panics when `model` is out of range.
     pub fn estimated_image_time(&self, model: usize) -> Option<Duration> {
-        self.state.lock().expect("metrics lock")[model]
+        self.state.lock().expect("metrics lock").models[model]
             .ewma_image_us
             .map(|us| Duration::from_micros(us as u64))
     }
@@ -265,7 +438,7 @@ impl Metrics {
         let per_model = self
             .models
             .iter()
-            .zip(state.iter())
+            .zip(state.models.iter())
             .map(|(id, c)| ModelSnapshot {
                 model: id.clone(),
                 completed: c.completed,
@@ -283,7 +456,21 @@ impl Metrics {
                 mean_queue_wait: c.queue_wait.mean(),
             })
             .collect();
-        MetricsSnapshot { elapsed, per_model }
+        let queue_wait_by_class = Priority::ALL
+            .iter()
+            .map(|&priority| {
+                let h = &state.class_waits[priority.index()];
+                ClassWaitSnapshot {
+                    priority,
+                    completed: h.count(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                }
+            })
+            .collect();
+        MetricsSnapshot { elapsed, per_model, queue_wait_by_class }
     }
 }
 
@@ -296,19 +483,34 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_walk_buckets_pessimistically() {
+    fn histogram_quantiles_report_bucket_midpoints_within_2x() {
         let mut h = LatencyHistogram::new();
         for _ in 0..99 {
             h.record(ms(1));
         }
         h.record(ms(500));
         assert_eq!(h.count(), 100);
-        // p50 stays in the 1 ms bucket (upper bound ≤ 2.048 ms)…
-        assert!(h.quantile(0.5) <= Duration::from_micros(2048));
-        // …p99 still does; only the very tail sees the outlier.
-        assert!(h.quantile(0.99) <= Duration::from_micros(2048));
-        assert!(h.quantile(1.0) >= ms(500));
+        // p50 reports the 1 ms sample's bucket midpoint (768 µs) —
+        // within 2× of the true sample in both directions.
+        assert!(h.quantile(0.5) >= Duration::from_micros(500));
+        assert!(h.quantile(0.5) <= ms(2));
+        // p99 still sits in the bulk; only the very tail sees the
+        // outlier, whose midpoint (≈393 ms) brackets 500 ms within 2×.
+        assert!(h.quantile(0.99) <= ms(2));
+        assert!(h.quantile(1.0) >= ms(250) && h.quantile(1.0) <= ms(500));
         assert!(h.mean() >= ms(5));
+    }
+
+    #[test]
+    fn histogram_midpoints_bracket_exact_powers_of_two() {
+        // 1024 µs lands in the [1024, 2048) µs bucket, midpoint 1536 µs.
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(1024));
+        assert_eq!(h.quantile(0.5), Duration::from_micros(1536));
+        // A sub-microsecond sample reports the 0.5 µs midpoint.
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(500));
     }
 
     #[test]
@@ -322,8 +524,9 @@ mod tests {
     #[test]
     fn batch_recording_feeds_snapshot_and_ewma() {
         let m = Metrics::new(vec!["a".into(), "b".into()]);
-        m.record_batch(0, ms(8), &[ms(1), ms(2)], &[ms(5), ms(6)]);
-        m.record_batch(0, ms(4), &[ms(1)], &[ms(3)]);
+        let normal = [Priority::Normal, Priority::Normal];
+        m.record_batch(0, ms(8), &normal, &[ms(1), ms(2)], &[ms(5), ms(6)]);
+        m.record_batch(0, ms(4), &[Priority::High], &[ms(1)], &[ms(3)]);
         m.record_rejected(1);
         let snap = m.snapshot(ms(1000));
         assert_eq!(snap.total_completed(), 3);
@@ -337,6 +540,92 @@ mod tests {
         assert_eq!(m.estimated_image_time(1), None);
         let text = snap.to_string();
         assert!(text.contains("a") && text.contains("req/s"));
+        assert!(text.contains("queue-wait high"), "{text}");
+    }
+
+    #[test]
+    fn queue_waits_are_attributed_to_priority_classes() {
+        let m = Metrics::new(vec!["a".into()]);
+        m.record_batch(
+            0,
+            ms(2),
+            &[Priority::High, Priority::Low, Priority::Low],
+            &[ms(1), ms(64), ms(64)],
+            &[ms(2), ms(65), ms(65)],
+        );
+        let snap = m.snapshot(ms(100));
+        assert_eq!(snap.queue_wait_by_class.len(), 3);
+        let by_class = &snap.queue_wait_by_class;
+        assert_eq!(by_class[0].priority, Priority::High);
+        assert_eq!(by_class[0].completed, 1);
+        assert_eq!(by_class[1].completed, 0, "no normal traffic recorded");
+        assert_eq!(by_class[2].completed, 2);
+        // Low waited far longer than high, and the histograms see it.
+        assert!(by_class[2].p95 > by_class[0].p95 * 10);
+    }
+
+    #[test]
+    fn ewma_estimate_is_none_before_the_first_batch() {
+        // Warm-up behaviour the admission controller relies on: with no
+        // completed batch there is no service-time estimate, so the SLO
+        // test cannot fire.
+        let m = Metrics::new(vec!["a".into()]);
+        assert_eq!(m.estimated_image_time(0), None);
+        // Rejections alone must not create an estimate.
+        m.record_rejected(0);
+        assert_eq!(m.estimated_image_time(0), None);
+        // An empty batch (possible only in principle) must not either.
+        m.record_batch(0, Duration::ZERO, &[], &[], &[]);
+        assert_eq!(m.estimated_image_time(0), None);
+    }
+
+    #[test]
+    fn ewma_converges_after_a_service_time_step_change() {
+        let m = Metrics::new(vec!["a".into()]);
+        let one = [Priority::Normal];
+        // Five batches at 4 ms per image settle the estimate at 4 ms.
+        for _ in 0..5 {
+            m.record_batch(0, ms(4), &one, &[ms(0)], &[ms(4)]);
+        }
+        let before = m.estimated_image_time(0).unwrap();
+        assert!((before.as_secs_f64() - 0.004).abs() < 1e-4, "{before:?}");
+        // Service time steps to 8 ms per image. With alpha 0.3 the
+        // residual decays by 0.7 per batch: after 20 batches the
+        // estimate is within 0.7^20 ≈ 0.08% of the new level.
+        for _ in 0..20 {
+            m.record_batch(0, ms(8), &one, &[ms(0)], &[ms(8)]);
+        }
+        let after = m.estimated_image_time(0).unwrap();
+        let err = (after.as_secs_f64() - 0.008).abs() / 0.008;
+        assert!(err < 0.01, "estimate {after:?} did not converge to 8 ms (err {err:.4})");
+        // And convergence is monotone-ish: one batch in, the estimate
+        // had moved towards the step but not overshot.
+        let m2 = Metrics::new(vec!["a".into()]);
+        for _ in 0..5 {
+            m2.record_batch(0, ms(4), &one, &[ms(0)], &[ms(4)]);
+        }
+        m2.record_batch(0, ms(8), &one, &[ms(0)], &[ms(8)]);
+        let one_step = m2.estimated_image_time(0).unwrap();
+        // 0.7 · 4 ms + 0.3 · 8 ms = 5.2 ms.
+        assert!((one_step.as_secs_f64() - 0.0052).abs() < 1e-4, "{one_step:?}");
+    }
+
+    #[test]
+    fn snapshot_exports_metric_families() {
+        let m = Metrics::new(vec!["a".into()]);
+        m.record_batch(0, ms(4), &[Priority::High], &[ms(1)], &[ms(4)]);
+        m.record_rejected(0);
+        let snap = m.snapshot(ms(2000));
+        let report = wino_obs::ObsReport { metrics: snap.to_metric_families(), profile: None };
+        let text = report.to_prometheus();
+        assert!(text.contains("wino_serve_completed_total{model=\"a\"} 1"), "{text}");
+        assert!(text.contains("wino_serve_rejected_total{model=\"a\"} 1"), "{text}");
+        assert!(text.contains("wino_serve_uptime_seconds 2"), "{text}");
+        assert!(text.contains("wino_serve_queue_wait_p95_seconds{class=\"high\"}"), "{text}");
+        assert!(text.contains("wino_serve_class_completed_total{class=\"low\"} 0"), "{text}");
+        assert!(text.contains("# TYPE wino_serve_latency_p99_seconds gauge"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"wino_serve_latency_p50_seconds\""), "{json}");
     }
 
     #[test]

@@ -229,7 +229,11 @@ impl Inner {
             match next {
                 Some(Poll::Ready(batch)) => {
                     drop(queue);
-                    self.execute(batch);
+                    // Stamp the moment the batcher released the batch:
+                    // the boundary between queue wait (admission →
+                    // release) and batch wait (release → execution).
+                    let released = self.clock.now();
+                    self.execute(batch, released);
                     queue = self.queue.lock().expect("queue lock");
                 }
                 None => return, // shutdown and drained
@@ -252,7 +256,9 @@ impl Inner {
     }
 
     /// Executes one released batch and fulfills its responses.
-    fn execute(&self, batch: Batch<Ticket>) {
+    /// `released` is the clock reading at which the batcher released
+    /// the batch to this worker (stamped in the worker loop).
+    fn execute(&self, batch: Batch<Ticket>, released: Duration) {
         let entry = self.registry.entry(batch.model);
         let seeds: Vec<u64> = batch.requests.iter().map(|r| r.payload.seed).collect();
         let started = self.clock.now();
@@ -263,12 +269,56 @@ impl Inner {
             batch.requests.iter().map(|r| started.saturating_sub(r.enqueued_at)).collect();
         let latencies: Vec<Duration> =
             batch.requests.iter().map(|r| finished.saturating_sub(r.enqueued_at)).collect();
+        let priorities: Vec<Priority> = batch.requests.iter().map(|r| r.priority).collect();
         self.metrics.record_batch(
             batch.model,
             finished.saturating_sub(started),
+            &priorities,
             &waits,
             &latencies,
         );
+
+        // Request-lifecycle trace: one interval per stage per request,
+        // keyed by the request's batcher sequence number, labelled with
+        // its priority class — queue wait vs batch wait vs exec time
+        // become separately attributable per class in a Chrome trace.
+        // The `is_enabled` guard keeps the disabled path at one relaxed
+        // load for the whole batch.
+        if wino_obs::is_enabled() {
+            for request in &batch.requests {
+                let queued_label = format!("queued:{}", request.priority);
+                wino_obs::record_interval(
+                    "serve.request",
+                    &queued_label,
+                    request.seq,
+                    request.enqueued_at,
+                    released.saturating_sub(request.enqueued_at),
+                );
+                let batch_label = format!("batch-wait:{}", request.priority);
+                wino_obs::record_interval(
+                    "serve.request",
+                    &batch_label,
+                    request.seq,
+                    released,
+                    started.saturating_sub(released),
+                );
+                let exec_label = format!("exec:{}", entry.id());
+                wino_obs::record_interval(
+                    "serve.request",
+                    &exec_label,
+                    request.seq,
+                    started,
+                    finished.saturating_sub(started),
+                );
+                wino_obs::record_interval(
+                    "serve.request",
+                    "completed",
+                    request.seq,
+                    finished,
+                    Duration::ZERO,
+                );
+            }
+        }
 
         let size = batch.requests.len();
         for ((request, output), (&wait, &latency)) in
@@ -403,9 +453,17 @@ impl Server {
                 });
             }
         }
-        match queue.submit(index, priority, ticket, inner.clock.now()) {
-            Ok(_) => {
+        let now = inner.clock.now();
+        match queue.submit(index, priority, ticket, now) {
+            Ok(seq) => {
                 drop(queue);
+                // Admission event: anchors the request's lifecycle
+                // trace (same id as the queued/batch-wait/exec/
+                // completed intervals the worker emits).
+                if wino_obs::is_enabled() {
+                    let label = format!("admitted:{priority}");
+                    wino_obs::record_interval("serve.request", &label, seq, now, Duration::ZERO);
+                }
                 inner.wake.notify_one();
                 Ok(ResponseHandle { slot })
             }

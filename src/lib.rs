@@ -19,7 +19,10 @@
 //! turns search results into runnable, oracle-verified schedules, and
 //! `wino-serve`, a multi-tenant serving subsystem (model registry,
 //! dynamic batcher, SLO-aware admission, worker pool, latency metrics)
-//! that puts a request path in front of the execution engine. See
+//! that puts a request path in front of the execution engine, and
+//! `wino-obs`, a dependency-free, zero-cost-when-disabled
+//! observability layer (tracing spans, phase-level profiling,
+//! Prometheus/JSON metrics exposition) threaded through both. See
 //! `DESIGN.md` at the repository root for the system inventory,
 //! `docs/ARCHITECTURE.md` for the crate map, and `EXPERIMENTS.md`
 //! for the command reproducing every paper artifact.
@@ -76,6 +79,7 @@
 //! | [`engine`] | `wino-engine` | cycle-level engine simulator |
 //! | [`dse`] | `wino-dse` | exploration, figures, tables |
 //! | [`search`] | `wino-search` | strategy engine, heterogeneous spaces, Pareto archive |
+//! | [`obs`] | `wino-obs` | tracing spans, phase profiling, metrics exposition |
 //! | [`exec`] | `wino-exec` | batched thread-parallel execution engine, schedules |
 //! | [`serve`] | `wino-serve` | multi-tenant batched inference serving |
 
@@ -89,6 +93,7 @@ pub use wino_engine as engine;
 pub use wino_exec as exec;
 pub use wino_fpga as fpga;
 pub use wino_models as models;
+pub use wino_obs as obs;
 pub use wino_search as search;
 pub use wino_serve as serve;
 pub use wino_tensor as tensor;
@@ -117,15 +122,19 @@ pub mod prelude {
         EngineResources, FpgaDevice, PowerModel, ResourceUsage,
     };
     pub use wino_models::{alexnet, model_zoo, resnet18, shrink, tiny_cnn, vgg16d};
+    pub use wino_obs::{
+        AggregatingProfiler, MetricFamily, MetricKind, MetricSample, ObsReport, ProfileSnapshot,
+        Recorder, Span, SpanRecord, TraceRecorder,
+    };
     pub use wino_search::{
         compare_strategies, EvalCache, Evaluation, Exhaustive, Genetic, Genome, Greedy,
         HeterogeneousSpace, HomogeneousSpace, ParetoArchive, SearchObjective, SearchOutcome,
         SearchSpace, SimulatedAnnealing, Strategy,
     };
     pub use wino_serve::{
-        AdmissionError, BatchConfig, Clock, DynamicBatcher, InferOutput, InferResult,
-        MetricsSnapshot, ModelEntry, ModelId, ModelRegistry, Priority, ResponseHandle, ServeConfig,
-        Server, SystemClock, VirtualClock,
+        AdmissionError, BatchConfig, ClassWaitSnapshot, Clock, DynamicBatcher, InferOutput,
+        InferResult, MetricsSnapshot, ModelEntry, ModelId, ModelRegistry, Priority, ResponseHandle,
+        ServeConfig, Server, SystemClock, VirtualClock,
     };
     pub use wino_tensor::{
         ratio, ErrorStats, Fixed, Ratio, Scalar, Shape4, SplitMix64, Tensor2, Tensor4,
