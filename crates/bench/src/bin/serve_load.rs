@@ -135,6 +135,7 @@ fn main() {
             queue_capacity: requests,
         },
         slo: None,
+        ..ServeConfig::default()
     };
     let ids: Vec<_> = registry.entries().iter().map(|e| e.id().clone()).collect();
     let sample_direct: Vec<_> = trace
@@ -169,8 +170,10 @@ fn main() {
             .expect("queue sized for the trace; nothing is refused");
         handles.push((item.model, item.seed, handle));
     }
-    let results: Vec<(usize, InferResult)> =
-        handles.into_iter().map(|(m, _, h)| (m, h.wait())).collect();
+    let results: Vec<(usize, InferResult)> = handles
+        .into_iter()
+        .map(|(m, _, h)| (m, h.wait().expect("no faults injected; every request served")))
+        .collect();
     let serve_wall = start.elapsed();
     let snapshot = server.shutdown();
     wino_obs::disable();
@@ -249,9 +252,11 @@ fn main() {
             if i + 1 < classes.len() { "," } else { "" }
         ));
     }
-    json.push_str(&format!("  ],\n  \"speedup\": {speedup:.2}\n}}\n"));
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("wrote BENCH_serve.json");
+    json.push_str(&format!("  ],\n  \"speedup\": {speedup:.2}\n}}"));
+    // `BENCH_serve.json` is shared with `serve_storm` (section
+    // "storm"); merge instead of clobbering.
+    update_artifact(Path::new("BENCH_serve.json"), "load", &json).expect("update BENCH_serve.json");
+    println!("merged load section into BENCH_serve.json");
 
     // --- observability exposition: the serve section of BENCH_obs.json ---
     let mut metrics = snapshot.to_metric_families();

@@ -1,0 +1,593 @@
+//! Serving storm study: the sharded, continuously-batched serving
+//! layer under a seeded, bursty multi-tenant storm — 10⁵ requests on
+//! the virtual clock (a discrete-event simulation over the *real*
+//! [`ShardSet`], with modeled layer service times), plus a smaller
+//! wall-clock storm (10³⁺ requests) through a real threaded [`Server`].
+//! Results merge into `BENCH_serve.json` under the `"storm"` key.
+//!
+//! The trace has four phases: steady load, an overload spike (~6×
+//! arrival rate, driving queues to rejection), tenant skew (~70 % of
+//! traffic on one model) and a cool-down tail; the simulation then
+//! drains under load. Two configurations replay the identical trace:
+//!
+//! * **single-shard baseline** — 1 shard × 4 workers, no stealing, no
+//!   continuous batching (the pre-sharding serving architecture);
+//! * **sharded** — 4 shards × 1 worker, work stealing on, continuous
+//!   batching admitting queued requests into in-flight batches at
+//!   layer boundaries.
+//!
+//! Gates (asserted here; CI runs this binary and fails on any):
+//!
+//! 1. **Zero lost requests** in every run: admitted == served.
+//!    Rejection at admission (bounded queues during the spike) is the
+//!    only permitted loss mode.
+//! 2. **Bitwise equality**: sampled batch compositions from the
+//!    sharded run — including mid-flight joiners with their exact join
+//!    boundaries — are re-executed for real through
+//!    `infer_batch_continuous` and compared lane-by-lane against solo
+//!    `infer_one` runs.
+//! 3. **No tail regression from sharding**: sharded all-class p99 must
+//!    stay within 1.10× of the single-shard baseline (same total
+//!    worker count).
+//! 4. **Determinism**: replaying the same seed yields an identical
+//!    summary, making the recorded JSON a meaningful CI baseline.
+//!
+//! `--virtual-only` skips the wall-clock storm (used by CI, where
+//! wall-clock latency figures would be noise anyway).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+use std::iter::Peekable;
+use std::path::Path;
+use std::time::{Duration, Instant};
+use wino_obs::update_artifact;
+use wino_serve::{
+    BatchConfig, LatencyHistogram, ModelRegistry, Priority, ServeConfig, Server, ShardPoll,
+    ShardSet,
+};
+use wino_tensor::SplitMix64;
+
+const VIRTUAL_REQUESTS: usize = 100_000;
+const SYSTEM_REQUESTS: usize = 1_200;
+const TRACE_SEED: u64 = 0x5702_2019;
+
+/// One synthetic request of the storm trace.
+struct StormItem {
+    model: usize,
+    priority: Priority,
+    seed: u64,
+    arrival: Duration,
+}
+
+fn priority_mix(r: u64) -> Priority {
+    match r % 10 {
+        0..=1 => Priority::High,
+        2..=7 => Priority::Normal,
+        _ => Priority::Low,
+    }
+}
+
+/// A seeded, bursty, multi-tenant arrival trace in four phases:
+/// steady → overload spike → tenant skew → cool-down.
+fn build_storm(models: usize, requests: usize, rng: &mut SplitMix64) -> Vec<StormItem> {
+    let mut at = Duration::ZERO;
+    (0..requests)
+        .map(|i| {
+            let phase = i * 4 / requests.max(1);
+            let gap_us = match phase {
+                0 => 40 + rng.next_u64() % 80,  // steady: ~12.5k req/s
+                1 => 4 + rng.next_u64() % 12,   // spike: ~6x the rate
+                2 => 25 + rng.next_u64() % 50,  // skewed steady
+                _ => 60 + rng.next_u64() % 120, // cool-down tail
+            };
+            at += Duration::from_micros(gap_us);
+            let model = if phase == 2 && rng.next_u64() % 10 < 7 {
+                0 // tenant skew: 70% of traffic hammers one model
+            } else {
+                (rng.next_u64() % models as u64) as usize
+            };
+            StormItem {
+                model,
+                priority: priority_mix(rng.next_u64()),
+                seed: rng.next_u64() % 1_000_000,
+                arrival: at,
+            }
+        })
+        .collect()
+}
+
+/// Modeled service time of one layer at the current lane count: a
+/// per-model base plus a mild per-lane increment (batching amortizes,
+/// it does not come free). Purely deterministic — the simulation's
+/// virtual clock never reads real time.
+fn layer_dt(model: usize, lanes: usize) -> Duration {
+    Duration::from_micros(18 + 4 * model as u64 + 3 * lanes as u64)
+}
+
+/// A batch composition captured for real re-execution: initial lane
+/// seeds plus every join (layer boundary, joiner seeds).
+struct Sample {
+    model: usize,
+    initial: Vec<u64>,
+    joins: Vec<(usize, Vec<u64>)>,
+}
+
+#[derive(Default)]
+struct ShardStats {
+    batches: u64,
+    stolen: u64,
+    latency: LatencyHistogram,
+}
+
+struct SimOutcome {
+    admitted: u64,
+    rejected: u64,
+    served: u64,
+    batches: u64,
+    stolen: u64,
+    makespan: Duration,
+    all: LatencyHistogram,
+    classes: [LatencyHistogram; 3],
+    class_counts: [u64; 3],
+    shards: Vec<ShardStats>,
+    samples: Vec<Sample>,
+}
+
+struct SimConfig {
+    shards: usize,
+    workers_per_shard: usize,
+    steal: bool,
+    continuous: bool,
+    collect_samples: bool,
+}
+
+fn inject(
+    set: &ShardSet<u64>,
+    arrivals: &mut Peekable<std::slice::Iter<'_, StormItem>>,
+    now: Duration,
+    admitted: &mut u64,
+    rejected: &mut u64,
+) {
+    while arrivals.peek().is_some_and(|a| a.arrival <= now) {
+        let item = arrivals.next().expect("peeked");
+        match set.submit(item.model, item.priority, item.seed, item.arrival) {
+            Ok(_) => *admitted += 1,
+            Err(_) => *rejected += 1,
+        }
+    }
+}
+
+/// Discrete-event replay of `trace` against a real [`ShardSet`]:
+/// virtual workers poll (and steal), batches execute with modeled
+/// per-layer service times, and — with continuous batching on —
+/// arrivals that land mid-batch join at the next layer boundary,
+/// exactly as the threaded server admits them. Arrivals during a
+/// batch's execution window are injected at the boundary they precede,
+/// so admission timing matches the layer-boundary hook semantics.
+fn simulate(
+    trace: &[StormItem],
+    caps: &[usize],
+    layer_counts: &[usize],
+    cfg: &SimConfig,
+) -> SimOutcome {
+    let batch_cfg =
+        BatchConfig { max_batch: 8, max_wait: Duration::from_micros(400), queue_capacity: 512 };
+    let set: ShardSet<u64> = ShardSet::new(cfg.shards, caps.to_vec(), batch_cfg, cfg.steal);
+    let mut arrivals = trace.iter().peekable();
+    let mut out = SimOutcome {
+        admitted: 0,
+        rejected: 0,
+        served: 0,
+        batches: 0,
+        stolen: 0,
+        makespan: Duration::ZERO,
+        all: LatencyHistogram::new(),
+        classes: [LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new()],
+        class_counts: [0; 3],
+        shards: (0..cfg.shards).map(|_| ShardStats::default()).collect(),
+        samples: Vec::new(),
+    };
+    let mut join_samples = 0usize;
+    let mut plain_samples = 0usize;
+
+    // The worker heap: (next event time, shard, worker id), earliest
+    // first. A worker's event is either "free to poll" or "batch done".
+    let mut heap: BinaryHeap<Reverse<(Duration, usize, usize)>> = (0..cfg.shards)
+        .flat_map(|s| (0..cfg.workers_per_shard).map(move |w| Reverse((Duration::ZERO, s, w))))
+        .collect();
+
+    while let Some(Reverse((t, shard, worker))) = heap.pop() {
+        inject(&set, &mut arrivals, t, &mut out.admitted, &mut out.rejected);
+        match set.poll_at(shard, t) {
+            ShardPoll::Ready { batch, from } => {
+                let model = batch.model;
+                let layers = layer_counts[model];
+                let cap = caps[model];
+                let mut lanes = batch.requests;
+                let mut joins: Vec<(usize, Vec<u64>)> = Vec::new();
+                let mut tb = t;
+                let mut max_join = 0usize;
+                for boundary in 1..layers {
+                    tb += layer_dt(model, lanes.len());
+                    if cfg.continuous {
+                        inject(&set, &mut arrivals, tb, &mut out.admitted, &mut out.rejected);
+                        let free = cap.saturating_sub(lanes.len());
+                        if free > 0 {
+                            let joiners = set.admit_into(model, free);
+                            if !joiners.is_empty() {
+                                max_join = boundary;
+                                joins.push((boundary, joiners.iter().map(|r| r.payload).collect()));
+                                lanes.extend(joiners);
+                            }
+                        }
+                    }
+                }
+                tb += layer_dt(model, lanes.len()); // final layer
+                                                    // Catch-up passes for the latest joiner's missed
+                                                    // prefix, at the full lane count (they run batched).
+                for _ in 0..max_join {
+                    tb += layer_dt(model, lanes.len());
+                }
+                let t_end = tb;
+                out.batches += 1;
+                out.served += lanes.len() as u64;
+                let stats = &mut out.shards[shard];
+                stats.batches += 1;
+                if from != shard {
+                    out.stolen += 1;
+                    stats.stolen += 1;
+                }
+                for item in &lanes {
+                    let latency = t_end.saturating_sub(item.enqueued_at);
+                    out.all.record(latency);
+                    out.classes[item.priority.index()].record(latency);
+                    out.class_counts[item.priority.index()] += 1;
+                    stats.latency.record(latency);
+                }
+                out.makespan = out.makespan.max(t_end);
+                if cfg.collect_samples {
+                    // A handful of compositions for real re-execution:
+                    // prefer batches that actually grew mid-flight.
+                    if !joins.is_empty() && join_samples < 5 {
+                        join_samples += 1;
+                        out.samples.push(Sample {
+                            model,
+                            initial: lanes
+                                [..lanes.len() - joins.iter().map(|(_, s)| s.len()).sum::<usize>()]
+                                .iter()
+                                .map(|r| r.payload)
+                                .collect(),
+                            joins: joins.clone(),
+                        });
+                    } else if out.batches.is_multiple_of(20_000) && plain_samples < 4 {
+                        plain_samples += 1;
+                        out.samples.push(Sample {
+                            model,
+                            initial: lanes.iter().map(|r| r.payload).collect(),
+                            joins: Vec::new(),
+                        });
+                    }
+                }
+                heap.push(Reverse((t_end, shard, worker)));
+            }
+            ShardPoll::Wait(hint) => {
+                let next_arrival = arrivals.peek().map(|a| a.arrival);
+                if next_arrival.is_none() && set.is_empty() {
+                    continue; // retire this worker; loop ends at empty heap
+                }
+                let mut wake = t + hint.unwrap_or(Duration::from_micros(200));
+                if let Some(at) = next_arrival {
+                    wake = wake.min(at.max(t));
+                }
+                // Strictly advance time so two empty polls can never
+                // livelock at one instant.
+                wake = wake.max(t + Duration::from_micros(1));
+                heap.push(Reverse((wake, shard, worker)));
+            }
+        }
+    }
+    assert!(set.is_empty(), "simulation ended with requests still queued");
+    out
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Serializes one run's outcome as a JSON object (also the determinism
+/// fingerprint: two runs of the same seed must produce identical text).
+fn outcome_json(out: &SimOutcome) -> String {
+    let mut j = String::new();
+    let _ = writeln!(
+        j,
+        "{{\"admitted\": {}, \"rejected\": {}, \"served\": {}, \"batches\": {}, \"stolen\": {}, \"makespan_ms\": {:.3},",
+        out.admitted, out.rejected, out.served, out.batches, out.stolen, ms(out.makespan)
+    );
+    let _ = writeln!(
+        j,
+        "      \"all\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"mean_ms\": {:.3}}},",
+        ms(out.all.quantile(0.5)),
+        ms(out.all.quantile(0.99)),
+        ms(out.all.quantile(0.999)),
+        ms(out.all.mean())
+    );
+    j.push_str("      \"classes\": [");
+    for (i, class) in [Priority::High, Priority::Normal, Priority::Low].iter().enumerate() {
+        let h = &out.classes[i];
+        let _ = write!(
+            j,
+            "{}{{\"class\": \"{class}\", \"completed\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}}}",
+            if i > 0 { ", " } else { "" },
+            out.class_counts[i],
+            ms(h.quantile(0.5)),
+            ms(h.quantile(0.99)),
+            ms(h.quantile(0.999))
+        );
+    }
+    j.push_str("],\n      \"per_shard\": [");
+    for (i, s) in out.shards.iter().enumerate() {
+        let _ = write!(
+            j,
+            "{}{{\"shard\": {i}, \"batches\": {}, \"stolen\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}}}",
+            if i > 0 { ", " } else { "" },
+            s.batches,
+            s.stolen,
+            ms(s.latency.quantile(0.5)),
+            ms(s.latency.quantile(0.99)),
+            ms(s.latency.quantile(0.999))
+        );
+    }
+    j.push_str("]}");
+    j
+}
+
+/// The wall-clock storm: a real threaded sharded server, real
+/// convolutions, `SYSTEM_REQUESTS` requests.
+fn system_storm(registry: ModelRegistry) -> String {
+    let ids: Vec<_> = registry.entries().iter().map(|e| e.id().clone()).collect();
+    let mut rng = SplitMix64::new(TRACE_SEED ^ 0xABCD);
+    let trace = build_storm(ids.len(), SYSTEM_REQUESTS, &mut rng);
+    let sample_direct: Vec<_> = trace
+        .iter()
+        .step_by(97)
+        .map(|item| (item.model, item.seed, registry.entry(item.model).infer_one(item.seed)))
+        .collect();
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            shards: 2,
+            workers: 2,
+            steal: true,
+            continuous: true,
+            exec_threads_per_worker: Some(1),
+            batch: BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_micros(500),
+                queue_capacity: SYSTEM_REQUESTS,
+            },
+            slo: None,
+            inject_panic_seed: None,
+        },
+    );
+    let start = Instant::now();
+    let handles: Vec<_> = trace
+        .iter()
+        .map(|item| {
+            let target = item.arrival;
+            let now = start.elapsed();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            let h = server
+                .submit(&ids[item.model], item.priority, item.seed)
+                .expect("queue sized for the trace; nothing refused");
+            (item.model, item.seed, h)
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|(m, s, h)| (m, s, h.wait().expect("no faults injected")))
+        .collect();
+    let wall = start.elapsed();
+    let snapshot = server.shutdown();
+
+    // Gate 1 (system): zero lost.
+    assert_eq!(snapshot.total_completed() as usize, SYSTEM_REQUESTS, "every request answered");
+    assert_eq!(snapshot.total_rejected(), 0);
+    assert_eq!(snapshot.total_failed(), 0);
+    // Gate 2 (system): sampled bitwise equality through the real
+    // sharded, stolen, continuously-batched path.
+    for (model, seed, direct) in &sample_direct {
+        let (_, _, served) = results
+            .iter()
+            .find(|(m, s, _)| m == model && s == seed)
+            .expect("sampled request served");
+        assert_eq!(&served.output, direct, "served output == solo run, bitwise");
+    }
+    let rps = SYSTEM_REQUESTS as f64 / wall.as_secs_f64();
+    println!(
+        "system storm: {SYSTEM_REQUESTS} requests in {:.1} ms ({rps:.0} req/s, {} stolen)",
+        ms(wall),
+        snapshot.total_stolen()
+    );
+    print!("{snapshot}");
+
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\"requests\": {SYSTEM_REQUESTS}, \"shards\": 2, \"workers_per_shard\": 2, \"wall_ms\": {:.1}, \"throughput_rps\": {rps:.0}, \"stolen\": {}, \"classes\": [",
+        ms(wall),
+        snapshot.total_stolen()
+    );
+    for (i, c) in snapshot.latency_by_class.iter().enumerate() {
+        let _ = write!(
+            j,
+            "{}{{\"class\": \"{}\", \"completed\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}}}",
+            if i > 0 { ", " } else { "" },
+            c.priority,
+            c.completed,
+            ms(c.p50),
+            ms(c.p99),
+            ms(c.p999)
+        );
+    }
+    j.push_str("], \"per_shard\": [");
+    for (i, s) in snapshot.per_shard.iter().enumerate() {
+        let _ = write!(
+            j,
+            "{}{{\"shard\": {}, \"batches\": {}, \"stolen\": {}, \"p999_ms\": {:.3}}}",
+            if i > 0 { ", " } else { "" },
+            s.shard,
+            s.batches,
+            s.stolen,
+            ms(s.p999)
+        );
+    }
+    j.push_str("]}");
+    j
+}
+
+fn main() {
+    let virtual_only = std::env::args().any(|a| a == "--virtual-only");
+    let registry = ModelRegistry::standard(8, 1).expect("standard registry");
+    let caps: Vec<usize> = registry.entries().iter().map(|e| e.max_batch()).collect();
+    let layer_counts: Vec<usize> = registry.entries().iter().map(|e| e.layer_count()).collect();
+
+    let mut rng = SplitMix64::new(TRACE_SEED);
+    let trace = build_storm(caps.len(), VIRTUAL_REQUESTS, &mut rng);
+    println!(
+        "storm trace: {} requests over {:.1} ms of virtual time, {} models",
+        trace.len(),
+        ms(trace.last().expect("non-empty trace").arrival),
+        caps.len()
+    );
+
+    // --- virtual-clock storms: baseline vs sharded, same trace ---
+    let baseline_cfg = SimConfig {
+        shards: 1,
+        workers_per_shard: 4,
+        steal: false,
+        continuous: false,
+        collect_samples: false,
+    };
+    let sharded_cfg = SimConfig {
+        shards: 4,
+        workers_per_shard: 1,
+        steal: true,
+        continuous: true,
+        collect_samples: true,
+    };
+    let wall = Instant::now();
+    let baseline = simulate(&trace, &caps, &layer_counts, &baseline_cfg);
+    let sharded = simulate(&trace, &caps, &layer_counts, &sharded_cfg);
+    println!("simulated 2 x {} requests in {:.1} ms wall", VIRTUAL_REQUESTS, ms(wall.elapsed()));
+    println!(
+        "baseline: served {}/{} (rejected {}), all-class p99 {:.3} ms",
+        baseline.served,
+        baseline.admitted,
+        baseline.rejected,
+        ms(baseline.all.quantile(0.99))
+    );
+    println!(
+        "sharded:  served {}/{} (rejected {}), all-class p99 {:.3} ms, {} stolen batches",
+        sharded.served,
+        sharded.admitted,
+        sharded.rejected,
+        ms(sharded.all.quantile(0.99)),
+        sharded.stolen
+    );
+
+    // Gate 1: zero admitted-but-unserved requests, in both runs.
+    assert_eq!(baseline.admitted, baseline.served, "baseline lost requests");
+    assert_eq!(sharded.admitted, sharded.served, "sharded run lost requests");
+
+    // Gate 2: sampled compositions — including mid-flight joiners at
+    // their exact boundaries — re-executed for real, bitwise.
+    let mut checked_lanes = 0usize;
+    let mut joiner_lanes = 0usize;
+    for sample in &sharded.samples {
+        let entry = registry.entry(sample.model);
+        let mut pending = sample.joins.clone();
+        let lanes = entry.infer_batch_continuous(
+            sample.initial.clone(),
+            |&s| s,
+            |b| {
+                let mut joiners = Vec::new();
+                pending.retain(|(boundary, seeds)| {
+                    if *boundary == b.next_layer {
+                        joiners.extend(seeds.iter().copied());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                joiners
+            },
+        );
+        assert!(pending.is_empty(), "every recorded join replayed");
+        joiner_lanes += sample.joins.iter().map(|(_, s)| s.len()).sum::<usize>();
+        for (seed, output) in lanes {
+            assert_eq!(
+                output,
+                entry.infer_one(seed),
+                "lane {seed} of a sampled storm batch diverged from its solo run"
+            );
+            checked_lanes += 1;
+        }
+    }
+    assert!(!sharded.samples.is_empty(), "sampling captured no batches");
+    println!(
+        "bitwise check: {} sampled batches, {checked_lanes} lanes ({joiner_lanes} mid-flight joiners) == solo runs",
+        sharded.samples.len()
+    );
+
+    // Gate 3: sharding must not regress the tail vs the same worker
+    // count behind one queue.
+    let base_p99 = baseline.all.quantile(0.99);
+    let shard_p99 = sharded.all.quantile(0.99);
+    let ratio = shard_p99.as_secs_f64() / base_p99.as_secs_f64().max(1e-12);
+    println!("p99 ratio sharded/baseline: {ratio:.3}");
+    assert!(
+        ratio <= 1.10,
+        "sharded p99 ({:.3} ms) regressed over baseline ({:.3} ms) by {ratio:.3}x",
+        ms(shard_p99),
+        ms(base_p99)
+    );
+
+    // Gate 4: determinism — same seed, same summary, byte for byte.
+    let replay = simulate(&trace, &caps, &layer_counts, &sharded_cfg);
+    assert_eq!(
+        outcome_json(&sharded),
+        outcome_json(&replay),
+        "storm replay diverged; the recorded baseline would be meaningless"
+    );
+    println!("determinism: replay summary identical");
+
+    // --- wall-clock storm through the real threaded server ---
+    let system = if virtual_only {
+        println!("--virtual-only: skipping the wall-clock storm");
+        "null".to_owned()
+    } else {
+        system_storm(registry)
+    };
+
+    // --- BENCH_serve.json, section "storm" ---
+    let mut json = String::new();
+    json.push_str("{\n    \"bench\": \"serve_storm\",\n");
+    let _ = write!(
+        json,
+        "    \"trace_seed\": {TRACE_SEED},\n    \"virtual_requests\": {VIRTUAL_REQUESTS},\n    \"p99_ratio_sharded_over_baseline\": {ratio:.3},\n"
+    );
+    let _ = writeln!(
+        json,
+        "    \"bitwise\": {{\"batches\": {}, \"lanes\": {checked_lanes}, \"joiner_lanes\": {joiner_lanes}}},",
+        sharded.samples.len()
+    );
+    let _ = writeln!(json, "    \"baseline\": {},", outcome_json(&baseline));
+    let _ = writeln!(json, "    \"sharded\": {},", outcome_json(&sharded));
+    let _ = write!(json, "    \"system\": {system}\n  }}");
+    update_artifact(Path::new("BENCH_serve.json"), "storm", &json)
+        .expect("update BENCH_serve.json");
+    println!("merged storm section into BENCH_serve.json");
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod continuous;
 mod executor;
 pub mod gemm;
 mod layer;
@@ -62,6 +63,7 @@ mod prepared;
 mod quant;
 mod schedule;
 
+pub use continuous::{run_layers_admitting, Boundary};
 pub use executor::{LayerReport, NetworkExecutor, NetworkReport, VerifyError};
 pub use layer::{
     execute_plan, spatial_convolve_mt, winograd_convolve, ExecConfig, PreparedWinograd,

@@ -172,6 +172,51 @@ impl PreparedPlan {
         );
         (self.runner)(input, threads)
     }
+
+    /// Executes the prepared layer on a set of independent single-image
+    /// *lanes*: the batch-1 tensors are stacked into one `(L, C, H, W)`
+    /// batch, executed through the cached bank in a single call, and the
+    /// output is split back per lane.
+    ///
+    /// Because every engine work item reads exactly one image with a
+    /// fixed accumulation order, each lane's output is **bitwise
+    /// identical** to [`run`](Self::run) on that lane alone — the
+    /// primitive continuous batching rests on: lanes may join or leave
+    /// between layer calls without perturbing anyone's bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is empty, or when any lane is not a batch-1
+    /// tensor of the prepared geometry.
+    pub fn run_lanes(&self, lanes: &[Tensor4<f32>], threads: usize) -> Vec<Tensor4<f32>> {
+        assert!(!lanes.is_empty(), "no lanes to execute ({})", self.label);
+        let s = self.shape;
+        let plane = s.c * s.h * s.w;
+        let mut stacked =
+            Tensor4::zeros(wino_tensor::Shape4 { n: lanes.len(), c: s.c, h: s.h, w: s.w });
+        for (i, lane) in lanes.iter().enumerate() {
+            let ls = lane.shape();
+            assert_eq!(
+                (ls.n, ls.c, ls.h, ls.w),
+                (1, s.c, s.h, s.w),
+                "lane {i} does not match prepared layer ({})",
+                self.label
+            );
+            stacked.as_mut_slice()[i * plane..(i + 1) * plane].copy_from_slice(lane.as_slice());
+        }
+        let out = (self.runner)(&stacked, threads);
+        let os = out.shape();
+        let out_plane = os.c * os.h * os.w;
+        (0..lanes.len())
+            .map(|i| {
+                let mut img =
+                    Tensor4::zeros(wino_tensor::Shape4 { n: 1, c: os.c, h: os.h, w: os.w });
+                img.as_mut_slice()
+                    .copy_from_slice(&out.as_slice()[i * out_plane..(i + 1) * out_plane]);
+                img
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -100,6 +100,49 @@ impl Default for BatchConfig {
     }
 }
 
+impl BatchConfig {
+    /// Checks the config is usable: a zero `max_batch` can never
+    /// release anything and a zero `queue_capacity` can never admit
+    /// anything, so both are configuration bugs worth rejecting loudly
+    /// rather than silently papering over.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), BatchConfigError> {
+        if self.max_batch == 0 {
+            return Err(BatchConfigError::ZeroMaxBatch);
+        }
+        if self.queue_capacity == 0 {
+            return Err(BatchConfigError::ZeroQueueCapacity);
+        }
+        Ok(())
+    }
+}
+
+/// A [`BatchConfig`] constraint violation, from
+/// [`BatchConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchConfigError {
+    /// `max_batch == 0`: no batch could ever be released.
+    ZeroMaxBatch,
+    /// `queue_capacity == 0`: no request could ever be admitted.
+    ZeroQueueCapacity,
+}
+
+impl fmt::Display for BatchConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            BatchConfigError::ZeroQueueCapacity => {
+                write!(f, "queue_capacity must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchConfigError {}
+
 /// A queued request: opaque payload plus batching metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Pending<T> {
@@ -179,12 +222,18 @@ pub struct DynamicBatcher<T> {
     /// `queues[model][class]`.
     queues: Vec<[VecDeque<Pending<T>>; 3]>,
     seq: u64,
+    seq_stride: u64,
 }
 
 impl<T> DynamicBatcher<T> {
-    /// A batcher for `model_count` models under `config`
-    /// (`max_batch` and `queue_capacity` are clamped to ≥ 1), with
-    /// every model batched up to `config.max_batch`.
+    /// A batcher for `model_count` models under `config`, with every
+    /// model batched up to `config.max_batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`BatchConfig::validate`] — a zero
+    /// `max_batch` or `queue_capacity` is a configuration bug, refused
+    /// at construction rather than silently clamped.
     pub fn new(model_count: usize, config: BatchConfig) -> DynamicBatcher<T> {
         DynamicBatcher::with_caps(vec![config.max_batch; model_count], config)
     }
@@ -194,18 +243,37 @@ impl<T> DynamicBatcher<T> {
     /// schedule's batch dimension is a hard executor limit, so the
     /// server builds its batcher with each model's
     /// [`max_batch`](crate::ModelEntry::max_batch) as the cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`BatchConfig::validate`].
     pub fn with_caps(caps: Vec<usize>, config: BatchConfig) -> DynamicBatcher<T> {
-        let config = BatchConfig {
-            max_batch: config.max_batch.max(1),
-            queue_capacity: config.queue_capacity.max(1),
-            ..config
-        };
+        if let Err(err) = config.validate() {
+            panic!("invalid BatchConfig: {err}");
+        }
         let caps: Vec<usize> = caps.into_iter().map(|c| c.clamp(1, config.max_batch)).collect();
         let queues = caps.iter().map(|_| std::array::from_fn(|_| VecDeque::new())).collect();
-        DynamicBatcher { config, caps, queues, seq: 0 }
+        DynamicBatcher { config, caps, queues, seq: 0, seq_stride: 1 }
     }
 
-    /// The (clamped) configuration in force.
+    /// Re-bases the submission sequence to `start, start + stride,
+    /// start + 2·stride, …` — how a [`ShardSet`](crate::ShardSet) of
+    /// `S` shards keeps sequence numbers globally unique without
+    /// coordination: shard `i` strides `(start = i, stride = S)`, and
+    /// every shard's numbers stay monotone locally while the union
+    /// stays collision-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride` is zero.
+    pub fn with_seq(mut self, start: u64, stride: u64) -> DynamicBatcher<T> {
+        assert!(stride > 0, "seq stride must be at least 1");
+        self.seq = start;
+        self.seq_stride = stride;
+        self
+    }
+
+    /// The configuration in force.
     pub fn config(&self) -> &BatchConfig {
         &self.config
     }
@@ -261,7 +329,7 @@ impl<T> DynamicBatcher<T> {
             return Err(SubmitError::QueueFull { model, capacity: self.config.queue_capacity });
         }
         let seq = self.seq;
-        self.seq += 1;
+        self.seq += self.seq_stride;
         self.queues[model][priority.index()].push_back(Pending {
             seq,
             enqueued_at: now,
@@ -294,7 +362,31 @@ impl<T> DynamicBatcher<T> {
     /// reserved request is its own class's front, so per-class FIFO
     /// order is preserved.
     fn drain_batch(&mut self, model: usize) -> Batch<T> {
+        let requests = self.take_for_model(model, self.caps[model]);
+        Batch { model, requests }
+    }
+
+    /// Pops up to `limit` of `model`'s queued requests in release
+    /// order (oldest request first, then class by class, FIFO within
+    /// each class — exactly the [`drain_batch`](Self::drain_batch)
+    /// policy with a caller-chosen size). This is the **continuous
+    /// batching** entry point: a shard mid-flight through a batch
+    /// calls it at a layer boundary to admit waiting requests into the
+    /// free lanes, and because the pop order is identical to a regular
+    /// release, per-class FIFO order is preserved across early
+    /// admissions.
+    ///
+    /// Returns an empty vector when nothing is queued (or `limit` is
+    /// zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` is out of range.
+    pub fn take_for_model(&mut self, model: usize, limit: usize) -> Vec<BatchItem<T>> {
         let mut requests = Vec::new();
+        if limit == 0 {
+            return requests;
+        }
         let item = |p: Pending<T>| BatchItem {
             seq: p.seq,
             enqueued_at: p.enqueued_at,
@@ -306,14 +398,14 @@ impl<T> DynamicBatcher<T> {
             requests.push(item(p));
         }
         for class in 0..3 {
-            while requests.len() < self.caps[model] {
+            while requests.len() < limit {
                 match self.queues[model][class].pop_front() {
                     Some(p) => requests.push(item(p)),
                     None => break,
                 }
             }
         }
-        Batch { model, requests }
+        requests
     }
 
     /// Releases a batch if one is due at `now`, otherwise reports how
@@ -512,10 +604,103 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_and_zero_batch_are_clamped() {
-        let b: DynamicBatcher<u64> = DynamicBatcher::new(1, config(0, 1, 0));
-        assert_eq!(b.config().max_batch, 1);
-        assert_eq!(b.config().queue_capacity, 1);
-        assert_eq!(BatchConfig::default().max_batch, 8);
+    fn validate_names_the_violated_constraint() {
+        assert_eq!(BatchConfig::default().validate(), Ok(()));
+        assert_eq!(config(0, 1, 8).validate(), Err(BatchConfigError::ZeroMaxBatch));
+        assert_eq!(config(4, 1, 0).validate(), Err(BatchConfigError::ZeroQueueCapacity));
+        assert!(BatchConfigError::ZeroQueueCapacity.to_string().contains("queue_capacity"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid BatchConfig: max_batch")]
+    fn zero_max_batch_is_rejected_at_construction() {
+        let _: DynamicBatcher<u64> = DynamicBatcher::new(1, config(0, 1, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid BatchConfig: queue_capacity")]
+    fn zero_queue_capacity_is_rejected_at_construction() {
+        let _: DynamicBatcher<u64> = DynamicBatcher::new(1, config(4, 1, 0));
+    }
+
+    #[test]
+    fn deadline_equal_to_arrival_releases_immediately() {
+        // max_wait = 0 makes the oldest request's deadline exactly its
+        // arrival time: `deadline <= now` must already hold when polled
+        // at that same instant — the boundary is inclusive, a request
+        // is never asked to wait past a deadline it was born at.
+        let mut b = DynamicBatcher::new(1, config(8, 0, 16));
+        b.submit(0, Priority::Normal, 7u64, at(5)).unwrap();
+        match b.poll(at(5)) {
+            Poll::Ready(batch) => assert_eq!(batch.requests[0].payload, 7),
+            other => panic!("deadline == arrival must be due, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn low_class_is_served_within_its_wait_bound_under_high_flood() {
+        // A continuous high-priority flood keeps the queue at fullness
+        // so every release is fullness-triggered. The quantified
+        // anti-starvation bound: a low request is served no later than
+        // its own max_wait deadline, because once it is the model's
+        // oldest request it owns the first slot of the next release.
+        let max_wait = 5;
+        let mut b = DynamicBatcher::new(1, config(2, max_wait, 64));
+        b.submit(0, Priority::Low, 999u64, at(0)).unwrap();
+        let mut served_at = None;
+        for t in 0..20u64 {
+            // Two fresh High requests per tick: fullness every poll.
+            b.submit(0, Priority::High, t, at(t)).unwrap();
+            b.submit(0, Priority::High, 100 + t, at(t)).unwrap();
+            while let Poll::Ready(batch) = b.poll(at(t)) {
+                if batch.requests.iter().any(|r| r.payload == 999) {
+                    served_at.get_or_insert(t);
+                }
+            }
+            if served_at.is_some() {
+                break;
+            }
+        }
+        let served_at = served_at.expect("low request must be served");
+        assert!(
+            served_at <= max_wait,
+            "low request served at t={served_at}ms, bound is max_wait={max_wait}ms"
+        );
+    }
+
+    #[test]
+    fn take_for_model_pops_in_release_order_and_respects_limit() {
+        let mut b = DynamicBatcher::new(1, config(8, 1000, 16));
+        b.submit(0, Priority::Low, 30u64, at(0)).unwrap();
+        b.submit(0, Priority::High, 10, at(1)).unwrap();
+        b.submit(0, Priority::Normal, 20, at(1)).unwrap();
+        b.submit(0, Priority::High, 11, at(2)).unwrap();
+        assert!(b.take_for_model(0, 0).is_empty());
+        // Oldest (Low 30) first, then High FIFO — limit cuts the rest.
+        let taken: Vec<u64> = b.take_for_model(0, 3).iter().map(|r| r.payload).collect();
+        assert_eq!(taken, [30, 10, 11]);
+        // The remainder is untouched and still in order.
+        let rest: Vec<u64> = b.take_for_model(0, 8).iter().map(|r| r.payload).collect();
+        assert_eq!(rest, [20]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn strided_seq_stays_monotone_and_collision_free_across_shards() {
+        // Two shards striding (0, 2) and (1, 2): evens and odds.
+        let mut a = DynamicBatcher::new(1, config(8, 1, 16)).with_seq(0, 2);
+        let mut b = DynamicBatcher::new(1, config(8, 1, 16)).with_seq(1, 2);
+        let sa: Vec<u64> =
+            (0..3).map(|i| a.submit(0, Priority::Normal, i, at(0)).unwrap()).collect();
+        let sb: Vec<u64> =
+            (0..3).map(|i| b.submit(0, Priority::Normal, i, at(0)).unwrap()).collect();
+        assert_eq!(sa, [0, 2, 4]);
+        assert_eq!(sb, [1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seq stride")]
+    fn zero_seq_stride_panics() {
+        let _ = DynamicBatcher::<u64>::new(1, config(8, 1, 16)).with_seq(0, 0);
     }
 }

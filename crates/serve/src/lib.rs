@@ -19,26 +19,38 @@
 //!   up to the model's batch dimension under a `max_wait` deadline,
 //!   with per-[`Priority`]-class FIFO ordering and bounded queues for
 //!   backpressure, as a clock-free state machine;
+//! * [`ShardSet`] — per-shard batcher queues behind home routing
+//!   (`model % shards`) with optional work stealing of whole released
+//!   batches, so idle shards soak up another shard's backlog without
+//!   disturbing per-class FIFO order;
 //! * [`Server`] — admission control (bounded queues, optional
-//!   SLO-based shedding) in front of a `std::thread` worker pool that
-//!   executes released batches through the cached banks and fulfills
-//!   per-request [`ResponseHandle`]s;
-//! * [`Metrics`] — per-model throughput and p50/p95/p99 latency from
-//!   constant-space log histograms, plus server-wide per-priority-class
-//!   queue-wait distributions, exportable as `wino_obs` metric families
-//!   for Prometheus/JSON exposition (and, with tracing enabled, a
+//!   SLO-based shedding) in front of per-shard `std::thread` worker
+//!   groups that execute released batches through the cached banks —
+//!   growing them mid-flight at layer boundaries when **continuous
+//!   batching** is on — and fulfill per-request [`ResponseHandle`]s;
+//!   worker faults are caught and retried solo, so admitted requests
+//!   resolve (served, or failed with an explicit [`RequestError`])
+//!   rather than vanish;
+//! * [`Metrics`] — per-model and per-shard throughput and
+//!   p50/p95/p99/p99.9 latency from constant-space log histograms,
+//!   plus server-wide per-priority-class queue-wait and latency
+//!   distributions, exportable as `wino_obs` metric families for
+//!   Prometheus/JSON exposition (and, with tracing enabled, a
 //!   per-request lifecycle trace: admitted → queued → batch-wait →
 //!   exec → completed intervals keyed by request id);
 //! * [`Clock`] — real ([`SystemClock`]) or deterministic
 //!   ([`VirtualClock`]) time, so every deadline and latency figure is
 //!   unit-testable without sleeps.
 //!
-//! Two properties carry the whole design and are pinned by tests:
-//! a served request's output is **bitwise identical** to running it
-//! alone (batching never changes results — every Winograd work item
-//! touches one image only, in a fixed accumulation order), and an
-//! admitted request is **never dropped** (refusal happens only at
-//! admission; shutdown drains the queue before the pool stops).
+//! Two properties carry the whole design and are pinned by tests
+//! (including proptests over arbitrary shard counts, steal schedules
+//! and admission points): a served request's output is **bitwise
+//! identical** to running it alone (batching — continuous or not —
+//! never changes results: every Winograd work item touches one image
+//! only, in a fixed accumulation order), and an admitted request is
+//! **always resolved** (refusal happens only at admission; shutdown
+//! drains every shard before the pool stops; faults surface as
+//! explicit errors).
 //!
 //! ```
 //! use wino_serve::{ModelRegistry, Priority, ServeConfig, Server};
@@ -47,9 +59,10 @@
 //! let registry = ModelRegistry::standard(4, 2)?;
 //! let direct = registry.get(&"tinycnn-f32".into()).unwrap().infer_one(7);
 //!
-//! let server = Server::start(registry, ServeConfig::default());
+//! let config = ServeConfig { shards: 2, ..ServeConfig::default() };
+//! let server = Server::start(registry, config);
 //! let handle = server.submit(&"tinycnn-f32".into(), Priority::High, 7)?;
-//! let result = handle.wait();
+//! let result = handle.wait()?;
 //! assert_eq!(result.output, direct); // batched == solo, bitwise
 //! let metrics = server.shutdown();
 //! assert_eq!(metrics.total_completed(), 1);
@@ -64,9 +77,15 @@ mod clock;
 mod metrics;
 mod registry;
 mod server;
+mod shard;
 
-pub use batcher::{Batch, BatchConfig, BatchItem, DynamicBatcher, Poll, Priority, SubmitError};
+pub use batcher::{
+    Batch, BatchConfig, BatchConfigError, BatchItem, DynamicBatcher, Poll, Priority, SubmitError,
+};
 pub use clock::{Clock, SystemClock, VirtualClock};
-pub use metrics::{ClassWaitSnapshot, LatencyHistogram, Metrics, MetricsSnapshot, ModelSnapshot};
+pub use metrics::{
+    ClassWaitSnapshot, LatencyHistogram, Metrics, MetricsSnapshot, ModelSnapshot, ShardSnapshot,
+};
 pub use registry::{InferOutput, ModelEntry, ModelId, ModelRegistry, RegistryError};
-pub use server::{AdmissionError, InferResult, ResponseHandle, ServeConfig, Server};
+pub use server::{AdmissionError, InferResult, RequestError, ResponseHandle, ServeConfig, Server};
+pub use shard::{ShardPoll, ShardSet};

@@ -134,12 +134,23 @@ impl LatencyHistogram {
 struct ModelCounters {
     completed: u64,
     rejected: u64,
+    failed: u64,
     batches: u64,
     latency: LatencyHistogram,
     queue_wait: LatencyHistogram,
     /// EWMA of per-image service time, the admission controller's
     /// backlog estimate.
     ewma_image_us: Option<f64>,
+}
+
+/// Accumulated counters of one shard's worker group.
+#[derive(Debug, Clone, Default)]
+struct ShardCounters {
+    batches: u64,
+    stolen: u64,
+    completed: u64,
+    failed: u64,
+    latency: LatencyHistogram,
 }
 
 /// Point-in-time metrics of one model.
@@ -163,27 +174,58 @@ pub struct ModelSnapshot {
     pub p95: Duration,
     /// 99th-percentile end-to-end latency (bucket midpoint).
     pub p99: Duration,
+    /// 99.9th-percentile end-to-end latency (bucket midpoint) — the
+    /// tail the serving-storm study gates on.
+    pub p999: Duration,
+    /// Requests that ended in an explicit failure (worker fault not
+    /// recoverable by the solo retry) instead of a result.
+    pub failed: u64,
     /// Mean time spent queued before execution started.
     pub mean_queue_wait: Duration,
 }
 
-/// Server-wide queue-wait distribution of one priority class — the
-/// measurement behind the batcher's anti-starvation claim: if low
-/// priority starved, its p95 would run away from the others.
+/// Point-in-time metrics of one shard's worker group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Batches this shard's workers executed (home plus stolen).
+    pub batches: u64,
+    /// Of those, batches stolen from another shard's queue.
+    pub stolen: u64,
+    /// Requests completed by this shard's workers.
+    pub completed: u64,
+    /// Requests explicitly failed by this shard's workers.
+    pub failed: u64,
+    /// Median end-to-end latency of requests served here.
+    pub p50: Duration,
+    /// 99th-percentile end-to-end latency served here.
+    pub p99: Duration,
+    /// 99.9th-percentile end-to-end latency served here.
+    pub p999: Duration,
+}
+
+/// Server-wide distribution of one priority class (used for both
+/// queue waits and end-to-end latencies) — the measurement behind the
+/// batcher's anti-starvation claim: if low priority starved, its tail
+/// would run away from the others.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassWaitSnapshot {
     /// The priority class.
     pub priority: Priority,
     /// Requests of this class completed.
     pub completed: u64,
-    /// Mean queue wait of the class.
+    /// Mean of the class.
     pub mean: Duration,
-    /// Median queue wait (bucket midpoint).
+    /// Median (bucket midpoint).
     pub p50: Duration,
-    /// 95th-percentile queue wait (bucket midpoint).
+    /// 95th percentile (bucket midpoint).
     pub p95: Duration,
-    /// 99th-percentile queue wait (bucket midpoint).
+    /// 99th percentile (bucket midpoint).
     pub p99: Duration,
+    /// 99.9th percentile (bucket midpoint) — the storm study's
+    /// per-class gate.
+    pub p999: Duration,
 }
 
 /// Point-in-time metrics of the whole server.
@@ -196,6 +238,11 @@ pub struct MetricsSnapshot {
     /// Server-wide queue-wait distribution per priority class,
     /// highest class first ([`Priority::ALL`] order).
     pub queue_wait_by_class: Vec<ClassWaitSnapshot>,
+    /// Server-wide end-to-end latency distribution per priority class,
+    /// highest class first.
+    pub latency_by_class: Vec<ClassWaitSnapshot>,
+    /// Per-shard worker-group snapshots, shard order.
+    pub per_shard: Vec<ShardSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -207,6 +254,16 @@ impl MetricsSnapshot {
     /// Requests refused at admission across every model.
     pub fn total_rejected(&self) -> u64 {
         self.per_model.iter().map(|m| m.rejected).sum()
+    }
+
+    /// Requests explicitly failed across every model (fault path).
+    pub fn total_failed(&self) -> u64 {
+        self.per_model.iter().map(|m| m.failed).sum()
+    }
+
+    /// Batches stolen across every shard.
+    pub fn total_stolen(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.stolen).sum()
     }
 
     /// Completed requests per second over the covered window
@@ -264,9 +321,15 @@ impl MetricsSnapshot {
                 &|m| m.mean_batch,
             ),
         ];
+        families.push(per_model(
+            "wino_serve_failed_total",
+            "Requests explicitly failed by the fault path.",
+            MetricKind::Counter,
+            &|m| m.failed as f64,
+        ));
         type Pick = fn(&ModelSnapshot) -> Duration;
-        let quantiles: [(&str, Pick); 3] =
-            [("p50", |m| m.p50), ("p95", |m| m.p95), ("p99", |m| m.p99)];
+        let quantiles: [(&str, Pick); 4] =
+            [("p50", |m| m.p50), ("p95", |m| m.p95), ("p99", |m| m.p99), ("p999", |m| m.p999)];
         for (suffix, pick) in quantiles {
             families.push(per_model(
                 &format!("wino_serve_latency_{suffix}_seconds"),
@@ -275,6 +338,49 @@ impl MetricsSnapshot {
                 &move |m| pick(m).as_secs_f64(),
             ));
         }
+        let shard_label = |s: &ShardSnapshot| vec![("shard".to_owned(), s.shard.to_string())];
+        let per_shard =
+            |name: &str, help: &str, kind, value: &dyn Fn(&ShardSnapshot) -> f64| MetricFamily {
+                name: name.to_owned(),
+                help: help.to_owned(),
+                kind,
+                samples: self
+                    .per_shard
+                    .iter()
+                    .map(|s| MetricSample { labels: shard_label(s), value: value(s) })
+                    .collect(),
+            };
+        families.push(per_shard(
+            "wino_serve_shard_batches_total",
+            "Batches executed by each shard's worker group.",
+            MetricKind::Counter,
+            &|s| s.batches as f64,
+        ));
+        families.push(per_shard(
+            "wino_serve_shard_stolen_total",
+            "Batches stolen from another shard's queue.",
+            MetricKind::Counter,
+            &|s| s.stolen as f64,
+        ));
+        families.push(per_shard(
+            "wino_serve_shard_latency_p999_seconds",
+            "99.9th-percentile end-to-end latency served per shard.",
+            MetricKind::Gauge,
+            &|s| s.p999.as_secs_f64(),
+        ));
+        families.push(MetricFamily {
+            name: "wino_serve_class_latency_p999_seconds".to_owned(),
+            help: "99.9th-percentile end-to-end latency per priority class.".to_owned(),
+            kind: MetricKind::Gauge,
+            samples: self
+                .latency_by_class
+                .iter()
+                .map(|c| MetricSample {
+                    labels: vec![("class".to_owned(), c.priority.to_string())],
+                    value: c.p999.as_secs_f64(),
+                })
+                .collect(),
+        });
         families.push(MetricFamily {
             name: "wino_serve_queue_wait_p95_seconds".to_owned(),
             help: "95th-percentile queue wait per priority class (log2-bucket midpoint)."
@@ -336,6 +442,15 @@ impl fmt::Display for MetricsSnapshot {
                 )?;
             }
         }
+        for s in &self.per_shard {
+            if s.batches > 0 {
+                writeln!(
+                    f,
+                    "  shard {:<2} {:>6} batches ({} stolen) {:>6} done {:>4} failed  p99 {:>9.3?}  p99.9 {:>9.3?}",
+                    s.shard, s.batches, s.stolen, s.completed, s.failed, s.p99, s.p999
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -345,9 +460,12 @@ impl fmt::Display for MetricsSnapshot {
 #[derive(Debug)]
 struct MetricsState {
     models: Vec<ModelCounters>,
+    shards: Vec<ShardCounters>,
     /// Queue waits keyed by [`Priority::index`] — server-wide, because
     /// scheduling between classes happens across models in one batcher.
     class_waits: [LatencyHistogram; 3],
+    /// End-to-end latencies keyed by [`Priority::index`].
+    class_latencies: [LatencyHistogram; 3],
 }
 
 /// Thread-safe per-model metrics recorder.
@@ -358,30 +476,34 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// A recorder for the given model IDs (registry order).
-    pub fn new(models: Vec<String>) -> Metrics {
+    /// A recorder for the given model IDs (registry order) and
+    /// `shards` worker groups.
+    pub fn new(models: Vec<String>, shards: usize) -> Metrics {
         let state = Mutex::new(MetricsState {
             models: models.iter().map(|_| ModelCounters::default()).collect(),
-            class_waits: [
-                LatencyHistogram::new(),
-                LatencyHistogram::new(),
-                LatencyHistogram::new(),
-            ],
+            shards: (0..shards).map(|_| ShardCounters::default()).collect(),
+            class_waits: std::array::from_fn(|_| LatencyHistogram::new()),
+            class_latencies: std::array::from_fn(|_| LatencyHistogram::new()),
         });
         Metrics { models, state }
     }
 
-    /// Records one executed batch: its size, the service time of the
-    /// whole batch, and each request's priority class, queue wait and
-    /// end-to-end latency (the three slices are index-aligned).
+    /// Records one executed batch: the shard whose worker group ran it
+    /// (and whether the batch was stolen from another shard's queue),
+    /// its size, the service time of the whole batch, and each
+    /// request's priority class, queue wait and end-to-end latency
+    /// (the three slices are index-aligned).
     ///
     /// # Panics
     ///
-    /// Panics when `model` is out of range or the slices disagree in
-    /// length.
+    /// Panics when `model` or `shard` is out of range or the slices
+    /// disagree in length.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_batch(
         &self,
         model: usize,
+        shard: usize,
+        stolen: bool,
         service: Duration,
         priorities: &[Priority],
         waits: &[Duration],
@@ -405,8 +527,16 @@ impl Metrics {
             c.ewma_image_us =
                 Some(c.ewma_image_us.map_or(per_image, |old| 0.7 * old + 0.3 * per_image));
         }
-        for (&p, &w) in priorities.iter().zip(waits) {
+        let s = &mut state.shards[shard];
+        s.batches += 1;
+        s.stolen += u64::from(stolen);
+        s.completed += batch;
+        for &l in latencies {
+            s.latency.record(l);
+        }
+        for ((&p, &w), &l) in priorities.iter().zip(waits).zip(latencies) {
             state.class_waits[p.index()].record(w);
+            state.class_latencies[p.index()].record(l);
         }
     }
 
@@ -417,6 +547,19 @@ impl Metrics {
     /// Panics when `model` is out of range.
     pub fn record_rejected(&self, model: usize) {
         self.state.lock().expect("metrics lock").models[model].rejected += 1;
+    }
+
+    /// Records `n` requests of `model` explicitly failed by `shard`'s
+    /// workers (the fault path: a lane whose solo retry also
+    /// panicked).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` or `shard` is out of range.
+    pub fn record_failed(&self, model: usize, shard: usize, n: u64) {
+        let mut state = self.state.lock().expect("metrics lock");
+        state.models[model].failed += n;
+        state.shards[shard].failed += n;
     }
 
     /// The smoothed per-image service-time estimate of `model`, if any
@@ -453,24 +596,46 @@ impl Metrics {
                 p50: c.latency.quantile(0.50),
                 p95: c.latency.quantile(0.95),
                 p99: c.latency.quantile(0.99),
+                p999: c.latency.quantile(0.999),
+                failed: c.failed,
                 mean_queue_wait: c.queue_wait.mean(),
             })
             .collect();
-        let queue_wait_by_class = Priority::ALL
+        let class_snapshot = |hists: &[LatencyHistogram; 3]| -> Vec<ClassWaitSnapshot> {
+            Priority::ALL
+                .iter()
+                .map(|&priority| {
+                    let h = &hists[priority.index()];
+                    ClassWaitSnapshot {
+                        priority,
+                        completed: h.count(),
+                        mean: h.mean(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
+                        p999: h.quantile(0.999),
+                    }
+                })
+                .collect()
+        };
+        let queue_wait_by_class = class_snapshot(&state.class_waits);
+        let latency_by_class = class_snapshot(&state.class_latencies);
+        let per_shard = state
+            .shards
             .iter()
-            .map(|&priority| {
-                let h = &state.class_waits[priority.index()];
-                ClassWaitSnapshot {
-                    priority,
-                    completed: h.count(),
-                    mean: h.mean(),
-                    p50: h.quantile(0.50),
-                    p95: h.quantile(0.95),
-                    p99: h.quantile(0.99),
-                }
+            .enumerate()
+            .map(|(shard, s)| ShardSnapshot {
+                shard,
+                batches: s.batches,
+                stolen: s.stolen,
+                completed: s.completed,
+                failed: s.failed,
+                p50: s.latency.quantile(0.50),
+                p99: s.latency.quantile(0.99),
+                p999: s.latency.quantile(0.999),
             })
             .collect();
-        MetricsSnapshot { elapsed, per_model, queue_wait_by_class }
+        MetricsSnapshot { elapsed, per_model, queue_wait_by_class, latency_by_class, per_shard }
     }
 }
 
@@ -523,10 +688,10 @@ mod tests {
 
     #[test]
     fn batch_recording_feeds_snapshot_and_ewma() {
-        let m = Metrics::new(vec!["a".into(), "b".into()]);
+        let m = Metrics::new(vec!["a".into(), "b".into()], 2);
         let normal = [Priority::Normal, Priority::Normal];
-        m.record_batch(0, ms(8), &normal, &[ms(1), ms(2)], &[ms(5), ms(6)]);
-        m.record_batch(0, ms(4), &[Priority::High], &[ms(1)], &[ms(3)]);
+        m.record_batch(0, 0, false, ms(8), &normal, &[ms(1), ms(2)], &[ms(5), ms(6)]);
+        m.record_batch(0, 0, false, ms(4), &[Priority::High], &[ms(1)], &[ms(3)]);
         m.record_rejected(1);
         let snap = m.snapshot(ms(1000));
         assert_eq!(snap.total_completed(), 3);
@@ -545,9 +710,11 @@ mod tests {
 
     #[test]
     fn queue_waits_are_attributed_to_priority_classes() {
-        let m = Metrics::new(vec!["a".into()]);
+        let m = Metrics::new(vec!["a".into()], 1);
         m.record_batch(
             0,
+            0,
+            false,
             ms(2),
             &[Priority::High, Priority::Low, Priority::Low],
             &[ms(1), ms(64), ms(64)],
@@ -569,23 +736,23 @@ mod tests {
         // Warm-up behaviour the admission controller relies on: with no
         // completed batch there is no service-time estimate, so the SLO
         // test cannot fire.
-        let m = Metrics::new(vec!["a".into()]);
+        let m = Metrics::new(vec!["a".into()], 1);
         assert_eq!(m.estimated_image_time(0), None);
         // Rejections alone must not create an estimate.
         m.record_rejected(0);
         assert_eq!(m.estimated_image_time(0), None);
         // An empty batch (possible only in principle) must not either.
-        m.record_batch(0, Duration::ZERO, &[], &[], &[]);
+        m.record_batch(0, 0, false, Duration::ZERO, &[], &[], &[]);
         assert_eq!(m.estimated_image_time(0), None);
     }
 
     #[test]
     fn ewma_converges_after_a_service_time_step_change() {
-        let m = Metrics::new(vec!["a".into()]);
+        let m = Metrics::new(vec!["a".into()], 1);
         let one = [Priority::Normal];
         // Five batches at 4 ms per image settle the estimate at 4 ms.
         for _ in 0..5 {
-            m.record_batch(0, ms(4), &one, &[ms(0)], &[ms(4)]);
+            m.record_batch(0, 0, false, ms(4), &one, &[ms(0)], &[ms(4)]);
         }
         let before = m.estimated_image_time(0).unwrap();
         assert!((before.as_secs_f64() - 0.004).abs() < 1e-4, "{before:?}");
@@ -593,18 +760,18 @@ mod tests {
         // residual decays by 0.7 per batch: after 20 batches the
         // estimate is within 0.7^20 ≈ 0.08% of the new level.
         for _ in 0..20 {
-            m.record_batch(0, ms(8), &one, &[ms(0)], &[ms(8)]);
+            m.record_batch(0, 0, false, ms(8), &one, &[ms(0)], &[ms(8)]);
         }
         let after = m.estimated_image_time(0).unwrap();
         let err = (after.as_secs_f64() - 0.008).abs() / 0.008;
         assert!(err < 0.01, "estimate {after:?} did not converge to 8 ms (err {err:.4})");
         // And convergence is monotone-ish: one batch in, the estimate
         // had moved towards the step but not overshot.
-        let m2 = Metrics::new(vec!["a".into()]);
+        let m2 = Metrics::new(vec!["a".into()], 1);
         for _ in 0..5 {
-            m2.record_batch(0, ms(4), &one, &[ms(0)], &[ms(4)]);
+            m2.record_batch(0, 0, false, ms(4), &one, &[ms(0)], &[ms(4)]);
         }
-        m2.record_batch(0, ms(8), &one, &[ms(0)], &[ms(8)]);
+        m2.record_batch(0, 0, false, ms(8), &one, &[ms(0)], &[ms(8)]);
         let one_step = m2.estimated_image_time(0).unwrap();
         // 0.7 · 4 ms + 0.3 · 8 ms = 5.2 ms.
         assert!((one_step.as_secs_f64() - 0.0052).abs() < 1e-4, "{one_step:?}");
@@ -612,8 +779,8 @@ mod tests {
 
     #[test]
     fn snapshot_exports_metric_families() {
-        let m = Metrics::new(vec!["a".into()]);
-        m.record_batch(0, ms(4), &[Priority::High], &[ms(1)], &[ms(4)]);
+        let m = Metrics::new(vec!["a".into()], 1);
+        m.record_batch(0, 0, false, ms(4), &[Priority::High], &[ms(1)], &[ms(4)]);
         m.record_rejected(0);
         let snap = m.snapshot(ms(2000));
         let report = wino_obs::ObsReport { metrics: snap.to_metric_families(), profile: None };
@@ -630,8 +797,48 @@ mod tests {
 
     #[test]
     fn zero_window_throughput_is_zero_not_nan() {
-        let m = Metrics::new(vec!["a".into()]);
+        let m = Metrics::new(vec!["a".into()], 1);
         let snap = m.snapshot(Duration::ZERO);
         assert_eq!(snap.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn shard_counters_attribute_batches_steals_and_failures() {
+        let m = Metrics::new(vec!["a".into()], 3);
+        // Shard 0 executes two home batches; shard 2 steals one.
+        let normal = [Priority::Normal, Priority::Normal];
+        m.record_batch(0, 0, false, ms(4), &normal, &[ms(1), ms(1)], &[ms(5), ms(6)]);
+        m.record_batch(0, 0, false, ms(4), &[Priority::High], &[ms(1)], &[ms(3)]);
+        m.record_batch(0, 2, true, ms(4), &[Priority::Low], &[ms(9)], &[ms(13)]);
+        m.record_failed(0, 2, 2);
+        let snap = m.snapshot(ms(1000));
+        assert_eq!(snap.per_shard.len(), 3);
+        let [s0, s1, s2] = &snap.per_shard[..] else { unreachable!() };
+        assert_eq!((s0.shard, s0.batches, s0.stolen, s0.completed), (0, 2, 0, 3));
+        assert_eq!((s1.batches, s1.completed, s1.failed), (0, 0, 0));
+        assert_eq!((s2.shard, s2.batches, s2.stolen, s2.completed, s2.failed), (2, 1, 1, 1, 2));
+        assert_eq!(snap.total_stolen(), 1);
+        assert_eq!(snap.total_failed(), 2);
+        assert_eq!(snap.per_model[0].failed, 2);
+        // Idle shards report zero latency; busy shards a real p999.
+        assert_eq!(s1.p999, Duration::ZERO);
+        assert!(s2.p999 >= ms(8) && s0.p999 > Duration::ZERO);
+        // Per-class *latency* histograms are populated alongside the
+        // wait histograms, with a p999 at least the class p50.
+        assert_eq!(snap.latency_by_class.len(), 3);
+        let low = &snap.latency_by_class[Priority::Low.index()];
+        assert_eq!(low.completed, 1);
+        assert!(low.p999 >= low.p50 && low.p999 >= ms(8));
+        // Exposition carries the shard-labelled families and p99.9s.
+        let report = wino_obs::ObsReport { metrics: snap.to_metric_families(), profile: None };
+        let text = report.to_prometheus();
+        assert!(text.contains("wino_serve_shard_batches_total{shard=\"0\"} 2"), "{text}");
+        assert!(text.contains("wino_serve_shard_stolen_total{shard=\"2\"} 1"), "{text}");
+        assert!(text.contains("wino_serve_failed_total{model=\"a\"} 2"), "{text}");
+        assert!(text.contains("wino_serve_shard_latency_p999_seconds{shard=\"2\"}"), "{text}");
+        assert!(text.contains("wino_serve_class_latency_p999_seconds{class=\"low\"}"), "{text}");
+        // The human-readable dump mentions shard lines too.
+        let display = snap.to_string();
+        assert!(display.contains("shard 2"), "{display}");
     }
 }

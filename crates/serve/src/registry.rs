@@ -197,29 +197,54 @@ impl ModelEntry {
         let b = seeds.len();
         assert!(b > 0, "empty batch");
         assert!(b <= self.max_batch(), "batch {b} exceeds max {}", self.max_batch());
-        let mut outputs: Vec<InferOutput> = seeds
-            .iter()
-            .map(|_| InferOutput { layers: Vec::with_capacity(self.layer_count()) })
-            .collect();
-        for i in 0..self.layer_count() {
-            let s = self.executor.workload().layers()[i].shape;
-            let plane = s.c * s.h * s.w;
-            let mut stacked = Tensor4::zeros(Shape4 { n: b, c: s.c, h: s.h, w: s.w });
-            for (j, &seed) in seeds.iter().enumerate() {
-                let one = self.request_input(i, seed);
-                stacked.as_mut_slice()[j * plane..(j + 1) * plane].copy_from_slice(one.as_slice());
-            }
-            let out = self.executor.execute_layer(i, &stacked).expect("prepared plan executes");
-            let os = out.shape();
-            let out_plane = os.c * os.h * os.w;
-            for (j, output) in outputs.iter_mut().enumerate() {
-                let mut img = Tensor4::zeros(Shape4 { n: 1, c: os.c, h: os.h, w: os.w });
-                img.as_mut_slice()
-                    .copy_from_slice(&out.as_slice()[j * out_plane..(j + 1) * out_plane]);
-                output.layers.push(img);
-            }
-        }
-        outputs
+        self.infer_batch_continuous(seeds.to_vec(), |&s| s, |_| Vec::new())
+            .into_iter()
+            .map(|(_, output)| output)
+            .collect()
+    }
+
+    /// Runs a batch with **continuous admission**: `admit` is consulted
+    /// at every layer boundary of the main sweep
+    /// ([`wino_exec::run_layers_admitting`]) and any lane it returns
+    /// joins the in-flight batch there, executing the remaining layers
+    /// with the group and catching up on the earlier ones afterwards.
+    ///
+    /// Lanes are an arbitrary caller type `L` (the server threads its
+    /// response tickets straight through); `seed_of` maps a lane to the
+    /// request seed its inputs derive from. Outputs come back per lane,
+    /// initial lanes first, then admissions in admission order — each
+    /// bitwise identical to [`infer_one`](Self::infer_one) of its seed
+    /// regardless of the admission schedule (layer inputs are
+    /// seed-derived, not chained, so per-lane layer order is free).
+    ///
+    /// The batch-dimension policy cap is the caller's job here: `admit`
+    /// decides how many lanes to add, and the server bounds it by the
+    /// model's [`max_batch`](Self::max_batch) minus the lanes in
+    /// flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial` is empty.
+    pub fn infer_batch_continuous<L>(
+        &self,
+        initial: Vec<L>,
+        seed_of: impl Fn(&L) -> u64,
+        admit: impl FnMut(wino_exec::Boundary) -> Vec<L>,
+    ) -> Vec<(L, InferOutput)> {
+        assert!(!initial.is_empty(), "empty batch");
+        let plans: Vec<wino_exec::PreparedPlan> =
+            (0..self.layer_count()).map(|i| self.executor.prepared(i).clone()).collect();
+        let threads = self.executor.config().threads;
+        wino_exec::run_layers_admitting(
+            &plans,
+            threads,
+            initial,
+            |lane, layer| self.request_input(layer, seed_of(lane)),
+            admit,
+        )
+        .into_iter()
+        .map(|(lane, layers)| (lane, InferOutput { layers }))
+        .collect()
     }
 }
 
@@ -373,6 +398,23 @@ mod tests {
             assert_eq!(got, &solo, "seed {seed}");
         }
         assert!(batched[0].checksum().is_finite());
+    }
+
+    #[test]
+    fn continuous_admission_matches_solo_runs_bitwise() {
+        let entry = toy_entry(4);
+        // Seed 9 joins at the boundary before layer 1; its output (and
+        // everyone else's) must still equal a solo run bit for bit.
+        let got = entry.infer_batch_continuous(
+            vec![1u64, 2],
+            |&s| s,
+            |b| if b.next_layer == 1 { vec![9u64] } else { Vec::new() },
+        );
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2].0, 9, "late joiner rides last");
+        for (seed, output) in &got {
+            assert_eq!(output, &entry.infer_one(*seed), "seed {seed}");
+        }
     }
 
     #[test]

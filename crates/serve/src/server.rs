@@ -1,36 +1,47 @@
-//! The serving front end: admission control, the worker pool, and
-//! response delivery.
+//! The serving front end: admission control, sharded worker groups,
+//! continuous batching, and response delivery.
 //!
-//! A [`Server`] owns a [`ModelRegistry`] (every kernel bank already
-//! transformed), a mutex-wrapped [`DynamicBatcher`] and a pool of
-//! worker threads. The request lifecycle:
+//! A [`Server`] owns one clamped [`ModelRegistry`] clone *per shard*, a
+//! [`ShardSet`] of per-shard [`DynamicBatcher`](crate::DynamicBatcher)s,
+//! and `shards × workers` threads. The request lifecycle:
 //!
 //! 1. **Submit** — [`Server::submit`] resolves the model ID, applies
-//!    admission control (bounded queue; optionally, the SLO test:
-//!    reject when `backlog × smoothed-per-image-service-time` already
-//!    exceeds the configured SLO), stamps the arrival time and enqueues.
-//!    The caller gets a [`ResponseHandle`] — a one-shot slot the
-//!    serving side fulfills.
-//! 2. **Batch** — the batcher coalesces same-model requests until the
-//!    batch dimension fills or the oldest request has waited
-//!    `max_wait` (see [`DynamicBatcher`]).
-//! 3. **Execute** — a worker takes the released batch, stacks the
-//!    requests' inputs, and runs every layer through the model's cached
-//!    [`PreparedPlan`](wino_exec::PreparedPlan)s in one call per layer.
+//!    admission control (bounded home-shard queue; optionally, the SLO
+//!    test: reject when `backlog × smoothed-per-image-service-time`
+//!    already exceeds the configured SLO), stamps the arrival time and
+//!    enqueues on the model's home shard. The caller gets a
+//!    [`ResponseHandle`] — a one-shot slot the serving side fulfills.
+//! 2. **Batch** — the home shard's batcher coalesces same-model
+//!    requests until the batch dimension fills or the oldest request
+//!    has waited `max_wait`. An idle shard's worker may **steal** the
+//!    released batch ([`ShardSet::poll_at`]); stealing moves only
+//!    whole released batches, so ordering is untouched.
+//! 3. **Execute** — the worker drives the batch through the model's
+//!    cached plans. With continuous batching enabled, at every layer
+//!    boundary it pulls newly queued requests of the same model into
+//!    the free lanes ([`ModelEntry::infer_batch_continuous`]): late
+//!    joiners run the remaining layers with the group and catch up on
+//!    the earlier ones immediately after, instead of waiting for the
+//!    next release.
 //! 4. **Respond** — per-request outputs (bitwise identical to a solo
-//!    run) are split out of the batch, metrics record queue wait and
-//!    end-to-end latency, and each handle is fulfilled.
+//!    run, whatever the admission schedule) are split out, metrics
+//!    record per-model, per-shard and per-class figures, and each
+//!    handle is fulfilled.
 //!
-//! Admitted requests are never dropped: workers only exit once the
-//! shutdown flag is up *and* the queue is drained, and
-//! [`Server::shutdown`] (also run on drop) releases leftover partial
-//! batches past their deadlines before joining the pool.
+//! **Faults.** A worker panic mid-batch (exercised by
+//! [`ServeConfig::inject_panic_seed`]) is caught; the worker retries
+//! every lane of the doomed batch solo, so innocents still get their
+//! bitwise-correct outputs and only the poisoned lane fails — with an
+//! explicit [`RequestError`], never silence. Admitted requests are
+//! thus *resolved* (served or explicitly failed), never lost, and
+//! [`Server::shutdown`] still drains and joins cleanly.
 
 use crate::{
-    Batch, BatchConfig, Clock, DynamicBatcher, InferOutput, Metrics, MetricsSnapshot, ModelId,
-    ModelRegistry, Poll, Priority, SubmitError, SystemClock,
+    Batch, BatchConfig, BatchItem, Clock, InferOutput, Metrics, MetricsSnapshot, ModelId,
+    ModelRegistry, Priority, ShardPoll, ShardSet, SubmitError, SystemClock,
 };
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -39,41 +50,64 @@ use std::time::Duration;
 /// Server policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Worker threads taking batches from the queue (clamped to ≥ 1).
-    /// Each worker executes one batch at a time; the *intra*-batch
-    /// thread fan-out is the `ExecConfig` the registry's executors
-    /// were built with, clamped at startup to the per-worker budget
-    /// below.
+    /// Executor shards (clamped to ≥ 1). Each shard owns a worker
+    /// group, a registry clone clamped to the shard's thread budget,
+    /// and its own batcher queue; models route to `model % shards`.
+    pub shards: usize,
+    /// Worker threads **per shard** taking batches from the queues
+    /// (clamped to ≥ 1). Each worker executes one batch at a time; the
+    /// *intra*-batch thread fan-out is the `ExecConfig` the registry's
+    /// executors were built with, clamped at startup to the per-worker
+    /// budget below.
     pub workers: usize,
-    /// Per-worker execution thread budget. At startup every registered
-    /// model's executor is clamped to at most this many threads, so
-    /// total demand is bounded by `workers × budget` regardless of the
-    /// `ExecConfig` the registry was built with — a registry built with
-    /// `ExecConfig::default()` (all cores) under a multi-worker pool
-    /// would otherwise demand `workers × cores` threads and thrash.
+    /// Whether an idle shard's workers may steal released batches from
+    /// other shards' queues. Stealing moves whole released batches
+    /// only, so it cannot reorder or re-bit anything.
+    pub steal: bool,
+    /// Whether workers admit queued same-model requests into in-flight
+    /// batches at layer boundaries (continuous batching). Joiners'
+    /// outputs stay bitwise identical to solo runs.
+    pub continuous: bool,
+    /// Per-worker execution thread budget. At startup every shard's
+    /// registry clone is clamped to at most this many threads per
+    /// call, so total demand is bounded by `shards × workers × budget`
+    /// regardless of the `ExecConfig` the registry was built with.
     /// `None` (the default) divides the machine evenly:
-    /// `max(1, available_parallelism / workers)`. Clamping cannot
-    /// change results — engine outputs are bitwise
+    /// `max(1, available_parallelism / (shards × workers))`. Clamping
+    /// cannot change results — engine outputs are bitwise
     /// thread-count-invariant.
     pub exec_threads_per_worker: Option<usize>,
-    /// Dynamic batching policy (see [`BatchConfig`]).
+    /// Dynamic batching policy (see [`BatchConfig`]), applied per
+    /// shard.
     pub batch: BatchConfig,
     /// End-to-end latency objective. When set, admission refuses
     /// requests whose estimated queueing delay (model backlog ×
     /// smoothed per-image service time) already exceeds it — shedding
     /// load early instead of serving answers that are already late.
     pub slo: Option<Duration>,
+    /// Fault injection: a worker that finds this seed in its batch
+    /// panics mid-execution, exercising the catch → solo-retry →
+    /// explicit-failure path. The poisoned seed fails deterministically
+    /// (its solo retry is refused too); everyone else in the batch is
+    /// still served correctly. Testing knob — leave `None` in
+    /// production.
+    pub inject_panic_seed: Option<u64>,
 }
 
 impl Default for ServeConfig {
-    /// Two workers, an even per-worker split of the machine, default
-    /// batching, no SLO-based shedding.
+    /// One shard of two workers, stealing and continuous batching on,
+    /// an even per-worker split of the machine, default batching, no
+    /// SLO-based shedding, no fault injection.
     fn default() -> ServeConfig {
         ServeConfig {
+            shards: 1,
             workers: 2,
+            steal: true,
+            continuous: true,
             exec_threads_per_worker: None,
             batch: BatchConfig::default(),
             slo: None,
+            inject_panic_seed: None,
         }
     }
 }
@@ -82,11 +116,11 @@ impl ServeConfig {
     /// The execution thread budget each worker gets: the explicit
     /// [`exec_threads_per_worker`](Self::exec_threads_per_worker) if
     /// set, otherwise an even division of the hardware threads across
-    /// the worker pool (never below 1).
+    /// all workers of all shards (never below 1).
     pub fn worker_thread_budget(&self) -> usize {
         self.exec_threads_per_worker.unwrap_or_else(|| {
             let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            (cores / self.workers.max(1)).max(1)
+            (cores / (self.shards.max(1) * self.workers.max(1))).max(1)
         })
     }
 }
@@ -133,6 +167,28 @@ impl fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// An admitted request that could not be served: the worker executing
+/// its batch faulted, and the solo retry faulted again. This is the
+/// *only* non-success outcome of an admitted request — it is delivered
+/// through the [`ResponseHandle`], never silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// The model the request targeted.
+    pub model: ModelId,
+    /// The request's input seed.
+    pub seed: u64,
+    /// What the worker observed (panic payload when stringy).
+    pub reason: String,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request (model '{}', seed {}) failed: {}", self.model, self.seed, self.reason)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 /// A finished request as delivered to the submitter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferResult {
@@ -146,19 +202,20 @@ pub struct InferResult {
     pub queue_wait: Duration,
     /// End-to-end latency (admission to response).
     pub latency: Duration,
-    /// How many requests shared the executed batch.
+    /// How many requests shared the executed batch (for a continuously
+    /// grown batch: the final lane count).
     pub batch_size: usize,
 }
 
 /// One-shot response slot shared between a worker and the submitter.
 #[derive(Debug, Default)]
 struct ResponseSlot {
-    cell: Mutex<Option<InferResult>>,
+    cell: Mutex<Option<Result<InferResult, RequestError>>>,
     ready: Condvar,
 }
 
 impl ResponseSlot {
-    fn fulfill(&self, result: InferResult) {
+    fn fulfill(&self, result: Result<InferResult, RequestError>) {
         let mut cell = self.cell.lock().expect("slot lock");
         *cell = Some(result);
         self.ready.notify_all();
@@ -175,10 +232,17 @@ pub struct ResponseHandle {
 }
 
 impl ResponseHandle {
-    /// Blocks until the response arrives. Admitted requests are always
-    /// served (the server drains its queue before stopping), so this
-    /// cannot hang on a live or shutting-down server.
-    pub fn wait(&self) -> InferResult {
+    /// Blocks until the request resolves. Admitted requests always
+    /// resolve — served ([`Ok`]) or explicitly failed by the fault
+    /// path ([`Err`]) — so this cannot hang on a live or shutting-down
+    /// server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RequestError`] a faulting worker recorded for
+    /// this request (only possible when a worker panicked mid-batch
+    /// *and* the solo retry failed too).
+    pub fn wait(&self) -> Result<InferResult, RequestError> {
         let mut cell = self.slot.cell.lock().expect("slot lock");
         loop {
             if let Some(result) = cell.take() {
@@ -188,8 +252,8 @@ impl ResponseHandle {
         }
     }
 
-    /// Takes the response if it has already arrived.
-    pub fn try_take(&self) -> Option<InferResult> {
+    /// Takes the resolution if it has already arrived.
+    pub fn try_take(&self) -> Option<Result<InferResult, RequestError>> {
         self.slot.cell.lock().expect("slot lock").take()
     }
 }
@@ -201,77 +265,200 @@ struct Ticket {
 }
 
 struct Inner {
-    registry: ModelRegistry,
+    /// One registry clone per shard, each clamped to the per-worker
+    /// thread budget. Cloning is cheap where it matters: every
+    /// `PreparedPlan` runner is `Arc`-shared, so the transformed kernel
+    /// banks exist once regardless of the shard count.
+    registries: Vec<ModelRegistry>,
     clock: Arc<dyn Clock>,
     slo: Option<Duration>,
-    queue: Mutex<DynamicBatcher<Ticket>>,
-    /// Signaled on submit and shutdown; workers park here when no
-    /// batch is due.
-    wake: Condvar,
+    continuous: bool,
+    inject_panic_seed: Option<u64>,
+    shards: ShardSet<Ticket>,
     metrics: Metrics,
     shutdown: AtomicBool,
 }
 
 impl Inner {
-    /// One worker's life: take a due batch, execute it, respond;
+    /// One worker's life on `shard`: take a due batch (home first,
+    /// then steal), execute it with continuous admission, respond;
     /// park until a deadline or a submit otherwise. Exits only when
-    /// shutdown is flagged *and* the queue is fully drained.
-    fn worker_loop(&self) {
-        let mut queue = self.queue.lock().expect("queue lock");
+    /// shutdown is flagged *and* every shard's queue is drained.
+    fn worker_loop(&self, shard: usize) {
         loop {
-            let shutting_down = self.shutdown.load(Ordering::Acquire);
+            if self.shutdown.load(Ordering::Acquire) {
+                // Drain phase: release leftover batches regardless of
+                // deadlines, from any shard, until nothing is queued.
+                // `drain_one` locks every shard before reporting empty,
+                // and submits check the shutdown flag under their home
+                // shard's lock, so the lock-order chain guarantees no
+                // admitted ticket is left behind.
+                match self.shards.drain_one() {
+                    Some(batch) => {
+                        let released = self.clock.now();
+                        self.execute(shard, batch, false, released);
+                    }
+                    None => return,
+                }
+                continue;
+            }
             let now = self.clock.now();
-            let next = if shutting_down {
-                queue.pop_any().map(Poll::Ready)
-            } else {
-                Some(queue.poll(now))
-            };
-            match next {
-                Some(Poll::Ready(batch)) => {
-                    drop(queue);
+            // Cap the park so a shutdown flag or a virtual clock
+            // advance is noticed promptly even without a matching
+            // notify.
+            match self.shards.poll_or_park(shard, now, Duration::from_millis(50)) {
+                ShardPoll::Ready { batch, from } => {
                     // Stamp the moment the batcher released the batch:
                     // the boundary between queue wait (admission →
                     // release) and batch wait (release → execution).
                     let released = self.clock.now();
-                    self.execute(batch, released);
-                    queue = self.queue.lock().expect("queue lock");
+                    self.execute(shard, batch, from != shard, released);
                 }
-                None => return, // shutdown and drained
-                Some(Poll::Wait(deadline)) => {
-                    // Cap the park so a shutdown flag or a virtual
-                    // clock advance is noticed promptly even without a
-                    // matching notify.
-                    let timeout = deadline
-                        .map(|d| d.saturating_sub(now))
-                        .unwrap_or(Duration::from_millis(50))
-                        .min(Duration::from_millis(50));
-                    let (guard, _) = self
-                        .wake
-                        .wait_timeout(queue, timeout.max(Duration::from_micros(100)))
-                        .expect("queue lock");
-                    queue = guard;
-                }
+                ShardPoll::Wait(_) => {} // parked; loop with fresh now
             }
         }
     }
 
-    /// Executes one released batch and fulfills its responses.
-    /// `released` is the clock reading at which the batcher released
-    /// the batch to this worker (stamped in the worker loop).
-    fn execute(&self, batch: Batch<Ticket>, released: Duration) {
-        let entry = self.registry.entry(batch.model);
-        let seeds: Vec<u64> = batch.requests.iter().map(|r| r.payload.seed).collect();
+    /// Executes one released batch on `shard`'s worker group — growing
+    /// it at layer boundaries when continuous batching is on — and
+    /// resolves every lane's response. `released` is the clock reading
+    /// at which the batch left its queue.
+    fn execute(&self, shard: usize, batch: Batch<Ticket>, stolen: bool, released: Duration) {
+        let entry = self.registries[shard].entry(batch.model);
+        let model = batch.model;
+        let cap = self.shards.cap(model);
+        let continuous = self.continuous && !self.shutdown.load(Ordering::Acquire);
+        let poison = self.inject_panic_seed;
+        let initial = batch.requests;
+        // Lanes admitted mid-flight live outside the unwind scope so a
+        // panic cannot lose them: whatever was pulled off the queue
+        // before the fault is still here for the retry pass.
+        let admitted: Mutex<Vec<BatchItem<Ticket>>> = Mutex::new(Vec::new());
+
         let started = self.clock.now();
-        let outputs = entry.infer_batch(&seeds);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if poison.is_some_and(|p| initial.iter().any(|r| r.payload.seed == p)) {
+                panic!("injected worker fault");
+            }
+            let seeds: Vec<u64> = initial.iter().map(|r| r.payload.seed).collect();
+            entry.infer_batch_continuous(
+                seeds,
+                |&s| s,
+                |boundary| {
+                    if !continuous {
+                        return Vec::new();
+                    }
+                    let free = cap.saturating_sub(boundary.lanes);
+                    if free == 0 {
+                        return Vec::new();
+                    }
+                    let joiners = self.shards.admit_into(model, free);
+                    if poison.is_some_and(|p| joiners.iter().any(|r| r.payload.seed == p)) {
+                        // Keep the fault observable even when the poisoned
+                        // request joins mid-flight.
+                        let mut lanes = admitted.lock().expect("admitted lanes");
+                        lanes.extend(joiners);
+                        panic!("injected worker fault");
+                    }
+                    let seeds: Vec<u64> = joiners.iter().map(|r| r.payload.seed).collect();
+                    admitted.lock().expect("admitted lanes").extend(joiners);
+                    seeds
+                },
+            )
+        }));
         let finished = self.clock.now();
 
+        // Lane order of `outcome` is initial-then-admitted — exactly
+        // how `run_layers_admitting` returns and how we rebuild the
+        // request list here.
+        let mut requests = initial;
+        requests.extend(admitted.into_inner().unwrap_or_else(|e| e.into_inner()));
+
+        match outcome {
+            Ok(lanes) => {
+                let outputs: Vec<InferOutput> =
+                    lanes.into_iter().map(|(_, output)| output).collect();
+                self.respond(shard, stolen, model, requests, outputs, released, started, finished)
+            }
+            Err(payload) => {
+                let reason = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_owned());
+                self.retry_solo(shard, stolen, model, requests, &reason, released);
+            }
+        }
+    }
+
+    /// The fault path: the batch's worker panicked, so every lane is
+    /// retried alone. Innocent lanes get their (bitwise-correct) solo
+    /// outputs; a lane that faults again — deterministically, for the
+    /// injected poison seed — resolves to an explicit [`RequestError`].
+    #[allow(clippy::too_many_arguments)]
+    fn retry_solo(
+        &self,
+        shard: usize,
+        stolen: bool,
+        model: usize,
+        requests: Vec<BatchItem<Ticket>>,
+        reason: &str,
+        released: Duration,
+    ) {
+        let entry = self.registries[shard].entry(model);
+        let mut served: Vec<(BatchItem<Ticket>, InferOutput)> = Vec::new();
+        let started = self.clock.now();
+        for request in requests {
+            let seed = request.payload.seed;
+            let retry = catch_unwind(AssertUnwindSafe(|| {
+                if self.inject_panic_seed == Some(seed) {
+                    panic!("injected worker fault (solo retry)");
+                }
+                entry.infer_one(seed)
+            }));
+            match retry {
+                Ok(output) => served.push((request, output)),
+                Err(_) => {
+                    self.metrics.record_failed(model, shard, 1);
+                    request.payload.slot.fulfill(Err(RequestError {
+                        model: entry.id().clone(),
+                        seed,
+                        reason: format!("batch worker fault, solo retry failed: {reason}"),
+                    }));
+                }
+            }
+        }
+        let finished = self.clock.now();
+        if !served.is_empty() {
+            let (requests, outputs): (Vec<_>, Vec<_>) = served.into_iter().unzip();
+            self.respond(shard, stolen, model, requests, outputs, released, started, finished);
+        }
+    }
+
+    /// Records metrics and traces for one executed lane set and
+    /// fulfills every response slot.
+    #[allow(clippy::too_many_arguments)]
+    fn respond(
+        &self,
+        shard: usize,
+        stolen: bool,
+        model: usize,
+        requests: Vec<BatchItem<Ticket>>,
+        outputs: Vec<InferOutput>,
+        released: Duration,
+        started: Duration,
+        finished: Duration,
+    ) {
+        let entry = self.registries[shard].entry(model);
         let waits: Vec<Duration> =
-            batch.requests.iter().map(|r| started.saturating_sub(r.enqueued_at)).collect();
+            requests.iter().map(|r| started.saturating_sub(r.enqueued_at)).collect();
         let latencies: Vec<Duration> =
-            batch.requests.iter().map(|r| finished.saturating_sub(r.enqueued_at)).collect();
-        let priorities: Vec<Priority> = batch.requests.iter().map(|r| r.priority).collect();
+            requests.iter().map(|r| finished.saturating_sub(r.enqueued_at)).collect();
+        let priorities: Vec<Priority> = requests.iter().map(|r| r.priority).collect();
         self.metrics.record_batch(
-            batch.model,
+            model,
+            shard,
+            stolen,
             finished.saturating_sub(started),
             &priorities,
             &waits,
@@ -285,7 +472,7 @@ impl Inner {
         // The `is_enabled` guard keeps the disabled path at one relaxed
         // load for the whole batch.
         if wino_obs::is_enabled() {
-            for request in &batch.requests {
+            for request in &requests {
                 let queued_label = format!("queued:{}", request.priority);
                 wino_obs::record_interval(
                     "serve.request",
@@ -302,7 +489,7 @@ impl Inner {
                     released,
                     started.saturating_sub(released),
                 );
-                let exec_label = format!("exec:{}", entry.id());
+                let exec_label = format!("exec:{}@shard{shard}", entry.id());
                 wino_obs::record_interval(
                     "serve.request",
                     &exec_label,
@@ -320,25 +507,25 @@ impl Inner {
             }
         }
 
-        let size = batch.requests.len();
+        let size = requests.len();
         for ((request, output), (&wait, &latency)) in
-            batch.requests.into_iter().zip(outputs).zip(waits.iter().zip(&latencies))
+            requests.into_iter().zip(outputs).zip(waits.iter().zip(&latencies))
         {
-            request.payload.slot.fulfill(InferResult {
+            request.payload.slot.fulfill(Ok(InferResult {
                 model: entry.id().clone(),
                 seed: request.payload.seed,
                 output,
                 queue_wait: wait,
                 latency,
                 batch_size: size,
-            });
+            }));
         }
     }
 }
 
-/// A running inference server: registry + batcher + worker pool +
-/// metrics. Construct with [`Server::start`], feed with
-/// [`Server::submit`], stop with [`Server::shutdown`] (or drop).
+/// A running inference server: sharded registries + batcher shards +
+/// worker groups + metrics. Construct with [`Server::start`], feed
+/// with [`Server::submit`], stop with [`Server::shutdown`] (or drop).
 pub struct Server {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
@@ -347,64 +534,89 @@ pub struct Server {
 impl fmt::Debug for Server {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Server")
-            .field("models", &self.inner.registry.len())
+            .field("models", &self.inner.registries[0].len())
+            .field("shards", &self.inner.shards.shard_count())
             .field("workers", &self.workers.len())
             .finish_non_exhaustive()
     }
 }
 
 impl Server {
-    /// Starts the worker pool over `registry` on the real monotonic
+    /// Starts the worker groups over `registry` on the real monotonic
     /// clock.
     pub fn start(registry: ModelRegistry, config: ServeConfig) -> Server {
         Server::with_clock(registry, config, Arc::new(SystemClock::new()))
     }
 
-    /// Starts the worker pool on an explicit clock — a
+    /// Starts the worker groups on an explicit clock — a
     /// [`VirtualClock`](crate::VirtualClock) makes latency accounting
     /// deterministic in tests. Note that with a clock nobody advances,
     /// a *partial* batch never comes due: pair a frozen clock with
     /// `max_wait == 0` (or always-full batches), or advance the clock
     /// from the test. Fully deterministic batching tests should drive
-    /// [`DynamicBatcher`] directly instead of a threaded server.
+    /// [`DynamicBatcher`](crate::DynamicBatcher) or
+    /// [`ShardSet`] directly instead of a threaded server.
     pub fn with_clock(
-        mut registry: ModelRegistry,
+        registry: ModelRegistry,
         config: ServeConfig,
         clock: Arc<dyn Clock>,
     ) -> Server {
-        // Bound total thread demand: `workers` batches execute
-        // concurrently, so each model's executor gets at most the
-        // per-worker budget (see `ServeConfig::exec_threads_per_worker`).
-        registry.clamp_exec_threads(config.worker_thread_budget());
-        let metrics = Metrics::new(registry.entries().iter().map(|e| e.id().to_string()).collect());
+        let shard_count = config.shards.max(1);
+        let workers_per_shard = config.workers.max(1);
+        // Bound total thread demand: `shards × workers` batches execute
+        // concurrently, so every shard's registry clone gets at most
+        // the per-worker budget (see
+        // `ServeConfig::exec_threads_per_worker`). Prepared kernel
+        // banks stay shared across clones (`Arc` runners), so the
+        // clones cost table space, not transform work.
+        let budget = config.worker_thread_budget();
+        let registries: Vec<ModelRegistry> = (0..shard_count)
+            .map(|_| {
+                let mut clone = registry.clone();
+                clone.clamp_exec_threads(budget);
+                clone
+            })
+            .collect();
+        let metrics = Metrics::new(
+            registries[0].entries().iter().map(|e| e.id().to_string()).collect(),
+            shard_count,
+        );
         // Per-model batch caps: never release more than a model's
         // schedule-declared batch dimension, whatever the policy says.
-        let caps = registry.entries().iter().map(|e| e.max_batch()).collect();
-        let queue = Mutex::new(DynamicBatcher::with_caps(caps, config.batch));
+        let caps = registries[0].entries().iter().map(|e| e.max_batch()).collect();
+        let shards = ShardSet::new(shard_count, caps, config.batch, config.steal);
         let inner = Arc::new(Inner {
-            registry,
+            registries,
             clock,
             slo: config.slo,
-            queue,
-            wake: Condvar::new(),
+            continuous: config.continuous,
+            inject_panic_seed: config.inject_panic_seed,
+            shards,
             metrics,
             shutdown: AtomicBool::new(false),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
+        let workers = (0..shard_count)
+            .flat_map(|shard| (0..workers_per_shard).map(move |i| (shard, i)))
+            .map(|(shard, i)| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("wino-serve-{i}"))
-                    .spawn(move || inner.worker_loop())
+                    .name(format!("wino-serve-{shard}-{i}"))
+                    .spawn(move || inner.worker_loop(shard))
                     .expect("spawn worker")
             })
             .collect();
         Server { inner, workers }
     }
 
-    /// The models being served.
+    /// The models being served (shard 0's clamped clone — all shards
+    /// serve the same roster).
     pub fn registry(&self) -> &ModelRegistry {
-        &self.inner.registry
+        &self.inner.registries[0]
+    }
+
+    /// Number of executor shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.shard_count()
     }
 
     /// Submits one single-image request for `model` at `priority`.
@@ -416,7 +628,7 @@ impl Server {
     /// Returns [`AdmissionError`] when the request is refused — unknown
     /// model, bounded queue full, the SLO test failing, or shutdown in
     /// progress. Refusal is the *only* loss mode: an `Ok` here
-    /// guarantees a response.
+    /// guarantees a resolution through the handle.
     pub fn submit(
         &self,
         model: &ModelId,
@@ -424,39 +636,44 @@ impl Server {
         seed: u64,
     ) -> Result<ResponseHandle, AdmissionError> {
         let inner = &self.inner;
-        let Some(index) = inner.registry.index_of(model) else {
+        let Some(index) = inner.registries[0].index_of(model) else {
             return Err(AdmissionError::UnknownModel(model.to_string()));
         };
         let slot = Arc::new(ResponseSlot::default());
         let ticket = Ticket { seed, slot: Arc::clone(&slot) };
-        let mut queue = inner.queue.lock().expect("queue lock");
-        // Shutdown is checked *under the queue lock*: the workers'
-        // exit decision (shutdown && drained) is made under this same
-        // lock, so nothing can be admitted after the pool has decided
-        // to stop — the no-orphaned-ticket half of "an Ok here
-        // guarantees a response".
-        if inner.shutdown.load(Ordering::Acquire) {
-            return Err(AdmissionError::ShuttingDown);
-        }
-        // SLO admission test: refuse when the backlog alone already
-        // implies blowing the objective.
-        if let (Some(slo), Some(per_image)) = (inner.slo, inner.metrics.estimated_image_time(index))
-        {
-            let estimated = per_image * (queue.queued(index) as u32 + 1);
-            if estimated > slo {
-                drop(queue);
-                inner.metrics.record_rejected(index);
-                return Err(AdmissionError::SloUnattainable {
-                    model: model.clone(),
-                    estimated,
-                    slo,
-                });
-            }
-        }
         let now = inner.clock.now();
-        match queue.submit(index, priority, ticket, now) {
+        // Admission decisions happen *under the home shard's lock*:
+        // the workers' exit decision (shutdown && every shard drained)
+        // acquires this same lock, so nothing can be admitted after
+        // the pool has decided to stop — the no-orphaned-ticket half
+        // of "an Ok here guarantees a resolution".
+        let decision = inner.shards.with_home(index, |queue| {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return Err(AdmissionError::ShuttingDown);
+            }
+            // SLO admission test: refuse when the backlog alone
+            // already implies blowing the objective.
+            if let (Some(slo), Some(per_image)) =
+                (inner.slo, inner.metrics.estimated_image_time(index))
+            {
+                let estimated = per_image * (queue.queued(index) as u32 + 1);
+                if estimated > slo {
+                    return Err(AdmissionError::SloUnattainable {
+                        model: model.clone(),
+                        estimated,
+                        slo,
+                    });
+                }
+            }
+            match queue.submit(index, priority, ticket, now) {
+                Ok(seq) => Ok(seq),
+                Err(SubmitError::QueueFull { capacity, .. }) => {
+                    Err(AdmissionError::QueueFull { model: model.clone(), capacity })
+                }
+            }
+        });
+        match decision {
             Ok(seq) => {
-                drop(queue);
                 // Admission event: anchors the request's lifecycle
                 // trace (same id as the queued/batch-wait/exec/
                 // completed intervals the worker emits).
@@ -464,13 +681,17 @@ impl Server {
                     let label = format!("admitted:{priority}");
                     wino_obs::record_interval("serve.request", &label, seq, now, Duration::ZERO);
                 }
-                inner.wake.notify_one();
+                inner.shards.notify(inner.shards.home(index));
                 Ok(ResponseHandle { slot })
             }
-            Err(SubmitError::QueueFull { capacity, .. }) => {
-                drop(queue);
-                inner.metrics.record_rejected(index);
-                Err(AdmissionError::QueueFull { model: model.clone(), capacity })
+            Err(err) => {
+                if matches!(
+                    err,
+                    AdmissionError::QueueFull { .. } | AdmissionError::SloUnattainable { .. }
+                ) {
+                    inner.metrics.record_rejected(index);
+                }
+                Err(err)
             }
         }
     }
@@ -480,14 +701,15 @@ impl Server {
         self.inner.metrics.snapshot(self.inner.clock.now())
     }
 
-    /// Requests currently queued (admitted, not yet executing).
+    /// Requests currently queued (admitted, not yet executing), across
+    /// every shard.
     pub fn queued(&self) -> usize {
-        self.inner.queue.lock().expect("queue lock").total_queued()
+        self.inner.shards.total_queued()
     }
 
-    /// Stops accepting work, drains every admitted request, joins the
-    /// pool, and returns the final metrics. Dropping the server does
-    /// the same minus the snapshot.
+    /// Stops accepting work, resolves every admitted request, joins
+    /// every worker group, and returns the final metrics. Dropping the
+    /// server does the same minus the snapshot.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.stop();
         self.metrics()
@@ -495,7 +717,7 @@ impl Server {
 
     fn stop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.wake.notify_all();
+        self.inner.shards.notify_all();
         for handle in self.workers.drain(..) {
             handle.join().expect("worker panicked");
         }
@@ -524,16 +746,29 @@ mod tests {
         registry
     }
 
+    /// Two toy models so a 2-shard server routes them to different
+    /// shards.
+    fn two_model_registry(max_batch: usize) -> ModelRegistry {
+        let mut registry = ModelRegistry::new();
+        for name in ["toy-a", "toy-b"] {
+            let mut wl = Workload::new(name, max_batch);
+            wl.push("a", "G", ConvShape::same_padded(6, 6, 1, 2, 3));
+            wl.push("b", "G", ConvShape { h: 6, w: 6, c: 2, k: 2, r: 3, stride: 2, pad: 1 });
+            let schedule = Schedule::homogeneous(&wl, 2).unwrap();
+            registry.register(name, wl, schedule, ExecConfig::with_threads(1), 3).unwrap();
+        }
+        registry
+    }
+
     fn quick_config() -> ServeConfig {
         ServeConfig {
             workers: 2,
-            exec_threads_per_worker: None,
             batch: BatchConfig {
                 max_batch: 4,
                 max_wait: Duration::from_micros(200),
                 queue_capacity: 64,
             },
-            slo: None,
+            ..ServeConfig::default()
         }
     }
 
@@ -543,7 +778,7 @@ mod tests {
         let direct = registry.entry(0).infer_one(99);
         let server = Server::start(registry, quick_config());
         let handle = server.submit(&"toy".into(), Priority::Normal, 99).expect("admitted");
-        let result = handle.wait();
+        let result = handle.wait().expect("served");
         assert_eq!(result.output, direct, "served == direct, bitwise");
         assert_eq!(result.seed, 99);
         assert!(result.batch_size >= 1);
@@ -552,12 +787,41 @@ mod tests {
     }
 
     #[test]
+    fn sharded_server_serves_bitwise_across_models_and_shards() {
+        let registry = two_model_registry(4);
+        let direct_a = registry.entry(0).infer_one(5);
+        let direct_b = registry.entry(1).infer_one(6);
+        let server = Server::start(
+            two_model_registry(4),
+            ServeConfig {
+                shards: 2,
+                workers: 1,
+                exec_threads_per_worker: Some(1),
+                batch: BatchConfig {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(200),
+                    queue_capacity: 64,
+                },
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(server.shard_count(), 2);
+        let ha = server.submit(&"toy-a".into(), Priority::Normal, 5).expect("admitted");
+        let hb = server.submit(&"toy-b".into(), Priority::High, 6).expect("admitted");
+        assert_eq!(ha.wait().expect("served").output, direct_a);
+        assert_eq!(hb.wait().expect("served").output, direct_b);
+        let snap = server.shutdown();
+        assert_eq!(snap.total_completed(), 2);
+        assert_eq!(snap.per_shard.len(), 2);
+        assert_eq!(snap.per_shard.iter().map(|s| s.completed).sum::<u64>(), 2);
+    }
+
+    #[test]
     fn every_admitted_request_is_answered_even_through_shutdown() {
         let server = Server::start(
             tiny_registry(4),
             ServeConfig {
                 workers: 1,
-                exec_threads_per_worker: None,
                 // An hour-long max_wait: only shutdown's drain (or a
                 // full batch) can release these.
                 batch: BatchConfig {
@@ -565,7 +829,7 @@ mod tests {
                     max_wait: Duration::from_secs(3600),
                     queue_capacity: 64,
                 },
-                slo: None,
+                ..ServeConfig::default()
             },
         );
         let handles: Vec<_> = (0..5u64)
@@ -574,7 +838,7 @@ mod tests {
         let snap = server.shutdown();
         assert_eq!(snap.total_completed(), 5, "drain served everything");
         for (seed, h) in handles.iter().enumerate() {
-            let result = h.try_take().expect("response delivered");
+            let result = h.try_take().expect("resolved").expect("served");
             assert_eq!(result.seed, seed as u64);
         }
     }
@@ -598,13 +862,12 @@ mod tests {
             tiny_registry(2),
             ServeConfig {
                 workers: 1,
-                exec_threads_per_worker: None,
                 batch: BatchConfig {
                     max_batch: 64,
                     max_wait: Duration::from_secs(3600),
                     queue_capacity: 2,
                 },
-                slo: None,
+                ..ServeConfig::default()
             },
         );
         let _a = server.submit(&"toy".into(), Priority::Normal, 1).expect("admitted");
@@ -625,14 +888,13 @@ mod tests {
         let clock = Arc::new(VirtualClock::new());
         let config = ServeConfig {
             workers: 1,
-            exec_threads_per_worker: None,
             batch: BatchConfig { max_batch: 4, max_wait: Duration::ZERO, queue_capacity: 16 },
-            slo: None,
+            ..ServeConfig::default()
         };
         let server =
             Server::with_clock(tiny_registry(2), config, Arc::clone(&clock) as Arc<dyn Clock>);
         let h = server.submit(&"toy".into(), Priority::High, 7).expect("admitted");
-        let result = h.wait();
+        let result = h.wait().expect("served");
         assert_eq!(result.queue_wait, Duration::ZERO);
         assert_eq!(result.latency, Duration::ZERO);
         let snap = server.shutdown();
@@ -650,12 +912,8 @@ mod tests {
         let schedule = Schedule::homogeneous(&wl, 2).unwrap();
         let mut registry = ModelRegistry::new();
         registry.register("greedy", wl, schedule, ExecConfig::with_threads(64), 3).unwrap();
-        let config = ServeConfig {
-            workers: 4,
-            exec_threads_per_worker: Some(2),
-            batch: BatchConfig::default(),
-            slo: None,
-        };
+        let config =
+            ServeConfig { workers: 4, exec_threads_per_worker: Some(2), ..ServeConfig::default() };
         assert_eq!(config.worker_thread_budget(), 2);
         let server = Server::start(registry, config);
         for entry in server.registry().entries() {
@@ -668,13 +926,17 @@ mod tests {
         }
         // The clamped server still serves correctly.
         let direct = server.registry().entry(0).infer_one(5);
-        let got = server.submit(&"greedy".into(), Priority::Normal, 5).expect("admitted").wait();
+        let got = server
+            .submit(&"greedy".into(), Priority::Normal, 5)
+            .expect("admitted")
+            .wait()
+            .expect("served");
         assert_eq!(got.output, direct);
         server.shutdown();
 
-        // The automatic budget divides the machine across the pool and
-        // never rounds to zero, even with more workers than cores.
-        let auto = ServeConfig { workers: 1024, ..ServeConfig::default() };
+        // The automatic budget divides the machine across all shards'
+        // workers and never rounds to zero, even when oversubscribed.
+        let auto = ServeConfig { shards: 32, workers: 32, ..ServeConfig::default() };
         assert!(auto.worker_thread_budget() >= 1);
     }
 
@@ -691,7 +953,6 @@ mod tests {
             registry,
             ServeConfig {
                 workers: 1,
-                exec_threads_per_worker: None,
                 batch: BatchConfig {
                     max_batch: 4,
                     max_wait: Duration::from_micros(100),
@@ -700,16 +961,49 @@ mod tests {
                 // Nanosecond SLO: once any batch has completed (so a
                 // service-time estimate exists), everything sheds.
                 slo: Some(Duration::from_nanos(1)),
+                ..ServeConfig::default()
             },
         );
         // First request: no estimate yet, admitted; wait for it so the
         // EWMA is primed.
         let h = server.submit(&"toy".into(), Priority::Normal, 1).expect("admitted");
-        let _ = h.wait();
+        let _ = h.wait().expect("served");
         // Estimate now exists (a real convolution takes far over 1 ns
         // per image), so even an empty queue estimates over the SLO.
         let err = server.submit(&"toy".into(), Priority::Normal, 2).unwrap_err();
         assert!(matches!(err, AdmissionError::SloUnattainable { .. }), "{err}");
         assert!(err.to_string().contains("SLO"));
+    }
+
+    #[test]
+    fn injected_worker_fault_fails_only_the_poisoned_request() {
+        // Seed 13 is poisoned: the worker panics on its batch, retries
+        // every lane solo, and only seed 13 resolves to an error. The
+        // innocent co-batched request is still served bitwise.
+        let registry = tiny_registry(4);
+        let direct = registry.entry(0).infer_one(7);
+        let server = Server::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                batch: BatchConfig {
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(5),
+                    queue_capacity: 64,
+                },
+                inject_panic_seed: Some(13),
+                ..ServeConfig::default()
+            },
+        );
+        let poisoned = server.submit(&"toy".into(), Priority::Normal, 13).expect("admitted");
+        let innocent = server.submit(&"toy".into(), Priority::Normal, 7).expect("admitted");
+        let err = poisoned.wait().expect_err("poisoned seed must fail explicitly");
+        assert_eq!(err.seed, 13);
+        assert!(err.to_string().contains("fault"), "{err}");
+        let ok = innocent.wait().expect("innocent lane survives the fault");
+        assert_eq!(ok.output, direct, "solo retry is bitwise-correct");
+        let snap = server.shutdown();
+        assert_eq!(snap.total_failed(), 1);
+        assert_eq!(snap.per_model[0].failed, 1);
     }
 }

@@ -1,0 +1,374 @@
+//! Executor sharding: many [`DynamicBatcher`]s behind one dispatcher,
+//! with opportunistic work stealing between them.
+//!
+//! One global batcher behind one mutex was the right shape for a
+//! handful of workers; at production scale every submit and every poll
+//! serializes on that lock. A [`ShardSet`] splits the queue state into
+//! `S` independent shards, each its own `Mutex<DynamicBatcher>` +
+//! `Condvar`, and routes every model to a fixed **home shard**
+//! (`model % S`). The sharding invariants:
+//!
+//! * **FIFO is preserved** — all of a model's requests live on its home
+//!   shard, in the home batcher's per-class FIFO queues. Stealing moves
+//!   only *released batches* (the batcher has already fixed their
+//!   contents and order), never queued requests, so no interleaving of
+//!   steals can reorder two same-class requests of one model.
+//! * **Sequence numbers stay globally unique** — shard `i` numbers its
+//!   submissions `i, i+S, i+2S, …` ([`DynamicBatcher::with_seq`]), so
+//!   per-shard numbering needs no cross-shard coordination yet never
+//!   collides.
+//! * **Stealing is pure scheduling** — a stolen batch executes on a
+//!   different worker group, which cannot change its bits: engine
+//!   outputs are thread-count-invariant and batch composition was fixed
+//!   at release. The shard-invariance proptests pin exactly this.
+//!
+//! The set is deliberately usable two ways: single-threaded and
+//! deterministic through [`poll_at`](ShardSet::poll_at) (how the
+//! proptests replay arbitrary steal schedules under a
+//! [`VirtualClock`](crate::VirtualClock)), or concurrently through
+//! [`poll_or_park`](ShardSet::poll_or_park) (how
+//! [`Server`](crate::Server) worker groups wait for work).
+
+use crate::{Batch, BatchConfig, BatchItem, DynamicBatcher, Poll, Priority, SubmitError};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Outcome of polling a shard, distinguishing where the batch came
+/// from so metrics can count steals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPoll<T> {
+    /// A batch is due. `from` is the shard it was released from —
+    /// equal to the polled shard for home work, different for a steal.
+    Ready {
+        /// The released batch.
+        batch: Batch<T>,
+        /// The shard whose queue released it.
+        from: usize,
+    },
+    /// Nothing is due on the polled shard (or, with stealing, on any
+    /// shard). The payload is the earliest deadline at which queued
+    /// work becomes due — across every shard the poll was allowed to
+    /// look at — or `None` when all of them are empty.
+    Wait(Option<Duration>),
+}
+
+struct Shard<T> {
+    queue: Mutex<DynamicBatcher<T>>,
+    /// Signaled on submits routed to this shard and on shutdown.
+    wake: Condvar,
+}
+
+/// `S` independent [`DynamicBatcher`] shards with home routing, work
+/// stealing, and per-shard parking — the dispatcher behind a sharded
+/// [`Server`](crate::Server).
+pub struct ShardSet<T> {
+    shards: Vec<Shard<T>>,
+    steal: bool,
+}
+
+impl<T> ShardSet<T> {
+    /// Builds `shard_count` shards, each a full batcher over the same
+    /// models (`caps`, `config` — see [`DynamicBatcher::with_caps`])
+    /// with a collision-free sequence stride. `steal` enables the
+    /// cross-shard scan in [`poll_at`](Self::poll_at) /
+    /// [`poll_or_park`](Self::poll_or_park).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count` is zero or `config` fails
+    /// [`BatchConfig::validate`].
+    pub fn new(shard_count: usize, caps: Vec<usize>, config: BatchConfig, steal: bool) -> Self {
+        assert!(shard_count > 0, "at least one shard is required");
+        let shards = (0..shard_count)
+            .map(|i| Shard {
+                queue: Mutex::new(
+                    DynamicBatcher::with_caps(caps.clone(), config)
+                        .with_seq(i as u64, shard_count as u64),
+                ),
+                wake: Condvar::new(),
+            })
+            .collect();
+        ShardSet { shards, steal }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether cross-shard stealing is enabled.
+    pub fn steals(&self) -> bool {
+        self.steal
+    }
+
+    /// The home shard of `model`: all of the model's requests queue
+    /// here, which is what keeps per-class FIFO order a single-queue
+    /// property even with many shards.
+    pub fn home(&self, model: usize) -> usize {
+        model % self.shards.len()
+    }
+
+    fn lock(&self, shard: usize) -> MutexGuard<'_, DynamicBatcher<T>> {
+        self.shards[shard].queue.lock().expect("shard lock")
+    }
+
+    /// Runs `f` under `model`'s home-shard lock — the hook admission
+    /// control uses to make its refuse/admit decision and the enqueue
+    /// atomic (SLO checks read the home queue depth; the shutdown flag
+    /// must be checked under the same lock the drain decision uses).
+    pub fn with_home<R>(&self, model: usize, f: impl FnOnce(&mut DynamicBatcher<T>) -> R) -> R {
+        f(&mut self.lock(self.home(model)))
+    }
+
+    /// Enqueues a request on `model`'s home shard and wakes one of the
+    /// shard's parked workers. See [`DynamicBatcher::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when the home queue is at
+    /// capacity.
+    pub fn submit(
+        &self,
+        model: usize,
+        priority: Priority,
+        payload: T,
+        now: Duration,
+    ) -> Result<u64, SubmitError> {
+        let home = self.home(model);
+        let seq = self.lock(home).submit(model, priority, payload, now)?;
+        self.shards[home].wake.notify_one();
+        Ok(seq)
+    }
+
+    /// Wakes one worker parked on `shard` (submit-side notification
+    /// when the caller enqueued through [`with_home`](Self::with_home)).
+    pub fn notify(&self, shard: usize) {
+        self.shards[shard].wake.notify_one();
+    }
+
+    /// Wakes every worker on every shard — the shutdown broadcast.
+    pub fn notify_all(&self) {
+        for shard in &self.shards {
+            shard.wake.notify_all();
+        }
+    }
+
+    /// Polls `shard` for a due batch at `now`; with stealing enabled
+    /// and the home queue quiet, scans the other shards (in
+    /// `shard+1, shard+2, …` wraparound order, deterministically) and
+    /// takes the first due batch found there. Never blocks — the
+    /// deterministic entry point the proptests replay schedules
+    /// through.
+    pub fn poll_at(&self, shard: usize, now: Duration) -> ShardPoll<T> {
+        let mut hint = match self.lock(shard).poll(now) {
+            Poll::Ready(batch) => return ShardPoll::Ready { batch, from: shard },
+            Poll::Wait(hint) => hint,
+        };
+        if self.steal {
+            let count = self.shards.len();
+            for step in 1..count {
+                let other = (shard + step) % count;
+                match self.lock(other).poll(now) {
+                    Poll::Ready(batch) => return ShardPoll::Ready { batch, from: other },
+                    Poll::Wait(other_hint) => {
+                        if let Some(d) = other_hint {
+                            hint = Some(hint.map_or(d, |h: Duration| h.min(d)));
+                        }
+                    }
+                }
+            }
+        }
+        ShardPoll::Wait(hint)
+    }
+
+    /// [`poll_at`](Self::poll_at), then — when nothing is due anywhere
+    /// it may look — parks on `shard`'s condvar until the earliest
+    /// known deadline, a submit notification, or `cap`, whichever is
+    /// first. The home queue is re-polled *under the lock* before
+    /// parking, closing the race where a submit lands (and notifies)
+    /// between the steal scan and the park. Returns `Wait` after
+    /// waking; callers loop with a fresh `now`.
+    pub fn poll_or_park(&self, shard: usize, now: Duration, cap: Duration) -> ShardPoll<T> {
+        let hint = match self.poll_at(shard, now) {
+            ready @ ShardPoll::Ready { .. } => return ready,
+            ShardPoll::Wait(hint) => hint,
+        };
+        let mut guard = self.lock(shard);
+        if let Poll::Ready(batch) = guard.poll(now) {
+            return ShardPoll::Ready { batch, from: shard };
+        }
+        let timeout = hint.map(|d| d.saturating_sub(now)).unwrap_or(cap).min(cap);
+        let _unparked = self.shards[shard]
+            .wake
+            .wait_timeout(guard, timeout.max(Duration::from_micros(100)))
+            .expect("shard lock");
+        ShardPoll::Wait(hint)
+    }
+
+    /// Pops up to `limit` queued requests for `model` from its home
+    /// shard in release order — the continuous-batching admission path
+    /// (see [`DynamicBatcher::take_for_model`]): a worker mid-batch at
+    /// a layer boundary calls this to fill its free lanes with
+    /// requests that arrived after the batch released.
+    pub fn admit_into(&self, model: usize, limit: usize) -> Vec<BatchItem<T>> {
+        self.with_home(model, |q| q.take_for_model(model, limit))
+    }
+
+    /// Releases one batch from the first non-empty shard regardless of
+    /// deadlines — the shutdown drain loop's step. Returns `None` only
+    /// when every shard is empty.
+    pub fn drain_one(&self) -> Option<Batch<T>> {
+        (0..self.shards.len()).find_map(|s| self.lock(s).pop_any())
+    }
+
+    /// Requests queued for `model` (on its home shard).
+    pub fn queued(&self, model: usize) -> usize {
+        self.with_home(model, |q| q.queued(model))
+    }
+
+    /// The effective batch cap of `model` (identical on every shard).
+    pub fn cap(&self, model: usize) -> usize {
+        self.with_home(model, |q| q.cap(model))
+    }
+
+    /// Requests queued across every shard.
+    pub fn total_queued(&self) -> usize {
+        (0..self.shards.len()).map(|s| self.lock(s).total_queued()).sum()
+    }
+
+    /// `true` when nothing is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.total_queued() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for ShardSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.shards.len())
+            .field("steal", &self.steal)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    fn config(max_batch: usize, max_wait_ms: u64, cap: usize) -> BatchConfig {
+        BatchConfig { max_batch, max_wait: Duration::from_millis(max_wait_ms), queue_capacity: cap }
+    }
+
+    /// 4 models over 3 shards, cap 4 each.
+    fn set(steal: bool) -> ShardSet<u64> {
+        ShardSet::new(3, vec![4; 4], config(4, 5, 16), steal)
+    }
+
+    #[test]
+    fn models_route_to_fixed_home_shards() {
+        let s = set(true);
+        assert_eq!(s.shard_count(), 3);
+        assert_eq!((s.home(0), s.home(1), s.home(2), s.home(3)), (0, 1, 2, 0));
+    }
+
+    #[test]
+    fn seqs_are_globally_unique_and_monotone_per_shard() {
+        let s = set(true);
+        let mut seqs = Vec::new();
+        for model in 0..4 {
+            for i in 0..3u64 {
+                seqs.push(s.submit(model, Priority::Normal, i, at(0)).unwrap());
+            }
+        }
+        let mut deduped = seqs.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), seqs.len(), "no seq collision across shards: {seqs:?}");
+        // Models 0 and 3 share shard 0: their merged submission order
+        // is strictly increasing (one shard, one counter).
+        let shard0: Vec<u64> = seqs[0..3].iter().chain(&seqs[9..12]).copied().collect();
+        assert!(shard0.windows(2).all(|w| w[0] < w[1]), "{shard0:?}");
+    }
+
+    #[test]
+    fn idle_shard_steals_a_due_batch_and_reports_its_origin() {
+        let s = set(true);
+        // Model 1 lives on shard 1; shard 0 is idle.
+        for i in 0..4u64 {
+            s.submit(1, Priority::Normal, i, at(0)).unwrap();
+        }
+        match s.poll_at(0, at(0)) {
+            ShardPoll::Ready { batch, from } => {
+                assert_eq!(from, 1, "stolen from the home shard");
+                assert_eq!(batch.model, 1);
+                assert_eq!(batch.requests.len(), 4);
+                let order: Vec<u64> = batch.requests.iter().map(|r| r.payload).collect();
+                assert_eq!(order, [0, 1, 2, 3], "stealing cannot reorder");
+            }
+            other => panic!("expected a steal, got {other:?}"),
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stealing_disabled_leaves_remote_work_alone() {
+        let s = set(false);
+        for i in 0..4u64 {
+            s.submit(1, Priority::Normal, i, at(0)).unwrap();
+        }
+        assert!(matches!(s.poll_at(0, at(0)), ShardPoll::Wait(None)));
+        // The home shard still releases it.
+        assert!(matches!(s.poll_at(1, at(0)), ShardPoll::Ready { from: 1, .. }));
+    }
+
+    #[test]
+    fn wait_hint_covers_stealable_deadlines() {
+        let s = set(true);
+        // A lone request on shard 2, due at 3 + 5 = 8 ms.
+        s.submit(2, Priority::Normal, 9, at(3)).unwrap();
+        match s.poll_at(0, at(4)) {
+            ShardPoll::Wait(Some(deadline)) => assert_eq!(deadline, at(8)),
+            other => panic!("expected a deadline hint, got {other:?}"),
+        }
+        // Without stealing, shard 0 knows nothing about shard 2.
+        let s = set(false);
+        s.submit(2, Priority::Normal, 9, at(3)).unwrap();
+        assert!(matches!(s.poll_at(0, at(4)), ShardPoll::Wait(None)));
+    }
+
+    #[test]
+    fn admit_into_pulls_from_the_home_queue_in_release_order() {
+        let s = set(true);
+        s.submit(0, Priority::Low, 30, at(0)).unwrap();
+        s.submit(0, Priority::High, 10, at(1)).unwrap();
+        s.submit(0, Priority::Normal, 20, at(1)).unwrap();
+        let taken: Vec<u64> = s.admit_into(0, 2).iter().map(|r| r.payload).collect();
+        assert_eq!(taken, [30, 10], "oldest first, then class order");
+        assert_eq!(s.queued(0), 1);
+    }
+
+    #[test]
+    fn drain_one_empties_every_shard_for_shutdown() {
+        let s = set(true);
+        for model in 0..4 {
+            s.submit(model, Priority::Normal, model as u64, at(0)).unwrap();
+        }
+        assert_eq!(s.total_queued(), 4);
+        let mut drained = 0;
+        while let Some(batch) = s.drain_one() {
+            drained += batch.requests.len();
+        }
+        assert_eq!(drained, 4);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardSet::<u64>::new(0, vec![4], config(4, 5, 16), true);
+    }
+}

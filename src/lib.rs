@@ -18,7 +18,8 @@
 //! saturating fixed-point arithmetic of the quantization study — that
 //! turns search results into runnable, oracle-verified schedules, and
 //! `wino-serve`, a multi-tenant serving subsystem (model registry,
-//! dynamic batcher, SLO-aware admission, worker pool, latency metrics)
+//! dynamic batcher, SLO-aware admission, sharded worker groups with
+//! work stealing and continuous batching, per-shard latency metrics)
 //! that puts a request path in front of the execution engine, and
 //! `wino-obs`, a dependency-free, zero-cost-when-disabled
 //! observability layer (tracing spans, phase-level profiling,
@@ -133,8 +134,8 @@ pub mod prelude {
     };
     pub use wino_serve::{
         AdmissionError, BatchConfig, ClassWaitSnapshot, Clock, DynamicBatcher, InferOutput,
-        InferResult, MetricsSnapshot, ModelEntry, ModelId, ModelRegistry, Priority, ResponseHandle,
-        ServeConfig, Server, SystemClock, VirtualClock,
+        InferResult, MetricsSnapshot, ModelEntry, ModelId, ModelRegistry, Priority, RequestError,
+        ResponseHandle, ServeConfig, Server, ShardPoll, ShardSet, SystemClock, VirtualClock,
     };
     pub use wino_tensor::{
         ratio, ErrorStats, Fixed, Ratio, Scalar, Shape4, SplitMix64, Tensor2, Tensor4,
