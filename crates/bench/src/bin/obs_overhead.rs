@@ -8,10 +8,15 @@
 //! (56×56, 128 → 128 channels, 3×3 kernels), single-threaded so span
 //! bookkeeping has nowhere to hide:
 //!
-//! * **enabled overhead ≤ [`MAX_ENABLED_RATIO`]** — best-of-N
-//!   `PreparedWinograd::execute` wall time with global tracing on and
-//!   an [`AggregatingProfiler`] attached, divided by the same
-//!   best-of-N with tracing off, for m ∈ {2, 4};
+//! * **enabled overhead ≤ [`MAX_ENABLED_RATIO`]** — the ratio of
+//!   median `PreparedWinograd::execute` wall times over [`REPS`]
+//!   *interleaved* off/on trial pairs (tracing enabled with an
+//!   [`AggregatingProfiler`] attached for every "on" sample), for
+//!   m ∈ {2, 4}. Interleaving makes the two medians see the same
+//!   drift — thermal, scheduler, frequency — instead of comparing a
+//!   cold block against a warm one, and the per-mode spreads
+//!   ((max − min) / median) are recorded alongside so a noisy run is
+//!   visible in the artifact rather than folded into the ratio;
 //! * **disabled cost statistically indistinguishable from baseline**
 //!   — "indistinguishable" is argued arithmetically, not by trying to
 //!   resolve sub-noise wall-clock deltas: a microbenchmark times the
@@ -51,15 +56,17 @@ const MAX_DISABLED_FRACTION: f64 = 0.10;
 /// pack/multiply/inverse phases must explain.
 const MIN_PHASE_COVERAGE: f64 = 0.90;
 
-/// Timed repetitions per configuration (best-of, to shed scheduler
-/// noise the same way `speedup` does).
-const REPS: usize = 5;
+/// Interleaved off/on trial pairs per configuration. Odd, so the
+/// median is a single sample rather than an interpolation.
+const REPS: usize = 9;
 
 struct OverheadRow {
     engine: String,
     off_ms: f64,
     on_ms: f64,
     ratio: f64,
+    off_spread: f64,
+    on_spread: f64,
     spans_per_execute: usize,
 }
 
@@ -70,14 +77,21 @@ struct CoverageRow {
     coverage: f64,
 }
 
-fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
-    }
-    best
+fn time_once(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Sorts in place and returns the median sample.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Relative spread of a *sorted* sample set: (max − min) / median.
+fn spread(sorted: &[f64]) -> f64 {
+    (sorted[sorted.len() - 1] - sorted[0]) / sorted[sorted.len() / 2]
 }
 
 /// Per-call cost of the disabled `Span::enter` + drop path, in
@@ -105,7 +119,7 @@ fn main() {
     let kernels = Tensor4::from_fn(Shape4 { n: shape.k, c: shape.c, h: 3, w: 3 }, |_, _, _, _| {
         rng.uniform_f32(-1.0, 1.0)
     });
-    println!("layer: conv3-shaped {shape}, 1 thread, best-of-{REPS}\n");
+    println!("layer: conv3-shaped {shape}, 1 thread, median of {REPS} interleaved off/on pairs\n");
 
     // --- enabled vs disabled execute wall time, plus the profile tree ---
     let profiler = Arc::new(AggregatingProfiler::new());
@@ -116,40 +130,52 @@ fn main() {
         let bank = PreparedWinograd::new(params, &kernels).expect("bank prepares");
 
         assert!(!wino_obs::is_enabled(), "bench starts with tracing off");
-        let off_ms = best_of(REPS, || {
-            black_box(bank.execute(&input, shape.pad, 1));
-        });
-        // A second disabled pass estimates the run-to-run noise floor
-        // the disabled-span cost must disappear under.
-        let off2_ms = best_of(REPS, || {
-            black_box(bank.execute(&input, shape.pad, 1));
-        });
-        noise = noise.max((off_ms - off2_ms).abs() / off_ms.min(off2_ms));
-
         // Span census: how many spans does one execute actually open?
-        // (collect() is thread-local, so this run is untimed.)
+        // (collect() is thread-local, so this run is untimed; it also
+        // warms caches and the allocator before the timed pairs.)
         let (_, spans) = wino_obs::collect(|| bank.execute(&input, shape.pad, 1));
         let spans_per_execute = spans.len();
 
-        wino_obs::set_recorder(profiler.clone());
-        wino_obs::enable();
-        let on_ms = best_of(REPS, || {
-            black_box(bank.execute(&input, shape.pad, 1));
-        });
-        wino_obs::disable();
-        wino_obs::clear_recorder();
+        // Interleaved off/on pairs: each trial measures one disabled
+        // and one enabled execute back to back, so slow drift lands on
+        // both sides of the ratio instead of on whichever mode ran
+        // last.
+        let mut off_samples = Vec::with_capacity(REPS);
+        let mut on_samples = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            off_samples.push(time_once(|| {
+                black_box(bank.execute(&input, shape.pad, 1));
+            }));
+            wino_obs::set_recorder(profiler.clone());
+            wino_obs::enable();
+            on_samples.push(time_once(|| {
+                black_box(bank.execute(&input, shape.pad, 1));
+            }));
+            wino_obs::disable();
+            wino_obs::clear_recorder();
+        }
+        let off_ms = median(&mut off_samples);
+        let on_ms = median(&mut on_samples);
+        let off_spread = spread(&off_samples);
+        let on_spread = spread(&on_samples);
+        // The disabled-span cost must disappear under the off path's
+        // own run-to-run spread.
+        noise = noise.max(off_spread);
 
-        let ratio = on_ms / off_ms.min(off2_ms);
+        let ratio = on_ms / off_ms;
         println!(
-            "{params}: off {:.3} ms, on {on_ms:.3} ms -> ratio {ratio:.4} \
-             ({spans_per_execute} spans/execute)",
-            off_ms.min(off2_ms)
+            "{params}: off {off_ms:.3} ms (±{:.1}%), on {on_ms:.3} ms (±{:.1}%) -> \
+             ratio {ratio:.4} ({spans_per_execute} spans/execute)",
+            off_spread * 100.0,
+            on_spread * 100.0
         );
         rows.push(OverheadRow {
             engine: params.to_string(),
-            off_ms: off_ms.min(off2_ms),
+            off_ms,
             on_ms,
             ratio,
+            off_spread,
+            on_spread,
             spans_per_execute,
         });
     }
@@ -203,17 +229,20 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         overhead.push_str(&format!(
             "      {{\"engine\": \"{}\", \"off_ms\": {:.3}, \"on_ms\": {:.3}, \
-             \"ratio\": {:.4}, \"spans_per_execute\": {}}}{}\n",
+             \"ratio\": {:.4}, \"off_spread\": {:.4}, \"on_spread\": {:.4}, \
+             \"spans_per_execute\": {}}}{}\n",
             r.engine,
             r.off_ms,
             r.on_ms,
             r.ratio,
+            r.off_spread,
+            r.on_spread,
             r.spans_per_execute,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     overhead.push_str(&format!(
-        "    ],\n    \"disabled_span_ns\": {span_ns:.2},\n    \
+        "    ],\n    \"reps\": {REPS},\n    \"disabled_span_ns\": {span_ns:.2},\n    \
          \"disabled_cost_fraction_of_wall\": {worst_disabled_fraction:.6},\n    \
          \"disabled_noise_floor\": {noise:.4},\n    \
          \"max_enabled_ratio\": {MAX_ENABLED_RATIO}\n  }}"

@@ -31,6 +31,21 @@
 //!    worker count).
 //! 4. **Determinism**: replaying the same seed yields an identical
 //!    summary, making the recorded JSON a meaningful CI baseline.
+//! 5. **Trace integrity**: a [`TraceIndex`] records every request
+//!    event of the sharded run; `verify()` must pass (every admitted
+//!    seq has exactly one causally-ordered timeline ending in exactly
+//!    one terminal event) and its aggregate counts must agree with the
+//!    simulation's own bookkeeping — with steals and mid-flight joins
+//!    actually observed. The per-request timelines export as
+//!    `STORM_trace.json` (Chrome trace format) and the always-on
+//!    flight recorder's black box as `STORM_flight.json`.
+//! 6. **SLO burn-rate alerting**: an [`SloEngine`] with a pooled
+//!    10 ms / 99 % objective watches metrics snapshots every 10 ms of
+//!    virtual time. The overload spike **must** trip a fast-burn
+//!    alert, and the steady phase before it must stay quiet — the
+//!    alerting pipeline is regression-tested end to end, in CI, with
+//!    zero wall-clock flakiness. Results merge into `BENCH_serve.json`
+//!    as the `"slo"` section.
 //!
 //! `--virtual-only` skips the wall-clock storm (used by CI, where
 //! wall-clock latency figures would be noise anyway).
@@ -40,17 +55,33 @@ use std::collections::BinaryHeap;
 use std::fmt::Write as _;
 use std::iter::Peekable;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wino_obs::update_artifact;
+use wino_obs::{
+    update_artifact, validate_json, write_atomic, FlightRecorder, ReqEvent, ReqEventKind,
+    TraceIndex,
+};
 use wino_serve::{
-    BatchConfig, LatencyHistogram, ModelRegistry, Priority, ServeConfig, Server, ShardPoll,
-    ShardSet,
+    BatchConfig, LatencyHistogram, Metrics, ModelRegistry, Priority, ServeConfig, Server,
+    ShardPoll, ShardSet, SloAlert, SloEngine, SloPolicy,
 };
 use wino_tensor::SplitMix64;
 
 const VIRTUAL_REQUESTS: usize = 100_000;
 const SYSTEM_REQUESTS: usize = 1_200;
 const TRACE_SEED: u64 = 0x5702_2019;
+
+/// SLO policy under test: 99 % of requests under 10 ms, pooled across
+/// classes (effective threshold 16.384 ms after the log₂ bucket-edge
+/// round-up — see `LatencyHistogram::count_over`).
+const SLO_OBJECTIVE: Duration = Duration::from_millis(10);
+const SLO_BUDGET: f64 = 0.01;
+const SLO_FAST_WINDOW: Duration = Duration::from_millis(50);
+const SLO_SLOW_WINDOW: Duration = Duration::from_millis(500);
+/// Virtual-time cadence of SLO observations during the simulation.
+const OBSERVE_PERIOD: Duration = Duration::from_millis(10);
+/// Flight-recorder ring capacity per shard in the simulated storm.
+const FLIGHT_CAPACITY: usize = 512;
 
 /// One synthetic request of the storm trace.
 struct StormItem {
@@ -142,6 +173,47 @@ struct SimConfig {
     collect_samples: bool,
 }
 
+/// Observability side-car for one simulated run: cumulative metrics
+/// feeding a burn-rate engine on the virtual clock, plus the always-on
+/// per-shard flight recorder. The simulation's *outcome* never depends
+/// on it — gate 4 replays without one and must match byte for byte.
+struct StormObs {
+    metrics: Metrics,
+    engine: SloEngine,
+    next_observe: Duration,
+    alerts: Vec<SloAlert>,
+    flight: Arc<FlightRecorder>,
+}
+
+impl StormObs {
+    fn new(models: usize, shards: usize) -> StormObs {
+        StormObs {
+            metrics: Metrics::new((0..models).map(|m| format!("m{m}")).collect(), shards),
+            engine: SloEngine::new(vec![SloPolicy::two_window(
+                "storm-latency",
+                None,
+                SLO_OBJECTIVE,
+                SLO_BUDGET,
+                SLO_FAST_WINDOW,
+                SLO_SLOW_WINDOW,
+            )]),
+            next_observe: OBSERVE_PERIOD,
+            alerts: Vec::new(),
+            flight: Arc::new(FlightRecorder::new(shards, FLIGHT_CAPACITY)),
+        }
+    }
+}
+
+/// Emits one simulated request-trace event to the global recorder (a
+/// no-op unless tracing is enabled) and mirrors it into the shard
+/// set's flight ring, when one is attached.
+fn trace_sim(set: &ShardSet<u64>, lane: usize, event: ReqEvent) {
+    wino_obs::record_req(&event);
+    if let Some(flight) = set.flight() {
+        flight.record(lane, event);
+    }
+}
+
 fn inject(
     set: &ShardSet<u64>,
     arrivals: &mut Peekable<std::slice::Iter<'_, StormItem>>,
@@ -153,7 +225,16 @@ fn inject(
         let item = arrivals.next().expect("peeked");
         match set.submit(item.model, item.priority, item.seed, item.arrival) {
             Ok(_) => *admitted += 1,
-            Err(_) => *rejected += 1,
+            Err(_) => {
+                *rejected += 1;
+                // Refused at admission: no seq exists, so the shed
+                // event rides the seq-0 convention.
+                trace_sim(
+                    set,
+                    set.home(item.model),
+                    ReqEvent::new(0, item.arrival, ReqEventKind::Shed),
+                );
+            }
         }
     }
 }
@@ -170,10 +251,14 @@ fn simulate(
     caps: &[usize],
     layer_counts: &[usize],
     cfg: &SimConfig,
+    mut obs: Option<&mut StormObs>,
 ) -> SimOutcome {
     let batch_cfg =
         BatchConfig { max_batch: 8, max_wait: Duration::from_micros(400), queue_capacity: 512 };
-    let set: ShardSet<u64> = ShardSet::new(cfg.shards, caps.to_vec(), batch_cfg, cfg.steal);
+    let mut set: ShardSet<u64> = ShardSet::new(cfg.shards, caps.to_vec(), batch_cfg, cfg.steal);
+    if let Some(o) = obs.as_deref_mut() {
+        set = set.with_flight(Arc::clone(&o.flight));
+    }
     let mut arrivals = trace.iter().peekable();
     let mut out = SimOutcome {
         admitted: 0,
@@ -198,6 +283,17 @@ fn simulate(
         .collect();
 
     while let Some(Reverse((t, shard, worker))) = heap.pop() {
+        // The heap pops events in time order, so `t` is monotone:
+        // advance the SLO engine through every observation instant the
+        // simulation just crossed.
+        if let Some(o) = obs.as_deref_mut() {
+            while t >= o.next_observe {
+                let at = o.next_observe;
+                let snapshot = o.metrics.snapshot(at);
+                o.alerts.extend(o.engine.observe(at, &snapshot));
+                o.next_observe += OBSERVE_PERIOD;
+            }
+        }
         inject(&set, &mut arrivals, t, &mut out.admitted, &mut out.rejected);
         match set.poll_at(shard, t) {
             ShardPoll::Ready { batch, from } => {
@@ -206,6 +302,9 @@ fn simulate(
                 let cap = caps[model];
                 let mut lanes = batch.requests;
                 let mut joins: Vec<(usize, Vec<u64>)> = Vec::new();
+                // `(seq, boundary)` per mid-flight joiner, for the
+                // join/catch-up trace events.
+                let mut joined: Vec<(u64, usize)> = Vec::new();
                 let mut tb = t;
                 let mut max_join = 0usize;
                 for boundary in 1..layers {
@@ -217,6 +316,18 @@ fn simulate(
                             let joiners = set.admit_into(model, free);
                             if !joiners.is_empty() {
                                 max_join = boundary;
+                                for j in &joiners {
+                                    joined.push((j.seq, boundary));
+                                    trace_sim(
+                                        &set,
+                                        shard,
+                                        ReqEvent::new(
+                                            j.seq,
+                                            tb,
+                                            ReqEventKind::Join { layer: boundary as u32 },
+                                        ),
+                                    );
+                                }
                                 joins.push((boundary, joiners.iter().map(|r| r.payload).collect()));
                                 lanes.extend(joiners);
                             }
@@ -244,6 +355,43 @@ fn simulate(
                     out.classes[item.priority.index()].record(latency);
                     out.class_counts[item.priority.index()] += 1;
                     stats.latency.record(latency);
+                }
+                // Joiners catch up on their missed prefix after the
+                // shared layers; every lane then resolves at t_end.
+                for &(seq, boundary) in &joined {
+                    trace_sim(
+                        &set,
+                        shard,
+                        ReqEvent::new(
+                            seq,
+                            t_end,
+                            ReqEventKind::CatchUp { layers: boundary as u32 },
+                        ),
+                    );
+                }
+                for item in &lanes {
+                    // Same clamp as dispatch tracing: mid-batch
+                    // injection can enqueue a lane "after" the poll
+                    // instant that released it, and resolution can
+                    // never precede admission.
+                    let at = t_end.max(item.enqueued_at);
+                    trace_sim(&set, shard, ReqEvent::new(item.seq, at, ReqEventKind::Resolved));
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    let priorities: Vec<Priority> = lanes.iter().map(|r| r.priority).collect();
+                    let waits: Vec<Duration> =
+                        lanes.iter().map(|r| t.saturating_sub(r.enqueued_at)).collect();
+                    let latencies: Vec<Duration> =
+                        lanes.iter().map(|r| t_end.saturating_sub(r.enqueued_at)).collect();
+                    o.metrics.record_batch(
+                        model,
+                        shard,
+                        from != shard,
+                        t_end.saturating_sub(t),
+                        &priorities,
+                        &waits,
+                        &latencies,
+                    );
                 }
                 out.makespan = out.makespan.max(t_end);
                 if cfg.collect_samples {
@@ -368,6 +516,7 @@ fn system_storm(registry: ModelRegistry) -> String {
             },
             slo: None,
             inject_panic_seed: None,
+            ..ServeConfig::default()
         },
     );
     let start = Instant::now();
@@ -479,8 +628,20 @@ fn main() {
         collect_samples: true,
     };
     let wall = Instant::now();
-    let baseline = simulate(&trace, &caps, &layer_counts, &baseline_cfg);
-    let sharded = simulate(&trace, &caps, &layer_counts, &sharded_cfg);
+    let baseline = simulate(&trace, &caps, &layer_counts, &baseline_cfg, None);
+    // The sharded run carries the full observability stack: a global
+    // TraceIndex collecting every request event, the per-shard flight
+    // recorder, and the SLO burn-rate engine on the virtual clock.
+    // Tracing is enabled for exactly this run — the replay below must
+    // stay byte-identical with tracing off (gate 4), proving the
+    // instrumentation never steers the simulation.
+    let index = Arc::new(TraceIndex::new());
+    wino_obs::set_recorder(Arc::clone(&index) as Arc<dyn wino_obs::Recorder>);
+    wino_obs::enable();
+    let mut storm_obs = StormObs::new(caps.len(), sharded_cfg.shards);
+    let sharded = simulate(&trace, &caps, &layer_counts, &sharded_cfg, Some(&mut storm_obs));
+    wino_obs::disable();
+    wino_obs::clear_recorder();
     println!("simulated 2 x {} requests in {:.1} ms wall", VIRTUAL_REQUESTS, ms(wall.elapsed()));
     println!(
         "baseline: served {}/{} (rejected {}), all-class p99 {:.3} ms",
@@ -556,13 +717,68 @@ fn main() {
     );
 
     // Gate 4: determinism — same seed, same summary, byte for byte.
-    let replay = simulate(&trace, &caps, &layer_counts, &sharded_cfg);
+    // The replay runs with tracing disabled and no obs side-car, so a
+    // match also proves the instrumentation is outcome-neutral.
+    let replay = simulate(&trace, &caps, &layer_counts, &sharded_cfg, None);
     assert_eq!(
         outcome_json(&sharded),
         outcome_json(&replay),
         "storm replay diverged; the recorded baseline would be meaningless"
     );
     println!("determinism: replay summary identical");
+
+    // Gate 5: trace integrity. Every admitted seq must reassemble into
+    // a causally-valid timeline with exactly one terminal event, and
+    // the index's aggregate view must agree with the simulation's own
+    // counters.
+    let stats = index.verify().unwrap_or_else(|e| panic!("request-trace verification failed: {e}"));
+    assert_eq!(stats.requests as u64, sharded.admitted, "one timeline per admitted request");
+    assert_eq!(stats.resolved as u64, sharded.served, "every served lane traced Resolved");
+    assert_eq!(stats.failed, 0, "no faults injected, no Failed timelines");
+    assert_eq!(stats.sheds, sharded.rejected, "every rejection traced as a shed");
+    assert!(stats.steals > 0, "storm produced no stolen batches to trace");
+    assert!(stats.joins > 0, "storm produced no mid-flight joins to trace");
+    assert_eq!(stats.joins, stats.catch_ups, "every joiner catches up exactly once");
+    println!(
+        "trace: {} requests, {} events; {} stolen, {} joined (+caught up), {} sheds — verified",
+        stats.requests, stats.events, stats.steals, stats.joins, stats.sheds
+    );
+
+    // Trace artifacts: the per-request Chrome trace (a bounded sample)
+    // and the flight recorder's end-of-storm black box.
+    let chrome = index.chrome_trace_json(64);
+    validate_json(&chrome).expect("chrome trace is valid JSON");
+    write_atomic(Path::new("STORM_trace.json"), &chrome).expect("write STORM_trace.json");
+    storm_obs
+        .flight
+        .dump_to(Path::new("STORM_flight.json"), "drain")
+        .expect("write STORM_flight.json");
+    println!("wrote STORM_trace.json (64-request sample) and STORM_flight.json (black box)");
+
+    // Gate 6: the SLO engine must notice the overload spike — at least
+    // one fast-burn alert at/after the spike's first arrival — and
+    // must stay quiet through the steady phase before it.
+    let spike_start = trace[VIRTUAL_REQUESTS / 4].arrival;
+    for alert in &storm_obs.alerts {
+        println!("  {alert}");
+    }
+    let early: Vec<&SloAlert> = storm_obs.alerts.iter().filter(|a| a.at < spike_start).collect();
+    assert!(
+        early.is_empty(),
+        "SLO alert(s) fired during the steady phase (before {:.1} ms): {early:?}",
+        ms(spike_start)
+    );
+    let fast_burns = storm_obs.alerts.iter().filter(|a| a.window == "fast").count();
+    assert!(
+        fast_burns > 0,
+        "the overload spike (from {:.1} ms) fired no fast-burn alert",
+        ms(spike_start)
+    );
+    println!(
+        "slo: {} alert(s), {fast_burns} fast-burn, none before the {:.1} ms spike",
+        storm_obs.alerts.len(),
+        ms(spike_start)
+    );
 
     // --- wall-clock storm through the real threaded server ---
     let system = if virtual_only {
@@ -589,5 +805,41 @@ fn main() {
     let _ = write!(json, "    \"system\": {system}\n  }}");
     update_artifact(Path::new("BENCH_serve.json"), "storm", &json)
         .expect("update BENCH_serve.json");
-    println!("merged storm section into BENCH_serve.json");
+
+    // --- BENCH_serve.json, section "slo" ---
+    let mut slo_json = String::new();
+    slo_json.push_str("{\n    \"bench\": \"serve_storm\",\n");
+    let _ = writeln!(
+        slo_json,
+        "    \"policy\": {{\"name\": \"storm-latency\", \"objective_ms\": {:.1}, \"error_budget\": {SLO_BUDGET}, \"windows\": [{{\"label\": \"fast\", \"window_ms\": {:.0}, \"threshold\": 14.0}}, {{\"label\": \"slow\", \"window_ms\": {:.0}, \"threshold\": 6.0}}]}},",
+        SLO_OBJECTIVE.as_secs_f64() * 1e3,
+        SLO_FAST_WINDOW.as_secs_f64() * 1e3,
+        SLO_SLOW_WINDOW.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        slo_json,
+        "    \"observe_period_ms\": {:.0}, \"spike_start_ms\": {:.3},",
+        OBSERVE_PERIOD.as_secs_f64() * 1e3,
+        ms(spike_start)
+    );
+    let _ = writeln!(
+        slo_json,
+        "    \"trace\": {{\"requests\": {}, \"events\": {}, \"steals\": {}, \"joins\": {}, \"catch_ups\": {}, \"sheds\": {}}},",
+        stats.requests, stats.events, stats.steals, stats.joins, stats.catch_ups, stats.sheds
+    );
+    slo_json.push_str("    \"alerts\": [");
+    for (i, alert) in storm_obs.alerts.iter().enumerate() {
+        let _ = write!(
+            slo_json,
+            "{}{{\"window\": \"{}\", \"at_ms\": {:.3}, \"burn_rate\": {:.1}}}",
+            if i > 0 { ", " } else { "" },
+            alert.window,
+            ms(alert.at),
+            alert.burn_rate
+        );
+    }
+    slo_json.push_str("]\n  }");
+    update_artifact(Path::new("BENCH_serve.json"), "slo", &slo_json)
+        .expect("update BENCH_serve.json");
+    println!("merged storm and slo sections into BENCH_serve.json");
 }

@@ -6,10 +6,19 @@
 //! clobber the others, so this module implements a minimal top-level
 //! JSON object merge: replace (or append) one key's value, preserve
 //! every other key's text verbatim.
+//!
+//! Updates are crash-safe and concurrency-safe: the merged document is
+//! written to a temp file in the same directory and renamed into place
+//! (readers never observe a torn artifact), and the read-modify-write
+//! cycle holds a sibling `<name>.lock` advisory lock file so two bench
+//! binaries merging different sections cannot lose each other's
+//! update.
 
 use std::fmt::Write as _;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Splits the body of a top-level JSON object into `(key, value-text)`
 /// pairs, preserving each value's original text. Returns `None` when
@@ -102,13 +111,82 @@ pub fn merge_section(existing: &str, key: &str, value_json: &str) -> String {
     out
 }
 
+/// Monotonic counter distinguishing concurrent temp files within one
+/// process (the pid distinguishes processes).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// same-directory temp file first and are renamed over `path`, so a
+/// crash mid-write leaves either the old artifact or the new one,
+/// never a torn mixture.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "artifact path has no file name")
+    })?;
+    let tmp = path.with_file_name(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// An advisory lock held as a sibling `<name>.lock` file; created with
+/// `create_new` so exactly one holder wins, removed on drop.
+struct ArtifactLock {
+    path: PathBuf,
+}
+
+impl ArtifactLock {
+    /// Acquires the lock, waiting with backoff. A lock older than the
+    /// retry budget is presumed stale (its holder crashed between
+    /// create and remove) and is broken: both contenders then write
+    /// atomically, so the worst case is one lost section update, never
+    /// a torn file.
+    fn acquire(artifact: &Path) -> io::Result<ArtifactLock> {
+        let name = artifact.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "artifact path has no file name")
+        })?;
+        let path = artifact.with_file_name(format!("{name}.lock"));
+        for attempt in 0..500u32 {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(_) => return Ok(ArtifactLock { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if attempt == 499 {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        std::fs::OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        Ok(ArtifactLock { path })
+    }
+}
+
+impl Drop for ArtifactLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Reads the JSON artifact at `path` (missing or malformed files are
 /// treated as empty), merges `value_json` under `key` with
 /// [`merge_section`], and writes it back followed by a newline.
+///
+/// The whole read-modify-write cycle runs under an advisory
+/// `<name>.lock` file and the final write is atomic
+/// (see [`write_atomic`]), so concurrent updaters of *different*
+/// sections all land and readers never see a torn document.
 pub fn update_artifact(path: &Path, key: &str, value_json: &str) -> io::Result<()> {
+    let _lock = ArtifactLock::acquire(path)?;
     let existing = std::fs::read_to_string(path).unwrap_or_default();
     let merged = merge_section(&existing, key, value_json);
-    std::fs::write(path, merged + "\n")
+    write_atomic(path, &(merged + "\n"))
 }
 
 #[cfg(test)]
@@ -145,5 +223,49 @@ mod tests {
     fn malformed_existing_content_is_replaced() {
         let merged = merge_section("not json at all", "k", "true");
         assert_eq!(merged, "{\n  \"k\": true\n}");
+    }
+
+    #[test]
+    fn concurrent_merges_of_distinct_sections_all_land() {
+        let path = std::env::temp_dir()
+            .join(format!("wino_artifact_concurrent_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        const WRITERS: usize = 8;
+        const ROUNDS: usize = 10;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let path = &path;
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        update_artifact(path, &format!("writer{w}"), &format!("{round}"))
+                            .expect("merge under contention");
+                    }
+                });
+            }
+        });
+        let body = std::fs::read_to_string(&path).expect("artifact exists");
+        let _ = std::fs::remove_file(&path);
+        crate::json::validate_json(&body).unwrap_or_else(|e| panic!("torn artifact: {e}\n{body}"));
+        for w in 0..WRITERS {
+            let expected = format!("\"writer{w}\": {}", ROUNDS - 1);
+            assert!(body.contains(&expected), "lost update for writer {w}:\n{body}");
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("wino_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, "{\"v\": 1}\n").expect("first write");
+        write_atomic(&path, "{\"v\": 2}\n").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("readable"), "{\"v\": 2}\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir listable")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

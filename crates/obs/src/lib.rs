@@ -26,6 +26,21 @@
 //! — e.g. a serve request's queue wait, measured between threads — are
 //! reported with [`record_interval`].
 //!
+//! ## Request-scoped tracing (v2)
+//!
+//! Spans answer "where does the time go"; they cannot answer "what
+//! happened to request 4711". The [`ReqEvent`] vocabulary (admitted,
+//! enqueued, batched, stolen shard→shard, join@layer-k, catch-up,
+//! panic-retry, shed, resolved/failed) traces one request's causal
+//! path through the sharded serving layer. Events flow through
+//! [`record_req`] — the same one-relaxed-load-when-off discipline as
+//! spans — into a [`TraceIndex`] that reassembles per-request
+//! timelines, verifies their causal shape, and exports Chrome trace
+//! JSON. Independently of the global tracing switch, a
+//! [`FlightRecorder`] (bounded per-lane rings, one lane per shard)
+//! keeps the newest events always-on and dumps a black-box JSON
+//! artifact on fault, shed, or drain.
+//!
 //! ## Example
 //!
 //! ```
@@ -56,14 +71,18 @@
 #![forbid(unsafe_code)]
 
 mod artifact;
+mod json;
 mod recorder;
 mod report;
+mod req;
 mod span;
 
-pub use artifact::{merge_section, update_artifact};
+pub use artifact::{merge_section, update_artifact, write_atomic};
+pub use json::validate_json;
 pub use recorder::{AggregatingProfiler, ProfileEntry, ProfileSnapshot, Recorder, TraceRecorder};
 pub use report::{json_escape, MetricFamily, MetricKind, MetricSample, ObsReport};
+pub use req::{FlightRecorder, ReqEvent, ReqEventKind, TraceIndex, TraceStats};
 pub use span::{
-    clear_recorder, collect, disable, enable, is_enabled, record_interval, set_recorder, Span,
-    SpanRecord,
+    clear_recorder, collect, disable, enable, epoch_elapsed, is_enabled, record_interval,
+    record_req, set_recorder, Span, SpanRecord,
 };

@@ -10,6 +10,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::report::json_escape;
+use crate::req::ReqEvent;
 use crate::span::SpanRecord;
 
 /// A sink for completed spans. Installed globally with
@@ -20,6 +21,12 @@ use crate::span::SpanRecord;
 pub trait Recorder: Send + Sync {
     /// Accepts one completed span.
     fn record(&self, span: &SpanRecord);
+
+    /// Accepts one request-scoped causal event (see
+    /// [`crate::record_req`]). Sinks that only care about spans — the
+    /// profiler, the span ring — keep this default no-op;
+    /// [`crate::TraceIndex`] overrides it.
+    fn record_req(&self, _event: &ReqEvent) {}
 }
 
 /// Aggregated statistics for one `(path)` node of the span tree.
@@ -210,12 +217,15 @@ impl TraceRecorder {
 
     /// Exports the retained spans as a Chrome `trace_event` JSON
     /// document (one `"X"` complete event per span, timestamps in
-    /// microseconds). Load the result in `chrome://tracing` or
-    /// Perfetto for a real flamegraph.
+    /// microseconds, sorted by start so viewers never see time run
+    /// backwards). Load the result in `chrome://tracing` or Perfetto
+    /// for a real flamegraph.
     pub fn chrome_trace_json(&self) -> String {
         let buffer = self.buffer.lock().expect("trace lock poisoned");
+        let mut spans: Vec<&SpanRecord> = buffer.iter().collect();
+        spans.sort_by_key(|s| s.start);
         let mut out = String::from("{\"traceEvents\":[");
-        for (i, span) in buffer.iter().enumerate() {
+        for (i, span) in spans.into_iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -249,5 +259,65 @@ impl Recorder for TraceRecorder {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buffer.push_back(span.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+
+    fn span(label: &str, start_us: u64) -> SpanRecord {
+        SpanRecord {
+            category: "test",
+            label: label.to_owned(),
+            path: label.to_owned(),
+            id: 0,
+            thread: 1,
+            start: Duration::from_micros(start_us),
+            duration: Duration::from_micros(10),
+            self_time: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn ring_wrap_keeps_the_newest_and_counts_drops_exactly() {
+        let recorder = TraceRecorder::new(3);
+        for i in 0..7u64 {
+            recorder.record(&span(&format!("s{i}"), i));
+        }
+        assert_eq!(recorder.len(), 3);
+        assert_eq!(recorder.dropped(), 4);
+        let json = recorder.chrome_trace_json();
+        for survivor in ["s4", "s5", "s6"] {
+            assert!(json.contains(survivor), "newest spans retained: {json}");
+        }
+        for evicted in ["\"s0\"", "\"s1\"", "\"s2\"", "\"s3\""] {
+            assert!(!json.contains(evicted), "oldest spans evicted: {json}");
+        }
+        assert!(json.contains("\"dropped\":4"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_non_decreasing_timestamps() {
+        let recorder = TraceRecorder::new(16);
+        // Deliberately out of start order, as cross-thread delivery
+        // would produce.
+        for start in [30u64, 10, 20, 40, 15] {
+            recorder.record(&span(&format!("s{start}"), start));
+        }
+        let json = recorder.chrome_trace_json();
+        validate_json(&json).expect("chrome trace parses");
+        let mut last = f64::MIN;
+        let mut seen = 0;
+        for piece in json.split("\"ts\":") {
+            let Some(num) = piece.split(',').next().and_then(|n| n.parse::<f64>().ok()) else {
+                continue;
+            };
+            assert!(num >= last, "timestamps regressed: {num} after {last}");
+            last = num;
+            seen += 1;
+        }
+        assert_eq!(seen, 5, "every span exported exactly once");
     }
 }

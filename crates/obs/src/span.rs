@@ -8,6 +8,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::recorder::Recorder;
+use crate::req::ReqEvent;
 
 /// Count of live sinks: the global tracing flag contributes one, every
 /// in-flight [`collect`] contributes one. `Span::enter` does a single
@@ -182,6 +183,32 @@ pub fn record_interval(
             recorder.record(&record);
         }
     }
+}
+
+/// Reports a request-scoped causal event (see [`ReqEvent`]) to the
+/// global recorder. Like [`record_interval`], this is a single relaxed
+/// load when tracing is disabled and is never delivered to
+/// thread-local collectors — request timelines are a cross-thread
+/// concern by construction.
+#[inline]
+pub fn record_req(event: &ReqEvent) {
+    if TRACING.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    if let Ok(guard) = RECORDER.read() {
+        if let Some(recorder) = guard.as_ref() {
+            recorder.record_req(event);
+        }
+    }
+}
+
+/// Time elapsed since the process trace epoch (the origin all span
+/// `start` offsets are relative to). Initialises the epoch on first
+/// use, so the first caller observes zero. Emission sites without a
+/// natural clock (e.g. the exec layer's admission hook) use this to
+/// stamp [`record_interval`] starts consistently with scoped spans.
+pub fn epoch_elapsed() -> Duration {
+    EPOCH.get_or_init(Instant::now).elapsed()
 }
 
 /// Delivers a completed span to every active sink.

@@ -38,6 +38,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::time::Duration;
+use wino_obs::{ReqEvent, ReqEventKind};
 
 /// Request priority class. Classes are scheduling tiers, not strict
 /// preemption: a released batch fills from [`High`](Priority::High)
@@ -65,15 +66,22 @@ impl Priority {
             Priority::Low => 2,
         }
     }
+
+    /// Stable lowercase class label, as a `&'static str` so the
+    /// request-trace event vocabulary ([`wino_obs::ReqEventKind`])
+    /// can carry it without allocating.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
 }
 
 impl fmt::Display for Priority {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Priority::High => write!(f, "high"),
-            Priority::Normal => write!(f, "normal"),
-            Priority::Low => write!(f, "low"),
-        }
+        f.write_str(self.as_str())
     }
 }
 
@@ -223,6 +231,10 @@ pub struct DynamicBatcher<T> {
     queues: Vec<[VecDeque<Pending<T>>; 3]>,
     seq: u64,
     seq_stride: u64,
+    /// Shard label stamped on request-trace events (the seq start of
+    /// [`with_seq`](Self::with_seq) — shard `i` strides from `i`, so
+    /// the two are the same number). Zero for a standalone batcher.
+    shard: u32,
 }
 
 impl<T> DynamicBatcher<T> {
@@ -253,7 +265,7 @@ impl<T> DynamicBatcher<T> {
         }
         let caps: Vec<usize> = caps.into_iter().map(|c| c.clamp(1, config.max_batch)).collect();
         let queues = caps.iter().map(|_| std::array::from_fn(|_| VecDeque::new())).collect();
-        DynamicBatcher { config, caps, queues, seq: 0, seq_stride: 1 }
+        DynamicBatcher { config, caps, queues, seq: 0, seq_stride: 1, shard: 0 }
     }
 
     /// Re-bases the submission sequence to `start, start + stride,
@@ -270,6 +282,9 @@ impl<T> DynamicBatcher<T> {
         assert!(stride > 0, "seq stride must be at least 1");
         self.seq = start;
         self.seq_stride = stride;
+        // A ShardSet builds shard i's batcher with start = i, so the
+        // start doubles as the shard label on trace events.
+        self.shard = start as u32;
         self
     }
 
@@ -336,6 +351,20 @@ impl<T> DynamicBatcher<T> {
             priority,
             payload,
         });
+        // The request-trace anchor: admission (capacity passed, seq
+        // assigned) immediately followed by the enqueue, both under
+        // whatever lock serializes this batcher — so a timeline's
+        // first two events are emitted atomically and in order.
+        wino_obs::record_req(&ReqEvent::new(
+            seq,
+            now,
+            ReqEventKind::Admitted { class: priority.as_str() },
+        ));
+        wino_obs::record_req(&ReqEvent::new(
+            seq,
+            now,
+            ReqEventKind::Enqueued { shard: self.shard },
+        ));
         Ok(seq)
     }
 

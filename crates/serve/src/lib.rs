@@ -38,6 +38,11 @@
 //!   Prometheus/JSON exposition (and, with tracing enabled, a
 //!   per-request lifecycle trace: admitted → queued → batch-wait →
 //!   exec → completed intervals keyed by request id);
+//! * [`SloEngine`] — declarative [`SloPolicy`] latency objectives
+//!   (per-class or pooled) evaluated as multi-window error-budget
+//!   burn rates over successive metrics snapshots, firing
+//!   rising-edge [`SloAlert`]s — clock-free, so the storm bench
+//!   drives it on the virtual clock;
 //! * [`Clock`] — real ([`SystemClock`]) or deterministic
 //!   ([`VirtualClock`]) time, so every deadline and latency figure is
 //!   unit-testable without sleeps.
@@ -78,6 +83,7 @@ mod metrics;
 mod registry;
 mod server;
 mod shard;
+mod slo;
 
 pub use batcher::{
     Batch, BatchConfig, BatchConfigError, BatchItem, DynamicBatcher, Poll, Priority, SubmitError,
@@ -89,3 +95,4 @@ pub use metrics::{
 pub use registry::{InferOutput, ModelEntry, ModelId, ModelRegistry, RegistryError};
 pub use server::{AdmissionError, InferResult, RequestError, ResponseHandle, ServeConfig, Server};
 pub use shard::{ShardPoll, ShardSet};
+pub use slo::{BurnWindow, SloAlert, SloEngine, SloPolicy};

@@ -127,6 +127,28 @@ impl LatencyHistogram {
             Duration::from_nanos(1500u64 << (b - 1))
         }
     }
+
+    /// Samples **certainly** above `threshold`: the summed counts of
+    /// every bucket whose *lower* bound (`2^(b-1)` µs) is at or above
+    /// it. Log₂ buckets cannot say where inside a bucket a sample sat,
+    /// so this is a conservative undercount — a sample in the bucket
+    /// straddling the threshold is not counted even if it was over.
+    /// Equivalently, the count is exact for the effective threshold
+    /// rounded **up** to the next bucket edge (e.g. asking for 10 ms
+    /// counts samples ≥ 16.384 ms). The SLO burn-rate engine accepts
+    /// that bias: it under-alerts slightly rather than crying wolf.
+    pub fn count_over(&self, threshold: Duration) -> u64 {
+        let us = threshold.as_micros();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(b, _)| {
+                let lower_us = if b == 0 { 0u128 } else { 1u128 << (b - 1) };
+                b > 0 && lower_us >= us
+            })
+            .map(|(_, &count)| count)
+            .sum()
+    }
 }
 
 /// Accumulated counters of one model.
@@ -241,6 +263,13 @@ pub struct MetricsSnapshot {
     /// Server-wide end-to-end latency distribution per priority class,
     /// highest class first.
     pub latency_by_class: Vec<ClassWaitSnapshot>,
+    /// The cumulative end-to-end latency histograms behind
+    /// [`latency_by_class`](Self::latency_by_class), same
+    /// ([`Priority::ALL`]) order. Quantiles compress these to a few
+    /// points; the SLO burn-rate engine instead diffs successive
+    /// snapshots' histograms ([`LatencyHistogram::count_over`]) to
+    /// count objective violations per window.
+    pub class_latency_histograms: Vec<LatencyHistogram>,
     /// Per-shard worker-group snapshots, shard order.
     pub per_shard: Vec<ShardSnapshot>,
 }
@@ -620,6 +649,8 @@ impl Metrics {
         };
         let queue_wait_by_class = class_snapshot(&state.class_waits);
         let latency_by_class = class_snapshot(&state.class_latencies);
+        let class_latency_histograms =
+            Priority::ALL.iter().map(|&p| state.class_latencies[p.index()].clone()).collect();
         let per_shard = state
             .shards
             .iter()
@@ -635,7 +666,14 @@ impl Metrics {
                 p999: s.latency.quantile(0.999),
             })
             .collect();
-        MetricsSnapshot { elapsed, per_model, queue_wait_by_class, latency_by_class, per_shard }
+        MetricsSnapshot {
+            elapsed,
+            per_model,
+            queue_wait_by_class,
+            latency_by_class,
+            class_latency_histograms,
+            per_shard,
+        }
     }
 }
 
@@ -793,6 +831,95 @@ mod tests {
         assert!(text.contains("# TYPE wino_serve_latency_p99_seconds gauge"), "{text}");
         let json = report.to_json();
         assert!(json.contains("\"wino_serve_latency_p50_seconds\""), "{json}");
+    }
+
+    #[test]
+    fn count_over_is_a_conservative_bucket_edge_count() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(500)); // bucket [256, 512) µs
+        h.record(ms(1)); // [512, 1024) µs
+        h.record(ms(20)); // [16384, 32768) µs
+        h.record(ms(100)); // [65536, 131072) µs
+                           // Threshold 10 ms rounds up to the 16.384 ms bucket edge: the
+                           // 20 ms and 100 ms samples count, the rest certainly do not.
+        assert_eq!(h.count_over(Duration::from_millis(10)), 2);
+        // A sample exactly inside the straddling bucket is *not*
+        // counted (conservative undercount).
+        assert_eq!(h.count_over(ms(20)), 1, "20 ms sits in its threshold's own bucket");
+        // Degenerate thresholds.
+        assert_eq!(h.count_over(Duration::ZERO), 4, "every ≥1 µs sample is over zero");
+        assert_eq!(h.count_over(Duration::from_secs(86400 * 30)), 0);
+        assert_eq!(LatencyHistogram::new().count_over(ms(1)), 0);
+    }
+
+    /// Pins the complete exposition surface: every metric family name
+    /// and its label key, in both Prometheus text and JSON. Renaming or
+    /// dropping a family breaks dashboards silently — this test makes
+    /// it loud.
+    #[test]
+    fn exposition_pins_every_family_name_and_label() {
+        let m = Metrics::new(vec!["a".into()], 2);
+        m.record_batch(0, 0, false, ms(4), &[Priority::High], &[ms(1)], &[ms(4)]);
+        m.record_batch(0, 1, true, ms(4), &[Priority::Low], &[ms(2)], &[ms(9)]);
+        m.record_rejected(0);
+        m.record_failed(0, 1, 1);
+        let snap = m.snapshot(ms(3000));
+        let families = snap.to_metric_families();
+        let expected = [
+            ("wino_serve_uptime_seconds", None),
+            ("wino_serve_completed_total", Some("model")),
+            ("wino_serve_rejected_total", Some("model")),
+            ("wino_serve_batches_total", Some("model")),
+            ("wino_serve_mean_batch_images", Some("model")),
+            ("wino_serve_failed_total", Some("model")),
+            ("wino_serve_latency_p50_seconds", Some("model")),
+            ("wino_serve_latency_p95_seconds", Some("model")),
+            ("wino_serve_latency_p99_seconds", Some("model")),
+            ("wino_serve_latency_p999_seconds", Some("model")),
+            ("wino_serve_shard_batches_total", Some("shard")),
+            ("wino_serve_shard_stolen_total", Some("shard")),
+            ("wino_serve_shard_latency_p999_seconds", Some("shard")),
+            ("wino_serve_class_latency_p999_seconds", Some("class")),
+            ("wino_serve_queue_wait_p95_seconds", Some("class")),
+            ("wino_serve_class_completed_total", Some("class")),
+        ];
+        assert_eq!(
+            families.len(),
+            expected.len(),
+            "family set changed: {:?}",
+            families.iter().map(|f| f.name.clone()).collect::<Vec<_>>()
+        );
+        for (i, (name, label)) in expected.iter().enumerate() {
+            assert_eq!(families[i].name, *name, "family {i} renamed");
+            for sample in &families[i].samples {
+                match label {
+                    Some(key) => assert!(
+                        sample.labels.iter().any(|(k, _)| k == key),
+                        "family '{name}' lost its '{key}' label: {:?}",
+                        sample.labels
+                    ),
+                    None => assert!(sample.labels.is_empty(), "family '{name}' grew labels"),
+                }
+            }
+        }
+        // Both exposition formats carry every family by name.
+        let report = wino_obs::ObsReport { metrics: families, profile: None };
+        let text = report.to_prometheus();
+        let json = report.to_json();
+        wino_obs::validate_json(&json).expect("JSON exposition parses");
+        for (name, _) in expected {
+            assert!(text.contains(name), "Prometheus text lost '{name}':\n{text}");
+            assert!(json.contains(&format!("\"{name}\"")), "JSON lost '{name}'");
+        }
+        // Label values survive exposition: shard indices and class
+        // names appear verbatim.
+        assert!(text.contains("wino_serve_shard_stolen_total{shard=\"1\"} 1"), "{text}");
+        for class in ["high", "normal", "low"] {
+            assert!(
+                text.contains(&format!("wino_serve_class_completed_total{{class=\"{class}\"}}")),
+                "{text}"
+            );
+        }
     }
 
     #[test]

@@ -42,13 +42,15 @@ use crate::{
 };
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use wino_obs::{FlightRecorder, ReqEvent, ReqEventKind};
 
 /// Server policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Executor shards (clamped to ≥ 1). Each shard owns a worker
     /// group, a registry clone clamped to the shard's thread budget,
@@ -92,6 +94,16 @@ pub struct ServeConfig {
     /// still served correctly. Testing knob — leave `None` in
     /// production.
     pub inject_panic_seed: Option<u64>,
+    /// Flight-recorder ring capacity **per shard** (clamped to ≥ 1).
+    /// The black box is always on; 256 events per shard cost a few
+    /// kilobytes and one short per-shard mutex hold per event.
+    pub flight_capacity: usize,
+    /// Where the flight recorder dumps its black-box JSON artifacts
+    /// (`flight_fault.json` after a worker fault, `flight_shed.json`
+    /// on the first shed, `flight_drain.json` at shutdown). `None`
+    /// (the default) disables dumping; the rings still record and can
+    /// be read through [`Server::flight_json`].
+    pub flight_dump_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +120,8 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             slo: None,
             inject_panic_seed: None,
+            flight_capacity: 256,
+            flight_dump_dir: None,
         }
     }
 }
@@ -277,9 +291,25 @@ struct Inner {
     shards: ShardSet<Ticket>,
     metrics: Metrics,
     shutdown: AtomicBool,
+    /// The always-on black box (one event ring per shard), shared with
+    /// the [`ShardSet`] so dispatch events land without the server's
+    /// help.
+    flight: Arc<FlightRecorder>,
+    flight_dump_dir: Option<PathBuf>,
+    /// Debounces the first-shed black-box dump: overload sheds
+    /// thousands of requests and one artifact is enough.
+    shed_dumped: AtomicBool,
 }
 
 impl Inner {
+    /// Dumps the black box to `file` in the configured dump directory,
+    /// if one is set. Dump failures are swallowed: the black box is a
+    /// diagnostic, never worth failing the serving path over.
+    fn dump_flight(&self, cause: &str, file: &str) {
+        if let Some(dir) = &self.flight_dump_dir {
+            let _ = self.flight.dump_to(&dir.join(file), cause);
+        }
+    }
     /// One worker's life on `shard`: take a due batch (home first,
     /// then steal), execute it with continuous admission, respond;
     /// park until a deadline or a submit otherwise. Exits only when
@@ -293,7 +323,7 @@ impl Inner {
                 // and submits check the shutdown flag under their home
                 // shard's lock, so the lock-order chain guarantees no
                 // admitted ticket is left behind.
-                match self.shards.drain_one() {
+                match self.shards.drain_one(self.clock.now()) {
                     Some(batch) => {
                         let released = self.clock.now();
                         self.execute(shard, batch, false, released);
@@ -353,6 +383,18 @@ impl Inner {
                         return Vec::new();
                     }
                     let joiners = self.shards.admit_into(model, free);
+                    // Each joiner dispatched here instead of via a
+                    // released batch: its trace records the join layer.
+                    let at = self.clock.now();
+                    for joiner in &joiners {
+                        let join = ReqEvent::new(
+                            joiner.seq,
+                            at,
+                            ReqEventKind::Join { layer: boundary.next_layer as u32 },
+                        );
+                        wino_obs::record_req(&join);
+                        self.flight.record(shard, join);
+                    }
                     if poison.is_some_and(|p| joiners.iter().any(|r| r.payload.seed == p)) {
                         // Keep the fault observable even when the poisoned
                         // request joins mid-flight.
@@ -410,6 +452,9 @@ impl Inner {
         let started = self.clock.now();
         for request in requests {
             let seed = request.payload.seed;
+            let retry_event = ReqEvent::new(request.seq, started, ReqEventKind::PanicRetry);
+            wino_obs::record_req(&retry_event);
+            self.flight.record(shard, retry_event);
             let retry = catch_unwind(AssertUnwindSafe(|| {
                 if self.inject_panic_seed == Some(seed) {
                     panic!("injected worker fault (solo retry)");
@@ -420,6 +465,9 @@ impl Inner {
                 Ok(output) => served.push((request, output)),
                 Err(_) => {
                     self.metrics.record_failed(model, shard, 1);
+                    let failed = ReqEvent::new(request.seq, self.clock.now(), ReqEventKind::Failed);
+                    wino_obs::record_req(&failed);
+                    self.flight.record(shard, failed);
                     request.payload.slot.fulfill(Err(RequestError {
                         model: entry.id().clone(),
                         seed,
@@ -433,6 +481,9 @@ impl Inner {
             let (requests, outputs): (Vec<_>, Vec<_>) = served.into_iter().unzip();
             self.respond(shard, stolen, model, requests, outputs, released, started, finished);
         }
+        // The fault path ran to completion: leave the black box behind,
+        // panic-retry and failure events included.
+        self.dump_flight("fault", "flight_fault.json");
     }
 
     /// Records metrics and traces for one executed lane set and
@@ -508,6 +559,11 @@ impl Inner {
         }
 
         let size = requests.len();
+        for request in &requests {
+            let resolved = ReqEvent::new(request.seq, finished, ReqEventKind::Resolved);
+            wino_obs::record_req(&resolved);
+            self.flight.record(shard, resolved);
+        }
         for ((request, output), (&wait, &latency)) in
             requests.into_iter().zip(outputs).zip(waits.iter().zip(&latencies))
         {
@@ -584,7 +640,10 @@ impl Server {
         // Per-model batch caps: never release more than a model's
         // schedule-declared batch dimension, whatever the policy says.
         let caps = registries[0].entries().iter().map(|e| e.max_batch()).collect();
-        let shards = ShardSet::new(shard_count, caps, config.batch, config.steal);
+        // The black box: one bounded event ring per shard, always on.
+        let flight = Arc::new(FlightRecorder::new(shard_count, config.flight_capacity.max(1)));
+        let shards = ShardSet::new(shard_count, caps, config.batch, config.steal)
+            .with_flight(Arc::clone(&flight));
         let inner = Arc::new(Inner {
             registries,
             clock,
@@ -594,6 +653,9 @@ impl Server {
             shards,
             metrics,
             shutdown: AtomicBool::new(false),
+            flight,
+            flight_dump_dir: config.flight_dump_dir.clone(),
+            shed_dumped: AtomicBool::new(false),
         });
         let workers = (0..shard_count)
             .flat_map(|shard| (0..workers_per_shard).map(move |i| (shard, i)))
@@ -681,7 +743,21 @@ impl Server {
                     let label = format!("admitted:{priority}");
                     wino_obs::record_interval("serve.request", &label, seq, now, Duration::ZERO);
                 }
-                inner.shards.notify(inner.shards.home(index));
+                // Mirror the admission into the black box. The batcher
+                // already emitted Admitted/Enqueued to the request
+                // trace under the shard lock; the flight ring is the
+                // server's own always-on copy.
+                let home = inner.shards.home(index);
+                let home_u32 = home as u32;
+                inner.flight.record(
+                    home,
+                    ReqEvent::new(seq, now, ReqEventKind::Admitted { class: priority.as_str() }),
+                );
+                inner.flight.record(
+                    home,
+                    ReqEvent::new(seq, now, ReqEventKind::Enqueued { shard: home_u32 }),
+                );
+                inner.shards.notify(home);
                 Ok(ResponseHandle { slot })
             }
             Err(err) => {
@@ -690,6 +766,16 @@ impl Server {
                     AdmissionError::QueueFull { .. } | AdmissionError::SloUnattainable { .. }
                 ) {
                     inner.metrics.record_rejected(index);
+                    // Sheds carry no seq (the request never got one):
+                    // seq 0 is the trace convention for refused work.
+                    let shed = ReqEvent::new(0, now, ReqEventKind::Shed);
+                    wino_obs::record_req(&shed);
+                    inner.flight.record(inner.shards.home(index), shed);
+                    if !inner.shed_dumped.swap(true, Ordering::AcqRel) {
+                        // First shed only: overload sheds thousands and
+                        // one black-box artifact is enough.
+                        inner.dump_flight("shed", "flight_shed.json");
+                    }
                 }
                 Err(err)
             }
@@ -707,6 +793,13 @@ impl Server {
         self.inner.shards.total_queued()
     }
 
+    /// The flight recorder's black box as a JSON document — the last
+    /// `flight_capacity` request-trace events per shard, newest last,
+    /// tagged with `cause`. Always available, dump directory or not.
+    pub fn flight_json(&self, cause: &str) -> String {
+        self.inner.flight.dump_json(cause)
+    }
+
     /// Stops accepting work, resolves every admitted request, joins
     /// every worker group, and returns the final metrics. Dropping the
     /// server does the same minus the snapshot.
@@ -718,8 +811,13 @@ impl Server {
     fn stop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.shards.notify_all();
+        let had_workers = !self.workers.is_empty();
         for handle in self.workers.drain(..) {
             handle.join().expect("worker panicked");
+        }
+        if had_workers {
+            // The pool is quiet: leave the shutdown black box behind.
+            self.inner.dump_flight("drain", "flight_drain.json");
         }
     }
 }
@@ -857,9 +955,12 @@ mod tests {
     #[test]
     fn bounded_queue_backpressure_reaches_the_submitter() {
         // One worker, glacial batching, capacity 2: the third
-        // outstanding submit must see QueueFull.
+        // outstanding submit must see QueueFull. The model's batch
+        // dimension (64) must exceed the queue capacity, else two
+        // queued requests make a full batch the worker may release
+        // between the second and third submits.
         let server = Server::start(
-            tiny_registry(2),
+            tiny_registry(64),
             ServeConfig {
                 workers: 1,
                 batch: BatchConfig {

@@ -30,8 +30,9 @@
 //! [`Server`](crate::Server) worker groups wait for work).
 
 use crate::{Batch, BatchConfig, BatchItem, DynamicBatcher, Poll, Priority, SubmitError};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+use wino_obs::{FlightRecorder, ReqEvent, ReqEventKind};
 
 /// Outcome of polling a shard, distinguishing where the batch came
 /// from so metrics can count steals.
@@ -64,6 +65,11 @@ struct Shard<T> {
 pub struct ShardSet<T> {
     shards: Vec<Shard<T>>,
     steal: bool,
+    /// The always-on black box, when the owner attached one
+    /// ([`with_flight`](Self::with_flight)): every dispatch event is
+    /// mirrored into the event ring of the lane it happened on,
+    /// independently of whether global tracing is enabled.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl<T> ShardSet<T> {
@@ -88,7 +94,20 @@ impl<T> ShardSet<T> {
                 wake: Condvar::new(),
             })
             .collect();
-        ShardSet { shards, steal }
+        ShardSet { shards, steal, flight: None }
+    }
+
+    /// Attaches a [`FlightRecorder`] black box: dispatch events
+    /// (enqueues, batch releases, steals) are mirrored into its rings,
+    /// one lane per shard, regardless of the global tracing switch.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// The attached black box, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// Number of shards.
@@ -136,8 +155,51 @@ impl<T> ShardSet<T> {
     ) -> Result<u64, SubmitError> {
         let home = self.home(model);
         let seq = self.lock(home).submit(model, priority, payload, now)?;
+        if let Some(flight) = &self.flight {
+            flight.record(
+                home,
+                ReqEvent::new(seq, now, ReqEventKind::Admitted { class: priority.as_str() }),
+            );
+            flight.record(
+                home,
+                ReqEvent::new(seq, now, ReqEventKind::Enqueued { shard: home as u32 }),
+            );
+        }
         self.shards[home].wake.notify_one();
         Ok(seq)
+    }
+
+    /// Emits the dispatch events of one released batch — `Batched` on
+    /// the releasing shard, plus `Stolen` when the polling shard is a
+    /// different one — to both the global request trace and the
+    /// attached black box.
+    fn trace_dispatch(&self, batch: &Batch<T>, from: usize, polled: usize, now: Duration) {
+        let lanes = batch.requests.len() as u32;
+        for item in &batch.requests {
+            // A discrete-event driver can admit arrivals ahead of
+            // another worker's poll instant (mid-batch injection), so
+            // a full batch may release "before" a lane was enqueued.
+            // Dispatch cannot causally precede admission: stamp each
+            // lane at the later of the two.
+            let at = now.max(item.enqueued_at);
+            let batched =
+                ReqEvent::new(item.seq, at, ReqEventKind::Batched { shard: from as u32, lanes });
+            wino_obs::record_req(&batched);
+            if let Some(flight) = &self.flight {
+                flight.record(from, batched);
+            }
+            if polled != from {
+                let stolen = ReqEvent::new(
+                    item.seq,
+                    at,
+                    ReqEventKind::Stolen { from: from as u32, to: polled as u32 },
+                );
+                wino_obs::record_req(&stolen);
+                if let Some(flight) = &self.flight {
+                    flight.record(polled, stolen);
+                }
+            }
+        }
     }
 
     /// Wakes one worker parked on `shard` (submit-side notification
@@ -161,7 +223,10 @@ impl<T> ShardSet<T> {
     /// through.
     pub fn poll_at(&self, shard: usize, now: Duration) -> ShardPoll<T> {
         let mut hint = match self.lock(shard).poll(now) {
-            Poll::Ready(batch) => return ShardPoll::Ready { batch, from: shard },
+            Poll::Ready(batch) => {
+                self.trace_dispatch(&batch, shard, shard, now);
+                return ShardPoll::Ready { batch, from: shard };
+            }
             Poll::Wait(hint) => hint,
         };
         if self.steal {
@@ -169,7 +234,10 @@ impl<T> ShardSet<T> {
             for step in 1..count {
                 let other = (shard + step) % count;
                 match self.lock(other).poll(now) {
-                    Poll::Ready(batch) => return ShardPoll::Ready { batch, from: other },
+                    Poll::Ready(batch) => {
+                        self.trace_dispatch(&batch, other, shard, now);
+                        return ShardPoll::Ready { batch, from: other };
+                    }
                     Poll::Wait(other_hint) => {
                         if let Some(d) = other_hint {
                             hint = Some(hint.map_or(d, |h: Duration| h.min(d)));
@@ -195,6 +263,8 @@ impl<T> ShardSet<T> {
         };
         let mut guard = self.lock(shard);
         if let Poll::Ready(batch) = guard.poll(now) {
+            drop(guard);
+            self.trace_dispatch(&batch, shard, shard, now);
             return ShardPoll::Ready { batch, from: shard };
         }
         let timeout = hint.map(|d| d.saturating_sub(now)).unwrap_or(cap).min(cap);
@@ -216,9 +286,15 @@ impl<T> ShardSet<T> {
 
     /// Releases one batch from the first non-empty shard regardless of
     /// deadlines — the shutdown drain loop's step. Returns `None` only
-    /// when every shard is empty.
-    pub fn drain_one(&self) -> Option<Batch<T>> {
-        (0..self.shards.len()).find_map(|s| self.lock(s).pop_any())
+    /// when every shard is empty. `now` stamps the dispatch events of
+    /// the drained batch (the drain is still a batch release as far as
+    /// the request trace is concerned).
+    pub fn drain_one(&self, now: Duration) -> Option<Batch<T>> {
+        (0..self.shards.len()).find_map(|s| {
+            let batch = self.lock(s).pop_any()?;
+            self.trace_dispatch(&batch, s, s, now);
+            Some(batch)
+        })
     }
 
     /// Requests queued for `model` (on its home shard).
@@ -359,7 +435,7 @@ mod tests {
         }
         assert_eq!(s.total_queued(), 4);
         let mut drained = 0;
-        while let Some(batch) = s.drain_one() {
+        while let Some(batch) = s.drain_one(at(9)) {
             drained += batch.requests.len();
         }
         assert_eq!(drained, 4);

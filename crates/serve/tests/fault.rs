@@ -106,6 +106,52 @@ fn shutdown_drains_and_joins_cleanly_after_a_fault() {
     assert!(resolved[1].is_err(), "poisoned seed resolves to an explicit error");
 }
 
+/// The fault path leaves a black box behind: the always-on flight
+/// recorder captures the panic-retry and failure events, the worker
+/// dumps `flight_fault.json` into the configured directory, and
+/// shutdown leaves `flight_drain.json` — both valid JSON.
+#[test]
+fn fault_leaves_a_black_box_dump_behind() {
+    let dir = std::env::temp_dir().join(format!("wino_flight_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create dump dir");
+    let server = Server::start(
+        toy_registry(8),
+        ServeConfig {
+            workers: 1,
+            inject_panic_seed: Some(POISON),
+            batch: BatchConfig {
+                max_batch: 2,
+                max_wait: Duration::from_millis(2),
+                queue_capacity: 64,
+            },
+            flight_dump_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+    );
+    let poisoned = server.submit(&"toy".into(), Priority::Normal, POISON).expect("admitted");
+    let innocent = server.submit(&"toy".into(), Priority::Normal, 7).expect("admitted");
+    assert!(poisoned.wait().is_err(), "poison must fail");
+    innocent.wait().expect("innocent served");
+    // The in-memory black box is readable on a live server, dump
+    // directory or not.
+    let live = server.flight_json("inspect");
+    wino_obs::validate_json(&live).expect("live flight dump is valid JSON");
+    assert!(live.contains("\"cause\": \"inspect\""), "{live}");
+    server.shutdown();
+    // Workers are joined: both the fault dump and the shutdown drain
+    // dump are complete on disk.
+    for (file, cause) in [("flight_fault.json", "fault"), ("flight_drain.json", "drain")] {
+        let text = std::fs::read_to_string(dir.join(file))
+            .unwrap_or_else(|e| panic!("missing black box {file}: {e}"));
+        wino_obs::validate_json(&text).unwrap_or_else(|e| panic!("{file} invalid: {e}"));
+        assert!(text.contains(&format!("\"cause\": \"{cause}\"")), "{file} lacks its cause");
+        assert!(text.contains("\"panic-retry\""), "{file} lost the panic-retry event");
+        assert!(text.contains("\"failed\""), "{file} lost the failure event");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Repeated faults on a continuously-batched, multi-shard server:
 /// whatever batch the poison lands in (initial lanes or a mid-flight
 /// joiner), the accounting invariant holds — every submission is

@@ -90,6 +90,18 @@ fn the_documentation_spine_cross_references_itself() {
     assert!(experiments.contains("BENCH_serve.json"));
     // The serving subsystem is on the architecture map.
     assert!(arch.contains("wino-serve"), "ARCHITECTURE must map the serve crate");
+    // The SLO study and the storm's trace artifacts are documented:
+    // CI uploads them, so the experiment book must say what they are.
+    assert!(experiments.contains("\"slo\""), "EXPERIMENTS must document the slo section");
+    assert!(experiments.contains("STORM_trace.json"), "EXPERIMENTS must document STORM_trace.json");
+    assert!(
+        experiments.contains("STORM_flight.json"),
+        "EXPERIMENTS must document STORM_flight.json"
+    );
+    // The request-trace vocabulary and black box are on the map.
+    assert!(arch.contains("TraceIndex"), "ARCHITECTURE must describe request tracing");
+    assert!(arch.contains("FlightRecorder"), "ARCHITECTURE must describe the black box");
+    assert!(arch.contains("SloEngine"), "ARCHITECTURE must describe the SLO engine");
 }
 
 #[test]

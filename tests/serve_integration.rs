@@ -103,6 +103,7 @@ fn sharded_continuous_server_stays_bitwise_under_bursty_traffic() {
             },
             slo: None,
             inject_panic_seed: None,
+            ..ServeConfig::default()
         },
     );
     assert_eq!(server.shard_count(), 3);
