@@ -6,6 +6,23 @@
 //! radix-2 complex FFT and 2-D FFT convolution so that claim is
 //! reproducible: [`fft_conv_complexity`] vs the Winograd/spatial counts
 //! shows the crossover as `r` grows.
+//!
+//! The prepare-once state — twiddle factors for every butterfly stage
+//! and the flipped kernel spectra — is computed exactly once per
+//! [`fft_convolve`] call (see [`FftPlan`]), not per image or per stage,
+//! so the reference is an honest baseline for the prepared
+//! `wino-exec::PreparedFft` backend.
+//!
+//! **Real-input packing note.** This reference transforms each real
+//! plane as a full complex FFT for clarity, spending twice the
+//! arithmetic a real-input transform needs: two real rows can ride one
+//! complex FFT (pack `z = a + i·b`, then split `A[v] = (Z[v] +
+//! conj(Z[n−v]))/2`, `B[v] = (Z[v] − conj(Z[n−v]))/(2i)`), and Hermitian
+//! symmetry `F(u, v) = conj(F(−u, −v))` means only the `n·(n/2+1)`
+//! half-plane bins need storing or multiplying. The prepared backend
+//! and the `fft_layer_mults` cost model in `wino-core` both use that
+//! packing; this module documents it but keeps the straightforward
+//! complex path as the oracle.
 
 use wino_tensor::{Shape4, Tensor4};
 
@@ -46,7 +63,98 @@ impl std::ops::Sub for Complex {
     }
 }
 
+/// Precomputed twiddle tables for radix-2 FFTs of one length — the
+/// prepare-once half of the reference path.
+///
+/// The naive iterative FFT recomputes `cos`/`sin` per butterfly stage
+/// and grows each stage's twiddle by repeated complex multiplication on
+/// **every call**; a convolution makes thousands of calls over the same
+/// length. An `FftPlan` tabulates every stage's twiddle powers once
+/// (directly from `cos`/`sin`, which is also more accurate than the
+/// repeated-product recurrence) and [`FftPlan::run`] reuses them.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Forward twiddles, stage-major: for `len = 2, 4, …, n` the
+    /// `len/2` powers of `exp(−2πi/len)` laid out contiguously.
+    forward: Vec<Complex>,
+    /// Inverse twiddles — elementwise conjugates of `forward`.
+    inverse: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Tabulates twiddles for length-`n` transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let mut forward = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            for k in 0..len / 2 {
+                let a = ang * k as f64;
+                forward.push(Complex::new(a.cos(), a.sin()));
+            }
+            len <<= 1;
+        }
+        let inverse = forward.iter().map(|w| Complex::new(w.re, -w.im)).collect();
+        FftPlan { n, forward, inverse }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// In-place iterative radix-2 Cooley–Tukey FFT using the
+    /// precomputed tables. `inverse = true` computes the unscaled
+    /// inverse transform (the caller divides by the length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from [`FftPlan::size`].
+    pub fn run(&self, buf: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "buffer length must match the plan size {n}");
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+            let j = j as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Butterflies, twiddles read from the stage-major tables.
+        let tw = if inverse { &self.inverse } else { &self.forward };
+        let mut len = 2;
+        let mut base = 0;
+        while len <= n {
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let u = buf[start + k];
+                    let v = buf[start + k + len / 2] * tw[base + k];
+                    buf[start + k] = u + v;
+                    buf[start + k + len / 2] = u - v;
+                }
+            }
+            base += len / 2;
+            len <<= 1;
+        }
+    }
+}
+
 /// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// One-shot convenience over [`FftPlan`]: builds the twiddle tables,
+/// runs, and throws them away. Anything transforming more than once per
+/// length should hold an [`FftPlan`] instead.
 ///
 /// `inverse = true` computes the unscaled inverse transform (the caller
 /// divides by the length).
@@ -55,51 +163,21 @@ impl std::ops::Sub for Complex {
 ///
 /// Panics if `buf.len()` is not a power of two.
 pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
-    let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
-    if n <= 1 {
-        return;
-    }
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
-        let j = j as usize;
-        if i < j {
-            buf.swap(i, j);
-        }
-    }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::new(ang.cos(), ang.sin());
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::new(1.0, 0.0);
-            for k in 0..len / 2 {
-                let u = buf[start + k];
-                let v = buf[start + k + len / 2] * w;
-                buf[start + k] = u + v;
-                buf[start + k + len / 2] = u - v;
-                w = w * wlen;
-            }
-        }
-        len <<= 1;
-    }
+    FftPlan::new(buf.len()).run(buf, inverse);
 }
 
 /// 2-D FFT over a row-major `size × size` buffer (rows then columns).
-fn fft2_in_place(buf: &mut [Complex], size: usize, inverse: bool) {
+fn fft2_in_place(plan: &FftPlan, buf: &mut [Complex], size: usize, inverse: bool) {
+    debug_assert_eq!(plan.size(), size);
     let mut scratch = vec![Complex::default(); size];
     for row in 0..size {
-        fft_in_place(&mut buf[row * size..(row + 1) * size], inverse);
+        plan.run(&mut buf[row * size..(row + 1) * size], inverse);
     }
     for col in 0..size {
         for row in 0..size {
             scratch[row] = buf[row * size + col];
         }
-        fft_in_place(&mut scratch, inverse);
+        plan.run(&mut scratch, inverse);
         for row in 0..size {
             buf[row * size + col] = scratch[row];
         }
@@ -128,9 +206,11 @@ pub fn fft_convolve(input: &Tensor4<f32>, kernels: &Tensor4<f32>, pad: usize) ->
     let out_h = is.h + 2 * pad - r + 1;
     let out_w = is.w + 2 * pad - r + 1;
     let size = (is.h.max(is.w) + r - 1).next_power_of_two();
+    // Prepare-once state: twiddle tables for every transform below…
+    let plan = FftPlan::new(size);
 
-    // Frequency-domain kernels, spatially flipped so the product is a
-    // correlation (Eq. 1) rather than a convolution.
+    // …and the frequency-domain kernels, spatially flipped so the
+    // product is a correlation (Eq. 1) rather than a convolution.
     let mut kernel_freq: Vec<Vec<Vec<Complex>>> = Vec::with_capacity(ks.n);
     for k in 0..ks.n {
         let mut per_channel = Vec::with_capacity(ks.c);
@@ -141,7 +221,7 @@ pub fn fft_convolve(input: &Tensor4<f32>, kernels: &Tensor4<f32>, pad: usize) ->
                     buf[(r - 1 - v) * size + (r - 1 - u)].re = kernels.at(k, c, v, u) as f64;
                 }
             }
-            fft2_in_place(&mut buf, size, false);
+            fft2_in_place(&plan, &mut buf, size, false);
             per_channel.push(buf);
         }
         kernel_freq.push(per_channel);
@@ -158,7 +238,7 @@ pub fn fft_convolve(input: &Tensor4<f32>, kernels: &Tensor4<f32>, pad: usize) ->
                     buf[y * size + x].re = input.at(img, c, y, x) as f64;
                 }
             }
-            fft2_in_place(&mut buf, size, false);
+            fft2_in_place(&plan, &mut buf, size, false);
             input_freq.push(buf);
         }
         for (k, kernel_channels) in kernel_freq.iter().enumerate() {
@@ -169,7 +249,7 @@ pub fn fft_convolve(input: &Tensor4<f32>, kernels: &Tensor4<f32>, pad: usize) ->
                     *dst = *dst + a * b;
                 }
             }
-            fft2_in_place(&mut acc, size, true);
+            fft2_in_place(&plan, &mut acc, size, true);
             let scale = 1.0 / (size * size) as f64;
             // Linear correlation appears at offset r-1-pad.
             let off = r - 1 - pad;
@@ -235,6 +315,40 @@ mod tests {
     fn non_power_of_two_panics() {
         let mut buf = vec![Complex::default(); 6];
         fft_in_place(&mut buf, false);
+    }
+
+    #[test]
+    fn reused_plan_is_bitwise_identical_to_one_shot() {
+        // The twiddle hoist must be a pure strength reduction: a plan
+        // run many times produces exactly what the one-shot wrapper
+        // produces, bit for bit.
+        let mut rng = SplitMix64::new(77);
+        let plan = FftPlan::new(32);
+        assert_eq!(plan.size(), 32);
+        for _ in 0..4 {
+            let original: Vec<Complex> = (0..32)
+                .map(|_| {
+                    Complex::new(
+                        rng.uniform_f32(-1.0, 1.0) as f64,
+                        rng.uniform_f32(-1.0, 1.0) as f64,
+                    )
+                })
+                .collect();
+            for inverse in [false, true] {
+                let mut a = original.clone();
+                let mut b = original.clone();
+                plan.run(&mut a, inverse);
+                fft_in_place(&mut b, inverse);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "match the plan size")]
+    fn plan_rejects_mismatched_buffer() {
+        let mut buf = vec![Complex::default(); 16];
+        FftPlan::new(32).run(&mut buf, false);
     }
 
     #[test]

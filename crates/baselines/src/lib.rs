@@ -31,7 +31,7 @@ mod gemm;
 mod im2col;
 mod spatial;
 
-pub use fft::{fft_conv_complexity, fft_convolve, fft_in_place, Complex};
+pub use fft::{fft_conv_complexity, fft_convolve, fft_in_place, Complex, FftPlan};
 pub use gemm::gemm;
 pub use im2col::{im2col, im2col_convolve};
 pub use spatial::{spatial_convolve, spatial_convolve_strided};

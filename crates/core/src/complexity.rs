@@ -223,12 +223,129 @@ pub fn overhead_ratio_per_pe(params: WinogradParams, ops: TransformOps) -> f64 {
     transform / params.spatial_mults_per_tile_2d() as f64
 }
 
+// --- FFT convolution cost model -------------------------------------
+//
+// The paper motivates Winograd *against* FFT convolution, which "shows
+// savings only for high kernel sizes" (Sec. II). To let the design-space
+// search arbitrate that trade per layer, the same closed-form treatment
+// the Winograd engine gets above is extended to tile-wise overlap–save
+// FFT convolution with an `N×N` transform: each `N×N` input window at
+// stride `L = N−r+1` produces `L×L` valid outputs, the kernel spectra
+// are precomputed (the analogue of the offline filter transform), and
+// the per-tile online cost is two real-input 2-D FFTs (forward on the
+// data, inverse on the product) plus a complex pointwise multiply over
+// the Hermitian half-plane.
+
+/// Output tiles per image for tile-wise overlap–save FFT(`n`): whole
+/// `L×L` output blocks with `L = n−r+1` (the FFT analogue of
+/// [`TileModel::Ceil`] — an overlap–save tiler always executes whole
+/// windows).
+///
+/// # Panics
+///
+/// Panics when `n < shape.r` (no valid outputs per window).
+pub fn fft_output_tiles(shape: &ConvShape, n: usize) -> f64 {
+    assert!(n >= shape.r, "FFT size {n} smaller than kernel {}", shape.r);
+    let l = n - shape.r + 1;
+    (shape.out_h().div_ceil(l) * shape.out_w().div_ceil(l)) as f64
+}
+
+/// Real multiplications of one real-input `n×n` 2-D FFT.
+///
+/// A complex radix-2 `n`-point FFT costs `(n/2)·log₂n` butterflies of 4
+/// real multiplications each, i.e. `2n·log₂n`; a 2-D complex transform
+/// is `2n` such passes. Packing two real rows into one complex FFT (the
+/// standard real-input trick — see `wino-baselines`' packing note)
+/// halves that, giving `≈ 2n²·log₂n` real multiplications.
+pub fn rfft2_mults(n: usize) -> f64 {
+    2.0 * (n * n) as f64 * (n as f64).log2()
+}
+
+/// Online real multiplications for one layer under tile-wise
+/// overlap–save real-input FFT(`n`): per tile, `C` forward transforms,
+/// a `K×C` complex pointwise multiply over the `n·(n/2+1)` half-plane
+/// bins (4 real multiplications per complex product), and `K` inverse
+/// transforms. Kernel spectra are precomputed at prepare time and cost
+/// nothing online, exactly like the Winograd filter transform.
+///
+/// # Panics
+///
+/// Panics when `n < shape.r` (via [`fft_output_tiles`]).
+pub fn fft_layer_mults(batch: usize, shape: &ConvShape, n: usize) -> f64 {
+    let tiles = batch as f64 * fft_output_tiles(shape, n);
+    let bins = (n * (n / 2 + 1)) as f64;
+    let transforms = (shape.c + shape.k) as f64 * rfft2_mults(n);
+    let pointwise = (shape.c * shape.k) as f64 * bins * 4.0;
+    tiles * (transforms + pointwise)
+}
+
+/// Total layer latency in seconds of an FFT(`n`) engine treated as a
+/// pipelined array of `multipliers` real multipliers at `freq_hz` — the
+/// FFT counterpart of [`latency_seconds`] (Eq. 9), with the same
+/// `D_p − 1` pipeline-fill term.
+///
+/// # Panics
+///
+/// Panics when `n < shape.r` (via [`fft_layer_mults`]).
+pub fn fft_latency_seconds(
+    batch: usize,
+    shape: &ConvShape,
+    n: usize,
+    multipliers: f64,
+    pipeline_depth: usize,
+    freq_hz: f64,
+) -> f64 {
+    let cycles = fft_layer_mults(batch, shape, n) / multipliers + pipeline_depth as f64 - 1.0;
+    cycles / freq_hz
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p(m: usize) -> WinogradParams {
         WinogradParams::new(m, 3).unwrap()
+    }
+
+    #[test]
+    fn fft_savings_appear_only_at_high_kernel_sizes() {
+        // The paper's Sec. II claim, now quantitative: at r = 3
+        // Winograd F(4×4, 3×3) needs fewer multiplications than any
+        // affordable FFT size, while at r = 11 the FFT decisively
+        // overtakes both Winograd and direct convolution.
+        let small = ConvShape::same_padded(56, 56, 64, 64, 3);
+        let large = ConvShape { h: 56, w: 56, c: 64, k: 64, r: 11, stride: 1, pad: 5 };
+        let f43 = winograd_mults(1, &small, WinogradParams::new(4, 3).unwrap(), TileModel::Ceil);
+        let f2_11 = winograd_mults(1, &large, WinogradParams::new(2, 11).unwrap(), TileModel::Ceil);
+        for n in [8, 16, 32] {
+            assert!(fft_layer_mults(1, &small, n) > f43, "FFT({n}) must lose at r = 3");
+        }
+        assert!(fft_layer_mults(1, &large, 32) < f2_11 / 3.0, "FFT(32) must win at r = 11");
+        assert!(fft_layer_mults(1, &large, 32) < spatial_mults(1, &large) as f64 / 4.0);
+    }
+
+    #[test]
+    fn fft_tiles_count_whole_overlap_save_windows() {
+        let s = ConvShape::same_padded(56, 56, 8, 8, 3);
+        // N = 16, r = 3 → L = 14, ⌈56/14⌉² = 16 windows.
+        assert_eq!(fft_output_tiles(&s, 16), 16.0);
+        // Larger N amortizes better: fewer, bigger windows.
+        assert_eq!(fft_output_tiles(&s, 32), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn fft_size_below_kernel_panics() {
+        let s = ConvShape { h: 8, w: 8, c: 1, k: 1, r: 5, stride: 1, pad: 2 };
+        let _ = fft_output_tiles(&s, 4);
+    }
+
+    #[test]
+    fn fft_latency_matches_hand_count() {
+        let s = ConvShape::same_padded(28, 28, 4, 8, 3);
+        let mults = fft_layer_mults(2, &s, 16);
+        let got = fft_latency_seconds(2, &s, 16, 100.0, 8, 100e6);
+        assert!((got - (mults / 100.0 + 7.0) / 100e6).abs() < 1e-12);
     }
 
     #[test]

@@ -46,9 +46,10 @@ mod workload;
 
 pub use analysis::{error_growth, random_matrix, ErrorGrowthPoint};
 pub use complexity::{
-    engine_cycles, implementation_overhead, latency_seconds, output_tiles, overhead_ratio_per_pe,
-    overhead_ratio_shared, pe_count, pe_count_continuous, spatial_mults, spatial_ops,
-    throughput_gops, transform_complexity, winograd_mults, TileModel, TransformBreakdown,
+    engine_cycles, fft_latency_seconds, fft_layer_mults, fft_output_tiles, implementation_overhead,
+    latency_seconds, output_tiles, overhead_ratio_per_pe, overhead_ratio_shared, pe_count,
+    pe_count_continuous, rfft2_mults, spatial_mults, spatial_ops, throughput_gops,
+    transform_complexity, winograd_mults, TileModel, TransformBreakdown,
 };
 pub use cse::{cse_optimize, transform_ops_2d_cse, CseResult};
 pub use fast::{

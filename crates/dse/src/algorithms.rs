@@ -1,0 +1,74 @@
+//! Per-algorithm analytical latency entry points for the evaluator.
+//!
+//! The Winograd path has always flowed through
+//! [`wino_core::latency_seconds`]; this module adds the FFT
+//! counterpart so heterogeneous searches can cost a frequency-domain
+//! engine context with the same conventions (Eq. 9's
+//! `cycles = mults / multipliers + D_p − 1` pipeline accounting and
+//! whole-tile overlap–save window counts).
+
+use wino_core::{fft_latency_seconds, ConvShape};
+
+/// Analytical latency of one FFT engine context running a layer as
+/// overlap–save convolution with FFT size `n` on `multipliers` parallel
+/// real multipliers — the FFT analogue of the Winograd context latency
+/// `wino_core::latency_seconds` the evaluator already uses.
+///
+/// Forwards to [`wino_core::fft_latency_seconds`]; see there for the
+/// multiply count (`fft_layer_mults`: per-tile forward transforms of
+/// `C + K` planes plus the `4·C·K` real multiplies per kept half-plane
+/// bin, kernel spectra excluded as offline like the Winograd filter
+/// transform).
+///
+/// # Panics
+///
+/// Panics when `n < shape.r`, `multipliers` is not positive, or
+/// `freq_hz` is not positive.
+pub fn fft_context_latency_seconds(
+    batch: usize,
+    shape: &ConvShape,
+    n: usize,
+    multipliers: f64,
+    pipeline_depth: usize,
+    freq_hz: f64,
+) -> f64 {
+    assert!(multipliers > 0.0, "multipliers must be positive");
+    assert!(freq_hz > 0.0, "frequency must be positive");
+    fft_latency_seconds(batch, shape, n, multipliers, pipeline_depth, freq_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_core::{latency_seconds, TileModel, WinogradParams};
+
+    #[test]
+    fn fft_context_matches_core_model() {
+        let shape = ConvShape::same_padded(56, 56, 64, 64, 3);
+        let direct = wino_core::fft_latency_seconds(1, &shape, 16, 256.0, 8, 200e6);
+        assert_eq!(fft_context_latency_seconds(1, &shape, 16, 256.0, 8, 200e6), direct);
+    }
+
+    #[test]
+    fn large_kernels_favor_fft_over_winograd_contexts() {
+        // The crossover the paper motivates FFT with: at r = 11 the
+        // Winograd transform overhead dominates and the FFT context is
+        // faster on the same multiplier budget.
+        // Equal multiplier budgets: a Winograd PE of F(2,11) holds
+        // (2+11-1)² = 144 multipliers, so 1024 multipliers pack 7 PEs.
+        let budget = 1024usize;
+        let shape = ConvShape { h: 64, w: 64, c: 24, k: 24, r: 11, stride: 1, pad: 5 };
+        let params = WinogradParams::new(2, 11).unwrap();
+        let pe = wino_core::pe_count(budget, params);
+        let wino = latency_seconds(1, &shape, params, pe as f64, 8, 200e6, TileModel::Ceil);
+        let fft = fft_context_latency_seconds(1, &shape, 32, budget as f64, 8, 200e6);
+        assert!(fft < wino / 2.0, "fft {fft} vs winograd {wino}");
+    }
+
+    #[test]
+    #[should_panic(expected = "multipliers must be positive")]
+    fn zero_multipliers_panic() {
+        let shape = ConvShape::same_padded(8, 8, 1, 1, 3);
+        let _ = fft_context_latency_seconds(1, &shape, 8, 0.0, 8, 200e6);
+    }
+}

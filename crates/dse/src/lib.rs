@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod algorithms;
 mod baselines;
 mod explore;
 pub mod figures;
@@ -42,6 +43,7 @@ mod render;
 pub mod roofline;
 pub mod tables;
 
+pub use algorithms::fft_context_latency_seconds;
 pub use baselines::{podili_asap17, podili_normalized, qiu_fpga16, BaselineRecord, Provenance};
 pub use explore::{best_design, pareto_front, sweep_m, Objective};
 pub use figures::{fig1, fig2, fig3, fig6, transform_ops_series, SeriesFigure};

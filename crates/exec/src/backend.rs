@@ -1,0 +1,173 @@
+//! The pluggable convolution-backend layer: one contract that every
+//! prepared engine implements.
+//!
+//! Historically the execution stack hard-coded a two-way choice —
+//! [`PreparedWinograd`] or an inline spatial closure — inside
+//! [`PreparedPlan`](crate::PreparedPlan). This module extracts the
+//! common **prepare-once / execute-many** shape of both into
+//! [`ConvBackend`], so adding an algorithm (the overlap–save
+//! [`PreparedFft`] is the third implementor) touches engine selection
+//! in exactly one place instead of every match over
+//! [`EnginePlan`](crate::EnginePlan).
+//!
+//! The contract every implementor honors:
+//!
+//! * **Prepare once** — anything derivable from the kernel bank alone
+//!   (the Winograd `V`-bank, the FFT kernel spectra, a quantized copy
+//!   of the kernels) is computed at construction, never per call.
+//! * **Execute many, batched and threaded** — `execute` takes an
+//!   `(N, C, H, W)` batch and a worker fan-out; batch size is free per
+//!   call.
+//! * **Bitwise thread-count-invariance** — every work item accumulates
+//!   in one fixed order under the deterministic chunk scheduler, so
+//!   output bits never depend on `threads`. `crates/exec/tests` pins
+//!   this per backend.
+
+use crate::fft::PreparedFft;
+use crate::layer::PreparedWinograd;
+use crate::spatial_convolve_mt;
+use wino_tensor::{Scalar, Tensor4};
+
+/// A prepared convolution engine: kernel bank preprocessed at
+/// construction, batched threaded execution, bitwise
+/// thread-count-invariance (see the module docs for the full contract).
+///
+/// Layer *geometry* other than the kernel bank — padding, and for
+/// strided-capable backends the stride — is passed at execution time,
+/// mirroring [`PreparedWinograd::execute`]: the prepared state depends
+/// only on the kernels, so one backend can serve any compatible
+/// geometry.
+pub trait ConvBackend<T: Scalar>: Send + Sync {
+    /// Human-readable algorithm label, matching the corresponding
+    /// [`EnginePlan`](crate::EnginePlan) display: `F(4x4, 3x3)`,
+    /// `FFT(16)`, or `spatial`.
+    fn algorithm(&self) -> String;
+
+    /// Runs the prepared engine over an `(N, C, H, W)` batch with
+    /// symmetric zero padding `pad`, fanned across `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` is incompatible with the prepared kernel
+    /// bank (channel mismatch, or a padded extent smaller than the
+    /// kernel).
+    fn execute(&self, input: &Tensor4<T>, pad: usize, threads: usize) -> Tensor4<T>;
+}
+
+/// The spatial engine as a prepared backend: direct convolution with
+/// arbitrary stride, the fallback every layer can run.
+///
+/// There is no transform to hoist, so "preparation" is only owning the
+/// (possibly quantized) kernel tensor and the layer stride; execution
+/// is [`spatial_convolve_mt`] unchanged — bitwise identical to the
+/// one-shot path at any thread count.
+#[derive(Debug, Clone)]
+pub struct PreparedSpatial<T: Scalar> {
+    kernels: Tensor4<T>,
+    stride: usize,
+}
+
+impl<T: Scalar> PreparedSpatial<T> {
+    /// Wraps a kernel bank and stride for repeated spatial execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride == 0` or kernels are not square.
+    pub fn new(kernels: Tensor4<T>, stride: usize) -> PreparedSpatial<T> {
+        assert!(stride > 0, "stride must be positive");
+        let ks = kernels.shape();
+        assert_eq!(ks.h, ks.w, "kernels must be square");
+        PreparedSpatial { kernels, stride }
+    }
+
+    /// The stride bound at construction.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+}
+
+impl<T: Scalar> ConvBackend<T> for PreparedSpatial<T> {
+    fn algorithm(&self) -> String {
+        "spatial".to_owned()
+    }
+
+    fn execute(&self, input: &Tensor4<T>, pad: usize, threads: usize) -> Tensor4<T> {
+        spatial_convolve_mt(input, &self.kernels, pad, self.stride, threads)
+    }
+}
+
+impl<T: Scalar> ConvBackend<T> for PreparedWinograd<T> {
+    fn algorithm(&self) -> String {
+        self.params().to_string()
+    }
+
+    fn execute(&self, input: &Tensor4<T>, pad: usize, threads: usize) -> Tensor4<T> {
+        PreparedWinograd::execute(self, input, pad, threads)
+    }
+}
+
+impl<T: Scalar> ConvBackend<T> for PreparedFft<T> {
+    fn algorithm(&self) -> String {
+        format!("FFT({})", self.fft_size())
+    }
+
+    fn execute(&self, input: &Tensor4<T>, pad: usize, threads: usize) -> Tensor4<T> {
+        PreparedFft::execute(self, input, pad, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_core::WinogradParams;
+    use wino_tensor::{Shape4, SplitMix64};
+
+    fn pair(seed: u64) -> (Tensor4<f32>, Tensor4<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(Shape4 { n: 2, c: 3, h: 10, w: 9 }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        let kernels = Tensor4::from_fn(Shape4 { n: 4, c: 3, h: 3, w: 3 }, |_, _, _, _| {
+            rng.uniform_f32(-0.5, 0.5)
+        });
+        (input, kernels)
+    }
+
+    #[test]
+    fn trait_objects_dispatch_to_the_inherent_paths_bitwise() {
+        let (input, kernels) = pair(21);
+        let wino = PreparedWinograd::new(WinogradParams::new(2, 3).unwrap(), &kernels).unwrap();
+        let fft = PreparedFft::new(8, &kernels);
+        let spatial = PreparedSpatial::new(kernels.clone(), 1);
+        let backends: Vec<Box<dyn ConvBackend<f32>>> =
+            vec![Box::new(wino.clone()), Box::new(fft.clone()), Box::new(spatial)];
+        assert_eq!(
+            backends[0].execute(&input, 1, 2).as_slice(),
+            wino.execute(&input, 1, 2).as_slice()
+        );
+        assert_eq!(
+            backends[1].execute(&input, 1, 2).as_slice(),
+            fft.execute(&input, 1, 2).as_slice()
+        );
+        assert_eq!(
+            backends[2].execute(&input, 1, 2).as_slice(),
+            spatial_convolve_mt(&input, &kernels, 1, 1, 2).as_slice()
+        );
+    }
+
+    #[test]
+    fn algorithm_labels_match_engine_plan_display() {
+        let (_, kernels) = pair(22);
+        let wino = PreparedWinograd::new(WinogradParams::new(4, 3).unwrap(), &kernels).unwrap();
+        assert_eq!(ConvBackend::<f32>::algorithm(&wino), "F(4x4, 3x3)");
+        assert_eq!(PreparedFft::new(16, &kernels).algorithm(), "FFT(16)");
+        assert_eq!(PreparedSpatial::new(kernels, 2).algorithm(), "spatial");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_spatial_backend_panics() {
+        let kernels = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 1, h: 3, w: 3 });
+        let _ = PreparedSpatial::new(kernels, 0);
+    }
+}

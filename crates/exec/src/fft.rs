@@ -1,0 +1,596 @@
+//! The prepared FFT convolution backend: tile-wise overlap–save with a
+//! real-input half-plane transform, precomputed kernel spectra, and the
+//! transform-domain multiply expressed as the same coordinate-major
+//! blocked GEMM shape the Winograd engine uses.
+//!
+//! ## Algorithm
+//!
+//! [`PreparedFft`] runs **overlap–save**: every `N×N` input window is
+//! gathered at stride `L = N−r+1` (windows overlap by `r−1`), each
+//! window is convolved circularly in the frequency domain against the
+//! prepared kernel spectra, and the `L×L` *valid* region of each
+//! circular result is copied to the output. Overlap–save is the
+//! add-free dual of the overlap-and-add formulation: OaA splits the
+//! input into disjoint blocks and **sums** overlapping partial outputs,
+//! which would make output bits depend on the cross-tile accumulation
+//! order; overlap–save overlaps the *inputs* instead, so every output
+//! element is produced exactly once by exactly one tile and bitwise
+//! thread-count-invariance needs no cross-item discipline at all.
+//!
+//! ## Three-phase pipeline, same shape as Winograd
+//!
+//! 1. **Pack** — one item per [`PANEL_TILES`]-tile panel: gather each
+//!    tile's `N×N` window (zero-filled outside the padded input) and
+//!    forward-transform it with the real-input rfft2 below, scattering
+//!    the `N·(N/2+1)` half-plane bins into bin-major panels
+//!    `u[(bin·C + c)·np + tp]` — each bin's `C × np` slice is the `B`
+//!    operand of one GEMM, exactly like a Winograd coordinate.
+//! 2. **Multiply** — one item per `(bin, panel)` pair: the complex
+//!    product `M_bin = V_bin · U_bin` as **four real GEMMs** through
+//!    [`gemm_packed_a`] (`Re·Re`, `Im·Im`, `Re·Im`, `Im·Re` against the
+//!    pre-packed kernel-spectrum slabs) combined elementwise in fixed
+//!    order: `M_re = RR − II`, `M_im = RI + IR`.
+//! 3. **Inverse** — one item per `(image, tile-row)` pair: gather each
+//!    tile's bins, inverse rfft2, and copy the valid `L×L` block (at
+//!    circular-plane offset `r−1`) into the output rows.
+//!
+//! ## Real-input packing
+//!
+//! The forward transform packs two real rows into one complex FFT
+//! (`z = a + i·b`, split via `A[v] = (Z[v] + conj(Z[n−v]))/2`,
+//! `B[v] = (Z[v] − conj(Z[n−v]))/(2i)`) and keeps only the Hermitian
+//! half-plane `v ∈ 0..=N/2` through the column pass — the packing the
+//! `wino-baselines` module documents and `wino_core::fft_layer_mults`
+//! accounts for. The inverse reverses both steps and applies the
+//! `1/N²` scaling once.
+//!
+//! ## Precision
+//!
+//! Transform internals run in `f64` (matching the `wino-baselines`
+//! reference) regardless of the datapath scalar `T`: tile windows are
+//! widened via [`Scalar::to_f64`] on gather and narrowed via
+//! [`Scalar::from_f64`] on the final valid-region copy. Every step is
+//! sequential with a fixed order per tile, so outputs are bitwise
+//! identical at any thread count. The f32 serving path is the intended
+//! user; `Schedule` validation rejects FFT plans on quantized layers
+//! (the widened datapath would bypass DSP-style saturation), though the
+//! type itself stays generic so the backend layer has one shape.
+
+use crate::gemm::{gemm_packed_a, pack_a, MR, PANEL_TILES};
+use crate::layer::run_chunked;
+use std::marker::PhantomData;
+use wino_baselines::{Complex, FftPlan};
+use wino_core::ConvShape;
+use wino_obs::Span;
+use wino_tensor::{Scalar, Shape4, Tensor4};
+
+/// Half-plane bin count of a real-input `n×n` transform.
+fn bin_count(n: usize) -> usize {
+    n * (n / 2 + 1)
+}
+
+/// Forward real-input 2-D FFT of a row-major `n×n` plane: row pass with
+/// two-rows-per-complex-FFT packing keeping columns `v ∈ 0..=n/2`, then
+/// full complex column FFTs over the kept columns. Returns the
+/// `n·(n/2+1)` half-plane, row-frequency-major: `bins[u·(n/2+1) + v]`.
+fn rfft2_forward(plan: &FftPlan, real: &[f64], n: usize) -> Vec<Complex> {
+    let half = n / 2 + 1;
+    let mut rows = vec![Complex::default(); n * half];
+    let mut z = vec![Complex::default(); n];
+    for j in 0..n / 2 {
+        let (a, b) = (&real[2 * j * n..(2 * j + 1) * n], &real[(2 * j + 1) * n..(2 * j + 2) * n]);
+        for (x, slot) in z.iter_mut().enumerate() {
+            *slot = Complex::new(a[x], b[x]);
+        }
+        plan.run(&mut z, false);
+        for v in 0..half {
+            let zv = z[v];
+            let zn = z[(n - v) % n];
+            rows[2 * j * half + v] = Complex::new((zv.re + zn.re) / 2.0, (zv.im - zn.im) / 2.0);
+            rows[(2 * j + 1) * half + v] =
+                Complex::new((zv.im + zn.im) / 2.0, (zn.re - zv.re) / 2.0);
+        }
+    }
+    let mut out = vec![Complex::default(); n * half];
+    let mut col = vec![Complex::default(); n];
+    for v in 0..half {
+        for (u, slot) in col.iter_mut().enumerate() {
+            *slot = rows[u * half + v];
+        }
+        plan.run(&mut col, false);
+        for (u, &value) in col.iter().enumerate() {
+            out[u * half + v] = value;
+        }
+    }
+    out
+}
+
+/// Inverse of [`rfft2_forward`] including the `1/n²` scaling: column
+/// inverse FFTs over the kept columns, then row reconstruction — each
+/// pair of row spectra is Hermitian-extended into one complex inverse
+/// FFT whose real/imaginary parts are two real output rows.
+fn rfft2_inverse(plan: &FftPlan, bins: &[Complex], n: usize, real_out: &mut [f64]) {
+    let half = n / 2 + 1;
+    let mut rows = vec![Complex::default(); n * half];
+    let mut col = vec![Complex::default(); n];
+    for v in 0..half {
+        for (u, slot) in col.iter_mut().enumerate() {
+            *slot = bins[u * half + v];
+        }
+        plan.run(&mut col, true);
+        for (u, &value) in col.iter().enumerate() {
+            rows[u * half + v] = value;
+        }
+    }
+    let scale = 1.0 / (n * n) as f64;
+    let mut z = vec![Complex::default(); n];
+    for j in 0..n / 2 {
+        let a = &rows[2 * j * half..2 * j * half + half];
+        let b = &rows[(2 * j + 1) * half..(2 * j + 1) * half + half];
+        for (v, slot) in z.iter_mut().enumerate() {
+            *slot = if v < half {
+                Complex::new(a[v].re - b[v].im, a[v].im + b[v].re)
+            } else {
+                // Hermitian extension: A[v] = conj(A[n−v]), same for B.
+                let (ac, bc) = (a[n - v], b[n - v]);
+                Complex::new(ac.re + bc.im, bc.re - ac.im)
+            };
+        }
+        plan.run(&mut z, true);
+        for (x, &value) in z.iter().enumerate() {
+            real_out[2 * j * n + x] = value.re * scale;
+            real_out[(2 * j + 1) * n + x] = value.im * scale;
+        }
+    }
+}
+
+/// An FFT convolution layer whose kernel spectra have already been
+/// transformed and GEMM-packed — the frequency-domain analogue of
+/// [`PreparedWinograd`](crate::PreparedWinograd), and the third
+/// implementor of [`ConvBackend`](crate::ConvBackend).
+///
+/// Construction transforms every `(k, c)` kernel (spatially flipped so
+/// the frequency product is a correlation) into its half-plane
+/// spectrum and packs the per-bin `K×C` real and imaginary matrices
+/// into the GEMM micro-kernel's `A` layout, exactly as
+/// `PreparedWinograd::new` packs the `V`-bank. Execution is the
+/// three-phase overlap–save pipeline in the module docs; see there for
+/// the determinism argument.
+#[derive(Debug, Clone)]
+pub struct PreparedFft<T: Scalar> {
+    plan: FftPlan,
+    n: usize,
+    r: usize,
+    k: usize,
+    c: usize,
+    nbins: usize,
+    /// Real parts of the per-bin kernel-spectrum matrices, bin-major:
+    /// slab `bin` (of `v_slab` elements) is `pack_a` of `V_bin[k][c].re`.
+    v_re: Vec<f64>,
+    /// Imaginary parts, same layout as `v_re`.
+    v_im: Vec<f64>,
+    v_slab: usize,
+    _scalar: PhantomData<T>,
+}
+
+impl<T: Scalar> PreparedFft<T> {
+    /// Precomputes the kernel spectra for FFT size `n` and packs them
+    /// for the GEMM micro-kernel, caching both for any number of later
+    /// [`execute`](Self::execute) calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a power of two of at least 4, kernels are
+    /// not square, or `n` is smaller than the kernel size.
+    pub fn new(n: usize, kernels: &Tensor4<T>) -> PreparedFft<T> {
+        assert!(n >= 4 && n.is_power_of_two(), "FFT size {n} must be a power of two >= 4");
+        let ks = kernels.shape();
+        assert_eq!(ks.h, ks.w, "kernels must be square");
+        let r = ks.h;
+        assert!(n >= r, "FFT size {n} smaller than kernel {r}");
+
+        let plan = FftPlan::new(n);
+        let nbins = bin_count(n);
+        let (mut re_mats, mut im_mats) =
+            (vec![0.0f64; nbins * ks.n * ks.c], vec![0.0f64; nbins * ks.n * ks.c]);
+        {
+            let _prep = Span::enter("exec.prepare", "kernel-spectra");
+            let mut window = vec![0.0f64; n * n];
+            for k in 0..ks.n {
+                for c in 0..ks.c {
+                    window.fill(0.0);
+                    // Spatially flipped placement, so the circular
+                    // product correlates (Eq. 1) instead of convolving.
+                    for v in 0..r {
+                        for u in 0..r {
+                            window[(r - 1 - v) * n + (r - 1 - u)] = kernels.at(k, c, v, u).to_f64();
+                        }
+                    }
+                    let spectrum = rfft2_forward(&plan, &window, n);
+                    for (bin, &s) in spectrum.iter().enumerate() {
+                        re_mats[(bin * ks.n + k) * ks.c + c] = s.re;
+                        im_mats[(bin * ks.n + k) * ks.c + c] = s.im;
+                    }
+                }
+            }
+        }
+        let v_slab = ks.n.div_ceil(MR).max(1) * ks.c * MR;
+        let (mut v_re, mut v_im) =
+            (Vec::with_capacity(nbins * v_slab), Vec::with_capacity(nbins * v_slab));
+        {
+            let _prep = Span::enter("exec.prepare", "gemm-pack");
+            for bin in 0..nbins {
+                let mat = &re_mats[bin * ks.n * ks.c..(bin + 1) * ks.n * ks.c];
+                v_re.extend_from_slice(&pack_a(ks.n, ks.c, mat, ks.c));
+                let mat = &im_mats[bin * ks.n * ks.c..(bin + 1) * ks.n * ks.c];
+                v_im.extend_from_slice(&pack_a(ks.n, ks.c, mat, ks.c));
+            }
+        }
+        PreparedFft {
+            plan,
+            n,
+            r,
+            k: ks.n,
+            c: ks.c,
+            nbins,
+            v_re,
+            v_im,
+            v_slab,
+            _scalar: PhantomData,
+        }
+    }
+
+    /// The FFT size `N` the spectra were prepared for.
+    pub fn fft_size(&self) -> usize {
+        self.n
+    }
+
+    /// Kernel size `r` of the cached bank.
+    pub fn kernel_size(&self) -> usize {
+        self.r
+    }
+
+    /// Output kernel count `K` of the cached bank.
+    pub fn kernel_count(&self) -> usize {
+        self.k
+    }
+
+    /// Input channel count `C` of the cached bank.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Runs the overlap–save convolution against the cached spectra —
+    /// stride 1, symmetric zero padding `pad`, output bitwise identical
+    /// at any thread count (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s channel count disagrees with the bank or the
+    /// padded input is smaller than the kernel.
+    pub fn execute(&self, input: &Tensor4<T>, pad: usize, threads: usize) -> Tensor4<T> {
+        let is = input.shape();
+        let (n, r) = (self.n, self.r);
+        assert_eq!(is.c, self.c, "input and kernel channel counts must match");
+        assert!(is.h + 2 * pad >= r && is.w + 2 * pad >= r, "input too small for kernel");
+
+        let l = n - r + 1;
+        let out_h = is.h + 2 * pad - r + 1;
+        let out_w = is.w + 2 * pad - r + 1;
+        let tiles_y = out_h.div_ceil(l);
+        let tiles_x = out_w.div_ceil(l);
+        let total_tiles = is.n * tiles_y * tiles_x;
+        let mut output = Tensor4::zeros(Shape4 { n: is.n, c: self.k, h: out_h, w: out_w });
+        if total_tiles == 0 {
+            return output;
+        }
+
+        let panels = total_tiles.div_ceil(PANEL_TILES);
+        let panel_len = |p: usize| PANEL_TILES.min(total_tiles - p * PANEL_TILES);
+        let (nbins, c_in, k_out) = (self.nbins, self.c, self.k);
+        let tiles_per_image = tiles_y * tiles_x;
+        let plane_stride = is.h * is.w;
+        let in_flat = input.as_slice();
+        let pad = pad as isize;
+
+        // Phase 1: gather + forward-transform tile panels, bin-major.
+        let u_panels: Vec<(Vec<f64>, Vec<f64>)> = {
+            let _phase = Span::enter("exec.phase", "pack");
+            run_chunked(panels, threads, "pack", |p| {
+                let np = panel_len(p);
+                let coords: Vec<(usize, isize, isize)> = (0..np)
+                    .map(|tp| {
+                        let t = p * PANEL_TILES + tp;
+                        let (img, rem) = (t / tiles_per_image, t % tiles_per_image);
+                        let (ty, tx) = (rem / tiles_x, rem % tiles_x);
+                        (img, (ty * l) as isize - pad, (tx * l) as isize - pad)
+                    })
+                    .collect();
+                let mut u_re = vec![0.0f64; nbins * c_in * np];
+                let mut u_im = vec![0.0f64; nbins * c_in * np];
+                let mut window = vec![0.0f64; n * n];
+                for c in 0..c_in {
+                    for (tp, &(img, top, left)) in coords.iter().enumerate() {
+                        let plane = &in_flat[(img * c_in + c) * plane_stride..][..plane_stride];
+                        if top >= 0
+                            && left >= 0
+                            && top as usize + n <= is.h
+                            && left as usize + n <= is.w
+                        {
+                            // Interior window: contiguous source rows.
+                            let (t0, l0) = (top as usize, left as usize);
+                            for row in 0..n {
+                                for (col, slot) in
+                                    window[row * n..row * n + n].iter_mut().enumerate()
+                                {
+                                    *slot = plane[(t0 + row) * is.w + l0 + col].to_f64();
+                                }
+                            }
+                        } else {
+                            for row in 0..n {
+                                let rr = top + row as isize;
+                                let row_ok = rr >= 0 && (rr as usize) < is.h;
+                                for col in 0..n {
+                                    let cc = left + col as isize;
+                                    window[row * n + col] =
+                                        if row_ok && cc >= 0 && (cc as usize) < is.w {
+                                            plane[rr as usize * is.w + cc as usize].to_f64()
+                                        } else {
+                                            0.0
+                                        };
+                                }
+                            }
+                        }
+                        let spectrum = rfft2_forward(&self.plan, &window, n);
+                        for (bin, &s) in spectrum.iter().enumerate() {
+                            u_re[(bin * c_in + c) * np + tp] = s.re;
+                            u_im[(bin * c_in + c) * np + tp] = s.im;
+                        }
+                    }
+                }
+                (u_re, u_im)
+            })
+        };
+
+        // Phase 2: per-(bin, panel) complex GEMMs — four real GEMMs
+        // against the packed spectrum slabs, combined in fixed order.
+        let m_chunks: Vec<(Vec<f64>, Vec<f64>)> = {
+            let _phase = Span::enter("exec.phase", "multiply");
+            run_chunked(nbins * panels, threads, "multiply", |item| {
+                let (bin, p) = (item / panels, item % panels);
+                let np = panel_len(p);
+                let v_re = &self.v_re[bin * self.v_slab..(bin + 1) * self.v_slab];
+                let v_im = &self.v_im[bin * self.v_slab..(bin + 1) * self.v_slab];
+                let (u_re, u_im) = &u_panels[p];
+                let u_re = &u_re[bin * c_in * np..(bin + 1) * c_in * np];
+                let u_im = &u_im[bin * c_in * np..(bin + 1) * c_in * np];
+                let mut rr = vec![0.0f64; k_out * np];
+                let mut ii = vec![0.0f64; k_out * np];
+                let mut ri = vec![0.0f64; k_out * np];
+                let mut ir = vec![0.0f64; k_out * np];
+                gemm_packed_a(k_out, np, c_in, v_re, u_re, np, &mut rr, np);
+                gemm_packed_a(k_out, np, c_in, v_im, u_im, np, &mut ii, np);
+                gemm_packed_a(k_out, np, c_in, v_re, u_im, np, &mut ri, np);
+                gemm_packed_a(k_out, np, c_in, v_im, u_re, np, &mut ir, np);
+                let m_re: Vec<f64> = rr.iter().zip(&ii).map(|(a, b)| a - b).collect();
+                let m_im: Vec<f64> = ri.iter().zip(&ir).map(|(a, b)| a + b).collect();
+                (m_re, m_im)
+            })
+        };
+        drop(u_panels);
+
+        // Phase 3: inverse transforms per (image, tile-row); the valid
+        // L×L block of each circular plane lands at offset r−1.
+        let blocks = {
+            let _phase = Span::enter("exec.phase", "inverse");
+            run_chunked(is.n * tiles_y, threads, "inverse", |item| {
+                let (img, ty) = (item / tiles_y, item % tiles_y);
+                let rows_here = l.min(out_h - ty * l);
+                let row_base = (img * tiles_y + ty) * tiles_x;
+                let mut bins = vec![Complex::default(); nbins];
+                let mut plane = vec![0.0f64; n * n];
+                let mut local = vec![T::zero(); k_out * rows_here * out_w];
+                for k in 0..k_out {
+                    for tx in 0..tiles_x {
+                        let t = row_base + tx;
+                        let (p, tp) = (t / PANEL_TILES, t % PANEL_TILES);
+                        let np = panel_len(p);
+                        let (m_re, m_im) = &m_chunks[/* bin-major items */ p];
+                        // Gather this tile's bins across the per-(bin,
+                        // panel) GEMM outputs.
+                        let _ = (m_re, m_im);
+                        for (bin, slot) in bins.iter_mut().enumerate() {
+                            let (m_re, m_im) = &m_chunks[bin * panels + p];
+                            *slot = Complex::new(m_re[k * np + tp], m_im[k * np + tp]);
+                        }
+                        rfft2_inverse(&self.plan, &bins, n, &mut plane);
+                        let cols_here = l.min(out_w - tx * l);
+                        for dy in 0..rows_here {
+                            let src = (dy + r - 1) * n + (r - 1);
+                            let dst = (k * rows_here + dy) * out_w + tx * l;
+                            for dx in 0..cols_here {
+                                local[dst + dx] = T::from_f64(plane[src + dx]);
+                            }
+                        }
+                    }
+                }
+                local
+            })
+        };
+
+        let out_flat = output.as_mut_slice();
+        for (item, local) in blocks.iter().enumerate() {
+            let (img, ty) = (item / tiles_y, item % tiles_y);
+            let rows_here = l.min(out_h - ty * l);
+            for k in 0..self.k {
+                for dy in 0..rows_here {
+                    let dst = ((img * self.k + k) * out_h + ty * l + dy) * out_w;
+                    let src = (k * rows_here + dy) * out_w;
+                    out_flat[dst..dst + out_w].copy_from_slice(&local[src..src + out_w]);
+                }
+            }
+        }
+        output
+    }
+}
+
+/// Analytic absolute-error bound for comparing [`PreparedFft`] output
+/// against the f32 spatial oracle — the FFT counterpart of
+/// [`quant_error_bound`](crate::quant_error_bound), used by the
+/// property tests as their tolerance.
+///
+/// With `|input| ≤ input_mag` and `|weights| ≤ weight_mag`, each output
+/// accumulates `t = C·r²` products of magnitude at most
+/// `input_mag·weight_mag`. The dominant term is the *oracle's* f32
+/// sequential accumulation (≤ `t·ε₃₂` relative to the `t`-term sum)
+/// plus the backend's single f32 rounding on output; the backend's own
+/// f64 transform error (a few `ε₆₄·log₂N` per forward+inverse pass) is
+/// ten orders smaller but included for honesty.
+pub fn fft_error_bound(shape: &ConvShape, n: usize, input_mag: f64, weight_mag: f64) -> f64 {
+    let terms = (shape.c * shape.r * shape.r) as f64;
+    let sum_mag = terms * input_mag * weight_mag;
+    let io = f32::EPSILON as f64 * sum_mag * (terms + 1.0);
+    let transform = f64::EPSILON * sum_mag * 8.0 * (n as f64).log2();
+    io + transform
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_baselines::spatial_convolve_strided;
+    use wino_tensor::{ErrorStats, SplitMix64};
+
+    fn random_pair(seed: u64, shape: Shape4, k: usize, r: usize) -> (Tensor4<f32>, Tensor4<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let input = Tensor4::from_fn(shape, |_, _, _, _| rng.uniform_f32(-1.0, 1.0));
+        let kernels = Tensor4::from_fn(Shape4 { n: k, c: shape.c, h: r, w: r }, |_, _, _, _| {
+            rng.uniform_f32(-1.0, 1.0)
+        });
+        (input, kernels)
+    }
+
+    #[test]
+    fn rfft2_round_trips() {
+        let n = 16;
+        let mut rng = SplitMix64::new(3);
+        let plane: Vec<f64> = (0..n * n).map(|_| rng.uniform_f32(-1.0, 1.0) as f64).collect();
+        let plan = FftPlan::new(n);
+        let bins = rfft2_forward(&plan, &plane, n);
+        assert_eq!(bins.len(), bin_count(n));
+        let mut back = vec![0.0f64; n * n];
+        rfft2_inverse(&plan, &bins, n, &mut back);
+        for (a, b) in plane.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rfft2_matches_full_complex_transform() {
+        // The half-plane is the Hermitian half of the full 2-D FFT.
+        let n = 8;
+        let mut rng = SplitMix64::new(4);
+        let plane: Vec<f64> = (0..n * n).map(|_| rng.uniform_f32(-1.0, 1.0) as f64).collect();
+        let plan = FftPlan::new(n);
+        let bins = rfft2_forward(&plan, &plane, n);
+        // Reference: rows then columns as full complex FFTs.
+        let mut full: Vec<Complex> = plane.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        for row in 0..n {
+            plan.run(&mut full[row * n..(row + 1) * n], false);
+        }
+        let mut col = vec![Complex::default(); n];
+        for v in 0..n {
+            for (u, slot) in col.iter_mut().enumerate() {
+                *slot = full[u * n + v];
+            }
+            plan.run(&mut col, false);
+            for (u, &value) in col.iter().enumerate() {
+                full[u * n + v] = value;
+            }
+        }
+        let half = n / 2 + 1;
+        for u in 0..n {
+            for v in 0..half {
+                let got = bins[u * half + v];
+                let want = full[u * n + v];
+                assert!(
+                    (got.re - want.re).abs() < 1e-12 && (got.im - want.im).abs() < 1e-12,
+                    "bin ({u},{v}): {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_spatial_oracle_within_analytic_bound() {
+        for (seed, (h, w, c, k, r, pad, n)) in [
+            (10, (9, 11, 3, 4, 3, 1, 8)),
+            (11, (16, 16, 2, 3, 5, 2, 16)),
+            (12, (12, 8, 1, 2, 7, 0, 16)),
+            (13, (8, 8, 2, 2, 3, 4, 8)), // pad > r: windows fully outside
+        ] {
+            let (input, kernels) = random_pair(seed, Shape4 { n: 2, c, h, w }, k, r);
+            let bank = PreparedFft::new(n, &kernels);
+            let got = bank.execute(&input, pad, 2);
+            let oracle = spatial_convolve_strided(&input, &kernels, pad, 1);
+            assert_eq!(got.shape(), oracle.shape());
+            let shape = ConvShape { h, w, c, k, r, stride: 1, pad };
+            let tol = fft_error_bound(&shape, n, 1.0, 1.0);
+            let stats = ErrorStats::between(got.as_slice(), oracle.as_slice());
+            assert!(stats.within_abs(tol), "seed {seed}: {stats} vs tol {tol}");
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_a_bit() {
+        let (input, kernels) = random_pair(20, Shape4 { n: 2, c: 3, h: 13, w: 9 }, 4, 3);
+        let bank = PreparedFft::new(8, &kernels);
+        let one = bank.execute(&input, 1, 1);
+        for threads in [2usize, 3, 5, 8] {
+            let multi = bank.execute(&input, 1, threads);
+            assert_eq!(one.as_slice(), multi.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_is_free_and_prepared_state_is_reusable() {
+        let (_, kernels) = random_pair(21, Shape4 { n: 1, c: 2, h: 10, w: 10 }, 3, 3);
+        let bank = PreparedFft::new(16, &kernels);
+        assert_eq!(
+            (bank.fft_size(), bank.kernel_size(), bank.kernel_count(), bank.channels()),
+            (16, 3, 3, 2)
+        );
+        let one = Tensor4::from_fn(Shape4 { n: 1, c: 2, h: 10, w: 10 }, |_, c, y, x| {
+            (c + y * x) as f32 * 0.05
+        });
+        let three = Tensor4::from_fn(Shape4 { n: 3, c: 2, h: 10, w: 10 }, |_, c, y, x| {
+            (c + y * x) as f32 * 0.05
+        });
+        let a = bank.execute(&one, 1, 2);
+        let b = bank.execute(&three, 1, 2);
+        let plane = a.as_slice().len();
+        for img in 0..3 {
+            assert_eq!(&b.as_slice()[img * plane..(img + 1) * plane], a.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_size_panics() {
+        let kernels = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 1, h: 3, w: 3 });
+        let _ = PreparedFft::new(12, &kernels);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn size_below_kernel_panics() {
+        let kernels = Tensor4::<f32>::zeros(Shape4 { n: 1, c: 1, h: 7, w: 7 });
+        let _ = PreparedFft::new(4, &kernels);
+    }
+
+    #[test]
+    fn error_bound_is_small_but_nonzero() {
+        let shape = ConvShape::same_padded(56, 56, 64, 64, 3);
+        let tol = fft_error_bound(&shape, 16, 1.0, 1.0);
+        assert!(tol > 0.0 && tol < 0.1, "bound should be meaningful: {tol}");
+    }
+}

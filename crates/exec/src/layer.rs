@@ -69,7 +69,7 @@ impl ExecConfig {
 /// the profile tree). The inline single-thread path opens no span —
 /// its time already belongs to the caller's enclosing phase span, and
 /// a nested worker span would steal that span's self-time.
-fn run_chunked<T: Send, F: Fn(usize) -> T + Sync>(
+pub(crate) fn run_chunked<T: Send, F: Fn(usize) -> T + Sync>(
     total: usize,
     threads: usize,
     label: &'static str,
@@ -638,6 +638,10 @@ pub fn execute_plan<T: Scalar>(
         EnginePlan::Winograd(params) => {
             assert_eq!(s.stride, 1, "Winograd plan '{}' requires unit stride", plan.layer);
             winograd_convolve(params, input, kernels, s.pad, config.threads)
+        }
+        EnginePlan::Fft { n } => {
+            assert_eq!(s.stride, 1, "FFT plan '{}' requires unit stride", plan.layer);
+            Ok(crate::fft::PreparedFft::new(n, kernels).execute(input, s.pad, config.threads))
         }
         EnginePlan::Spatial => {
             Ok(spatial_convolve_mt(input, kernels, s.pad, s.stride, config.threads))

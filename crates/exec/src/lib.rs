@@ -55,16 +55,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod backend;
 mod continuous;
 mod executor;
+mod fft;
 pub mod gemm;
 mod layer;
 mod prepared;
 mod quant;
 mod schedule;
 
+pub use backend::{ConvBackend, PreparedSpatial};
 pub use continuous::{run_layers_admitting, Boundary};
 pub use executor::{LayerReport, NetworkExecutor, NetworkReport, VerifyError};
+pub use fft::{fft_error_bound, PreparedFft};
 pub use layer::{
     execute_plan, spatial_convolve_mt, winograd_convolve, ExecConfig, PreparedWinograd,
 };

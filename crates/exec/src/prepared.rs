@@ -6,7 +6,9 @@
 //! — the right trade for a one-shot run, pure overhead for anything
 //! that executes the same layer repeatedly (an executor timing loop, or
 //! the serving subsystem pushing thousands of requests through one
-//! model). A [`PreparedPlan`] pays that cost once at construction:
+//! model). A [`PreparedPlan`] pays that cost once at construction by
+//! lowering the engine choice to a prepared
+//! [`ConvBackend`](crate::ConvBackend):
 //!
 //! * Winograd layers cache a [`PreparedWinograd`] bank (float) or a
 //!   monomorphized `PreparedWinograd<Fixed<FRAC>>` plus the quantized
@@ -14,9 +16,19 @@
 //!   pre-packed into the GEMM micro-kernel's operand layout
 //!   ([`crate::gemm::pack_a`]), so every later run enters the packed
 //!   multiply with zero per-call packing cost for the kernel side;
-//! * spatial layers cache the (possibly quantized) kernel tensor —
-//!   there is no transform to hoist, so the win there is only skipping
-//!   the per-call quantization of the kernels.
+//! * FFT layers cache a [`PreparedFft`](crate::PreparedFft) bank — the
+//!   kernel spectra, transformed and GEMM-packed exactly like the
+//!   Winograd `V`-bank (float only; `Schedule` validation rejects
+//!   fixed-point FFT layers and a hand-built pairing panics here);
+//! * spatial layers cache the (possibly quantized) kernel tensor in a
+//!   [`PreparedSpatial`](crate::PreparedSpatial) — there is no
+//!   transform to hoist, so the win there is only skipping the
+//!   per-call quantization of the kernels.
+//!
+//! Because every engine implements the same backend contract, the
+//! engine dispatch here is a single [`prepare_backend`] call per
+//! datapath instead of an engine × precision match — adding a backend
+//! touches one arm, not four.
 //!
 //! The closure is type-erased behind `Arc<dyn Fn … + Send + Sync>`, so
 //! a prepared plan is cheap to clone and can be shared across serving
@@ -26,14 +38,45 @@
 //! property the tests pin — because preparation reorders no arithmetic;
 //! it only moves the bank transform out of the loop.
 
+use crate::backend::{ConvBackend, PreparedSpatial};
+use crate::fft::PreparedFft;
 use crate::layer::PreparedWinograd;
 use crate::quant::with_fixed;
-use crate::{spatial_convolve_mt, EnginePlan, LayerPlan, Precision, SUPPORTED_FRAC};
+use crate::{EnginePlan, LayerPlan, Precision, SUPPORTED_FRAC};
 use std::fmt;
 use std::sync::Arc;
 use wino_core::{ConvShape, TransformError};
 use wino_obs::Span;
-use wino_tensor::{Fixed, Tensor4};
+use wino_tensor::{Fixed, Scalar, Tensor4};
+
+/// Lowers one engine plan to its prepared backend over any scalar
+/// datapath — the single place engine selection happens.
+///
+/// # Errors
+///
+/// Propagates [`TransformError`] from Winograd transform generation.
+///
+/// # Panics
+///
+/// Panics when a hand-built plan pairs a transform-domain engine with a
+/// strided shape (`Schedule` lowering never produces one).
+fn prepare_backend<T: Scalar>(
+    plan: &LayerPlan,
+    kernels: &Tensor4<T>,
+) -> Result<Arc<dyn ConvBackend<T>>, TransformError> {
+    let s = plan.shape;
+    Ok(match plan.engine {
+        EnginePlan::Winograd(params) => {
+            assert_eq!(s.stride, 1, "Winograd plan '{}' requires unit stride", plan.layer);
+            Arc::new(PreparedWinograd::new(params, kernels)?)
+        }
+        EnginePlan::Fft { n } => {
+            assert_eq!(s.stride, 1, "FFT plan '{}' requires unit stride", plan.layer);
+            Arc::new(PreparedFft::new(n, kernels))
+        }
+        EnginePlan::Spatial => Arc::new(PreparedSpatial::new(kernels.clone(), s.stride)),
+    })
+}
 
 type Runner = dyn Fn(&Tensor4<f32>, usize) -> Tensor4<f32> + Send + Sync;
 
@@ -89,46 +132,27 @@ impl PreparedPlan {
             Precision::Float => plan.engine.to_string(),
             quantized => format!("{} {quantized}", plan.engine),
         };
-        let runner: Arc<Runner> = match (plan.engine, precision) {
-            (EnginePlan::Winograd(params), Precision::Float) => {
-                assert_eq!(s.stride, 1, "Winograd plan '{}' requires unit stride", plan.layer);
-                let bank = PreparedWinograd::new(params, kernels)?;
+        let runner: Arc<Runner> = match precision {
+            Precision::Float => {
+                let backend = prepare_backend::<f32>(plan, kernels)?;
                 let pad = s.pad;
-                Arc::new(move |input, threads| bank.execute(input, pad, threads))
+                Arc::new(move |input, threads| backend.execute(input, pad, threads))
             }
-            (EnginePlan::Spatial, Precision::Float) => {
-                let kernels = kernels.clone();
-                let (pad, stride) = (s.pad, s.stride);
-                Arc::new(move |input, threads| {
-                    spatial_convolve_mt(input, &kernels, pad, stride, threads)
-                })
-            }
-            (EnginePlan::Winograd(params), Precision::Fixed { frac }) => {
-                assert_eq!(s.stride, 1, "Winograd plan '{}' requires unit stride", plan.layer);
+            Precision::Fixed { frac } => {
+                assert!(
+                    !matches!(plan.engine, EnginePlan::Fft { .. }),
+                    "FFT plan '{}' cannot run fixed-point arithmetic",
+                    plan.layer
+                );
                 let pad = s.pad;
                 with_fixed!(frac, F => {
-                    let bank = PreparedWinograd::new(params, &kernels.map(F::from_f32))?;
+                    let backend = prepare_backend::<F>(plan, &kernels.map(F::from_f32))?;
                     Arc::new(move |input: &Tensor4<f32>, threads: usize| {
                         let q = {
                             let _phase = Span::enter("exec.phase", "quantize");
                             input.map(F::from_f32)
                         };
-                        let out = bank.execute(&q, pad, threads);
-                        let _phase = Span::enter("exec.phase", "dequantize");
-                        out.map(|q| q.to_f32())
-                    })
-                })
-            }
-            (EnginePlan::Spatial, Precision::Fixed { frac }) => {
-                let (pad, stride) = (s.pad, s.stride);
-                with_fixed!(frac, F => {
-                    let qk = kernels.map(F::from_f32);
-                    Arc::new(move |input: &Tensor4<f32>, threads: usize| {
-                        let q = {
-                            let _phase = Span::enter("exec.phase", "quantize");
-                            input.map(F::from_f32)
-                        };
-                        let out = spatial_convolve_mt(&q, &qk, pad, stride, threads);
+                        let out = backend.execute(&q, pad, threads);
                         let _phase = Span::enter("exec.phase", "dequantize");
                         out.map(|q| q.to_f32())
                     })
@@ -325,6 +349,39 @@ mod tests {
         let prepared = PreparedPlan::new(&wino, Precision::Float, &kernels).unwrap();
         assert!(format!("{prepared:?}").contains("F(2x2, 3x3)"));
         assert_eq!(prepared.shape().k, 4);
+    }
+
+    #[test]
+    fn prepared_fft_is_bitwise_the_one_shot_path() {
+        let (wino, _, input, kernels) = fixture(1);
+        let fft =
+            LayerPlan { shape: wino.shape, layer: "l".into(), engine: EnginePlan::Fft { n: 8 } };
+        let cfg = ExecConfig::with_threads(3);
+        let prepared = PreparedPlan::new(&fft, Precision::Float, &kernels).unwrap();
+        assert_eq!(prepared.label(), "FFT(8)");
+        let one_shot = execute_plan(&fft, &input, &kernels, &cfg).unwrap();
+        for _ in 0..2 {
+            let got = prepared.run(&input, cfg.threads);
+            assert_eq!(got.as_slice(), one_shot.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run fixed-point")]
+    fn quantized_fft_preparation_panics() {
+        let (wino, _, _, kernels) = fixture(1);
+        let fft =
+            LayerPlan { shape: wino.shape, layer: "l".into(), engine: EnginePlan::Fft { n: 8 } };
+        let _ = PreparedPlan::new(&fft, Precision::Fixed { frac: 10 }, &kernels);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires unit stride")]
+    fn strided_fft_preparation_panics() {
+        let (mut wino, _, _, kernels) = fixture(2);
+        wino.shape.stride = 2;
+        wino.engine = EnginePlan::Fft { n: 8 };
+        let _ = PreparedPlan::new(&wino, Precision::Float, &kernels);
     }
 
     #[test]

@@ -21,13 +21,20 @@ use crate::{Precision, QuantConfig, QuantError};
 use std::fmt;
 use wino_core::{ConvShape, ParamError, WinogradParams, Workload};
 use wino_dse::{LayerTarget, WorkloadMapping};
-use wino_search::LayerDesign;
+use wino_search::{AlgorithmChoice, LayerDesign};
 
 /// The engine one layer executes on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnginePlan {
     /// Tiled `F(m×m, r×r)` Winograd convolution.
     Winograd(WinogradParams),
+    /// Overlap–save FFT convolution with FFT size `n` (stride-1,
+    /// `f32`-only — the widened `f64` transform datapath has no
+    /// saturating fixed-point analogue).
+    Fft {
+        /// FFT size (power of two, at least the layer's kernel size).
+        n: usize,
+    },
     /// Direct spatial convolution (any stride or kernel size).
     Spatial,
 }
@@ -36,6 +43,7 @@ impl fmt::Display for EnginePlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EnginePlan::Winograd(p) => write!(f, "{p}"),
+            EnginePlan::Fft { n } => write!(f, "FFT({n})"),
             EnginePlan::Spatial => write!(f, "spatial"),
         }
     }
@@ -80,6 +88,21 @@ pub enum ScheduleError {
         /// The assigned parameters.
         params: WinogradParams,
     },
+    /// An FFT engine was assigned to a layer it cannot run (non-unit
+    /// stride, a non-power-of-two size, or a size smaller than the
+    /// layer's kernel).
+    FftIncompatible {
+        /// Offending layer name.
+        layer: String,
+        /// The assigned FFT size.
+        n: usize,
+    },
+    /// An FFT engine was assigned to a fixed-point layer; the FFT
+    /// datapath is `f32`-only.
+    FftQuantized {
+        /// Offending layer name.
+        layer: String,
+    },
     /// Invalid `F(m, r)` parameters while constructing a plan.
     Params(ParamError),
     /// Invalid quantization configuration for this schedule.
@@ -100,6 +123,16 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::Incompatible { layer, params } => {
                 write!(f, "{params} cannot execute layer '{layer}' (stride or kernel mismatch)")
+            }
+            ScheduleError::FftIncompatible { layer, n } => {
+                write!(
+                    f,
+                    "FFT({n}) cannot execute layer '{layer}' \
+                     (stride, power-of-two, or kernel-size mismatch)"
+                )
+            }
+            ScheduleError::FftQuantized { layer } => {
+                write!(f, "FFT engine on layer '{layer}' cannot run fixed-point arithmetic")
             }
             ScheduleError::Params(e) => write!(f, "{e}"),
             ScheduleError::Quant(e) => write!(f, "{e}"),
@@ -150,6 +183,17 @@ impl Schedule {
         Ok(LayerPlan { layer: layer.to_owned(), shape, engine: EnginePlan::Winograd(params) })
     }
 
+    fn fft_compatible(shape: &ConvShape, n: usize) -> bool {
+        shape.stride == 1 && n >= 4 && n.is_power_of_two() && n >= shape.r
+    }
+
+    fn plan_for_fft(shape: ConvShape, layer: &str, n: usize) -> Result<LayerPlan, ScheduleError> {
+        if !Schedule::fft_compatible(&shape, n) {
+            return Err(ScheduleError::FftIncompatible { layer: layer.to_owned(), n });
+        }
+        Ok(LayerPlan { layer: layer.to_owned(), shape, engine: EnginePlan::Fft { n } })
+    }
+
     /// Every layer on the spatial engine — the all-fallback baseline.
     pub fn spatial(workload: &Workload) -> Schedule {
         Schedule::from_plans(
@@ -197,15 +241,17 @@ impl Schedule {
     /// Lowers the heterogeneous per-layer designs produced by
     /// `wino-search` (one [`LayerDesign`] per layer, in order — the
     /// output of `HeterogeneousSpace::layer_designs`) into an
-    /// executable schedule. Designs with `m = 1` lower to the spatial
-    /// engine.
+    /// executable schedule. Each design's [`AlgorithmChoice`] maps to
+    /// the matching [`EnginePlan`]: spatial, Winograd, or overlap–save
+    /// FFT.
     ///
     /// # Errors
     ///
     /// Returns [`ScheduleError::LayerCount`] / [`ScheduleError::LayerName`]
-    /// when the design does not line up with the workload, and
+    /// when the design does not line up with the workload,
     /// [`ScheduleError::Incompatible`] when a Winograd engine was chosen
-    /// for a layer it cannot run.
+    /// for a layer it cannot run, and [`ScheduleError::FftIncompatible`]
+    /// for an FFT engine on a strided layer or with an unusable size.
     pub fn from_layer_designs(
         workload: &Workload,
         designs: &[LayerDesign],
@@ -226,7 +272,18 @@ impl Schedule {
                     design: design.layer.clone(),
                 });
             }
-            plans.push(Schedule::plan_for(layer.shape, &layer.name, design.params)?);
+            let plan = match design.algo {
+                AlgorithmChoice::Spatial => LayerPlan {
+                    layer: layer.name.clone(),
+                    shape: layer.shape,
+                    engine: EnginePlan::Spatial,
+                },
+                AlgorithmChoice::Winograd(params) => {
+                    Schedule::plan_for(layer.shape, &layer.name, params)?
+                }
+                AlgorithmChoice::Fft { n } => Schedule::plan_for_fft(layer.shape, &layer.name, n)?,
+            };
+            plans.push(plan);
         }
         Ok(Schedule::from_plans(plans))
     }
@@ -293,12 +350,21 @@ impl Schedule {
     /// # Errors
     ///
     /// Returns [`ScheduleError::Quant`] when `quant` configures a
-    /// different number of layers than the schedule has.
+    /// different number of layers than the schedule has, and
+    /// [`ScheduleError::FftQuantized`] when it assigns fixed-point
+    /// arithmetic to a layer on the `f32`-only FFT engine.
     pub fn with_quant(mut self, quant: QuantConfig) -> Result<Schedule, ScheduleError> {
         if quant.len() != self.plans.len() {
             return Err(
                 QuantError::LayerCount { expected: self.plans.len(), actual: quant.len() }.into()
             );
+        }
+        for (i, plan) in self.plans.iter().enumerate() {
+            if matches!(plan.engine, EnginePlan::Fft { .. })
+                && quant.precision(i) != Precision::Float
+            {
+                return Err(ScheduleError::FftQuantized { layer: plan.layer.clone() });
+            }
         }
         self.quant = quant;
         Ok(self)
@@ -338,6 +404,11 @@ impl Schedule {
         self.plans.iter().filter(|p| matches!(p.engine, EnginePlan::Winograd(_))).count()
     }
 
+    /// Number of layers assigned to an FFT engine.
+    pub fn fft_layers(&self) -> usize {
+        self.plans.iter().filter(|p| matches!(p.engine, EnginePlan::Fft { .. })).count()
+    }
+
     /// Checks that this schedule lines up with `workload` (same layer
     /// count, names, and shapes) — executors call this on construction.
     ///
@@ -360,10 +431,27 @@ impl Schedule {
                     design: plan.layer.clone(),
                 });
             }
-            if let EnginePlan::Winograd(params) = plan.engine {
-                if !plan.shape.winograd_compatible() || plan.shape.r != params.r() {
-                    return Err(ScheduleError::Incompatible { layer: plan.layer.clone(), params });
+            match plan.engine {
+                EnginePlan::Winograd(params) => {
+                    if !plan.shape.winograd_compatible() || plan.shape.r != params.r() {
+                        return Err(ScheduleError::Incompatible {
+                            layer: plan.layer.clone(),
+                            params,
+                        });
+                    }
                 }
+                EnginePlan::Fft { n } => {
+                    if !Schedule::fft_compatible(&plan.shape, n) {
+                        return Err(ScheduleError::FftIncompatible {
+                            layer: plan.layer.clone(),
+                            n,
+                        });
+                    }
+                    if self.quant.precision(index) != Precision::Float {
+                        return Err(ScheduleError::FftQuantized { layer: plan.layer.clone() });
+                    }
+                }
+                EnginePlan::Spatial => {}
             }
         }
         Ok(())
@@ -374,10 +462,11 @@ impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "schedule: {} layers ({} winograd, {} spatial), {}",
+            "schedule: {} layers ({} winograd, {} fft, {} spatial), {}",
             self.len(),
             self.winograd_layers(),
-            self.len() - self.winograd_layers(),
+            self.fft_layers(),
+            self.len() - self.winograd_layers() - self.fft_layers(),
             self.quant
         )?;
         for (i, p) in self.plans.iter().enumerate() {
@@ -445,11 +534,11 @@ mod tests {
             .iter()
             .map(|l| LayerDesign {
                 layer: l.name.clone(),
-                params: WinogradParams::new(
-                    if l.shape.winograd_compatible() { 2 } else { 1 },
-                    l.shape.r,
-                )
-                .unwrap(),
+                algo: if l.shape.winograd_compatible() {
+                    AlgorithmChoice::Winograd(WinogradParams::new(2, l.shape.r).unwrap())
+                } else {
+                    AlgorithmChoice::Spatial
+                },
                 pe_count: 4,
                 latency_ms: 1.0,
             })
@@ -457,6 +546,73 @@ mod tests {
         let s = Schedule::from_layer_designs(&wl, &designs).unwrap();
         s.validate(&wl).unwrap();
         assert_eq!(s.winograd_layers(), 3);
+    }
+
+    #[test]
+    fn fft_designs_lower_to_fft_engines() {
+        let wl = tiny_cnn(1);
+        let designs: Vec<LayerDesign> = wl
+            .layers()
+            .iter()
+            .map(|l| LayerDesign {
+                layer: l.name.clone(),
+                algo: if l.shape.winograd_compatible() {
+                    AlgorithmChoice::Fft { n: 16 }
+                } else {
+                    AlgorithmChoice::Spatial
+                },
+                pe_count: 4,
+                latency_ms: 1.0,
+            })
+            .collect();
+        let s = Schedule::from_layer_designs(&wl, &designs).unwrap();
+        s.validate(&wl).unwrap();
+        assert_eq!(s.fft_layers(), 3);
+        assert_eq!(s.winograd_layers(), 0);
+        assert!(s.to_string().contains("FFT(16)"));
+    }
+
+    #[test]
+    fn fft_on_strided_or_undersized_layers_is_rejected() {
+        let wl = tiny_cnn(1);
+        let mut designs: Vec<LayerDesign> = wl
+            .layers()
+            .iter()
+            .map(|l| LayerDesign {
+                layer: l.name.clone(),
+                algo: AlgorithmChoice::Spatial,
+                pe_count: 1,
+                latency_ms: 1.0,
+            })
+            .collect();
+        // conv2 is strided: FFT cannot run it.
+        designs[1].algo = AlgorithmChoice::Fft { n: 16 };
+        assert!(matches!(
+            Schedule::from_layer_designs(&wl, &designs),
+            Err(ScheduleError::FftIncompatible { n: 16, .. })
+        ));
+        // A size below the kernel is rejected even on stride-1 layers.
+        designs[1].algo = AlgorithmChoice::Spatial;
+        designs[0].algo = AlgorithmChoice::Fft { n: 2 };
+        let err = Schedule::from_layer_designs(&wl, &designs).unwrap_err();
+        assert!(err.to_string().contains("FFT(2)"), "{err}");
+    }
+
+    #[test]
+    fn quantized_fft_layers_are_rejected() {
+        let mut wl = wino_core::Workload::new("fft-quant", 1);
+        wl.push("conv1", "G", wino_core::ConvShape::same_padded(8, 8, 2, 2, 3));
+        let designs = vec![LayerDesign {
+            layer: "conv1".to_owned(),
+            algo: AlgorithmChoice::Fft { n: 8 },
+            pe_count: 1,
+            latency_ms: 1.0,
+        }];
+        let s = Schedule::from_layer_designs(&wl, &designs).unwrap();
+        let q8 = crate::QuantConfig::uniform_fixed(1, 8).unwrap();
+        let err = s.with_quant(q8).unwrap_err();
+        assert!(matches!(err, ScheduleError::FftQuantized { .. }));
+        assert!(err.to_string().contains("fixed-point"));
     }
 
     #[test]
@@ -471,7 +627,7 @@ mod tests {
             .iter()
             .map(|l| LayerDesign {
                 layer: l.name.clone(),
-                params: WinogradParams::new(1, l.shape.r).unwrap(),
+                algo: AlgorithmChoice::Spatial,
                 pe_count: 1,
                 latency_ms: 1.0,
             })
@@ -483,7 +639,7 @@ mod tests {
         ));
         // Winograd on the strided conv2 is incompatible.
         designs[2].layer = "conv3".to_owned();
-        designs[1].params = WinogradParams::new(4, 3).unwrap();
+        designs[1].algo = AlgorithmChoice::Winograd(WinogradParams::new(4, 3).unwrap());
         assert!(matches!(
             Schedule::from_layer_designs(&wl, &designs),
             Err(ScheduleError::Incompatible { .. })

@@ -32,6 +32,6 @@ mod resources;
 pub use device::{stratix_v_gt, virtex7_485t, zynq_7045, FpgaDevice};
 pub use power::{paper_calibrated_model, paper_power_points, PowerModel};
 pub use resources::{
-    Architecture, EngineResources, ResourceUsage, DATA_BITS, LUT_PER_F32_MULT,
+    fft_engine, Architecture, EngineResources, ResourceUsage, DATA_BITS, LUT_PER_F32_MULT,
     LUT_PER_TRANSFORM_OP, REG_PE_OVERHEAD,
 };

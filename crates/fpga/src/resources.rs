@@ -202,6 +202,37 @@ impl EngineResources {
     }
 }
 
+/// Resource estimate for a tile-wise overlap–save FFT(`n`) convolution
+/// engine built around `multipliers` real multipliers.
+///
+/// The datapath is a bank of complex-MAC PEs (4 real multipliers each,
+/// same 4-DSP-per-multiplier packing as the Winograd PEs) fed by a
+/// shared radix-2 butterfly network:
+///
+/// * LUTs — multiplier glue at [`LUT_PER_F32_MULT`] plus the shared
+///   butterfly/twiddle control, counted as `4n·log₂n` add-equivalent
+///   ops (one 1-D pass of complex butterflies) at
+///   [`LUT_PER_TRANSFORM_OP`].
+/// * Registers — ping-pong tile and spectrum buffers (`4n²` words of
+///   [`DATA_BITS`]) plus the fitted [`REG_PE_OVERHEAD`] per complex
+///   MAC.
+/// * DSPs — `multipliers × 4`, matching
+///   [`EngineResources::estimate`]'s packing so FFT and Winograd
+///   engines compete for the same budget on equal terms.
+///
+/// # Panics
+///
+/// Panics when `n` is not a power of two of at least 4.
+pub fn fft_engine(n: usize, multipliers: u64) -> ResourceUsage {
+    assert!(n >= 4 && n.is_power_of_two(), "FFT size {n} must be a power of two >= 4");
+    let butterfly_ops = 4.0 * n as f64 * (n as f64).log2();
+    let luts = (multipliers as f64 * LUT_PER_F32_MULT + butterfly_ops * LUT_PER_TRANSFORM_OP)
+        .round() as u64;
+    let complex_macs = multipliers.div_ceil(4);
+    let registers = DATA_BITS * 4 * (n * n) as u64 + complex_macs * REG_PE_OVERHEAD;
+    ResourceUsage { luts, registers, dsps: multipliers * 4, multipliers }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +240,24 @@ mod tests {
 
     fn estimator(m: usize) -> EngineResources {
         EngineResources::new(WinogradParams::new(m, 3).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fft_engine_scales_with_size_and_budget_and_packs_dsps_like_winograd() {
+        let small = fft_engine(16, 100);
+        let big = fft_engine(32, 100);
+        let rich = fft_engine(16, 400);
+        assert_eq!(small.multipliers, 100);
+        assert_eq!(small.dsps, 400, "4 DSPs per real multiplier, as EngineResources::estimate");
+        assert!(big.luts > small.luts && big.registers > small.registers);
+        assert!(rich.luts > small.luts && rich.dsps == 1600);
+        assert!(small.fits(&virtex7_485t()), "a 100-multiplier FFT(16) engine fits the 485T");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_engine_rejects_non_power_of_two() {
+        let _ = fft_engine(12, 100);
     }
 
     #[test]

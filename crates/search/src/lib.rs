@@ -58,7 +58,9 @@ mod strategy;
 pub use cache::EvalCache;
 pub use objective::{resource_headroom, Evaluation, SearchObjective, OBJECTIVE_COUNT};
 pub use pareto::{ArchiveEntry, ParetoArchive};
-pub use space::{Genome, HeterogeneousSpace, HomogeneousSpace, LayerDesign, SearchSpace};
+pub use space::{
+    AlgorithmChoice, Genome, HeterogeneousSpace, HomogeneousSpace, LayerDesign, SearchSpace,
+};
 pub use strategy::{
     compare_strategies, Exhaustive, Genetic, Greedy, SearchOutcome, SimulatedAnnealing, Strategy,
 };

@@ -9,9 +9,10 @@
 
 use crate::{resource_headroom, Evaluation};
 use std::collections::HashMap;
+use std::fmt;
 use wino_core::{latency_seconds, pe_count, TileModel, WinogradParams, Workload};
-use wino_dse::{CachedEvaluator, DesignPoint, Evaluator};
-use wino_fpga::{Architecture, EngineResources, FpgaDevice, PowerModel, ResourceUsage};
+use wino_dse::{fft_context_latency_seconds, CachedEvaluator, DesignPoint, Evaluator};
+use wino_fpga::{fft_engine, Architecture, EngineResources, FpgaDevice, PowerModel, ResourceUsage};
 use wino_tensor::SplitMix64;
 
 /// One design candidate: a choice index per dimension of a
@@ -156,19 +157,44 @@ impl SearchSpace for HomogeneousSpace {
     }
 }
 
+/// The convolution algorithm assigned to one layer of a heterogeneous
+/// design — the per-layer counterpart of `wino_exec::EnginePlan`, kept
+/// separate so the search layer stays independent of the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// Direct spatial convolution (the universal fallback engine).
+    Spatial,
+    /// Tiled `F(m×m, r×r)` Winograd convolution.
+    Winograd(WinogradParams),
+    /// Overlap–save FFT convolution with per-layer FFT size `n`.
+    Fft {
+        /// FFT size (power of two, at least the layer's kernel size).
+        n: usize,
+    },
+}
+
+impl fmt::Display for AlgorithmChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgorithmChoice::Spatial => write!(f, "spatial"),
+            AlgorithmChoice::Winograd(p) => write!(f, "{p}"),
+            AlgorithmChoice::Fft { n } => write!(f, "FFT({n})"),
+        }
+    }
+}
+
 /// Per-layer engine configuration of a heterogeneous design.
 ///
 /// This is the hand-off point from search to execution: a full vector
 /// of these (one per workload layer, from
 /// [`HeterogeneousSpace::layer_designs`]) lowers to a runnable
-/// schedule via `wino_exec::Schedule::from_layer_designs`, where
-/// `m = 1` denotes the spatial fallback engine.
+/// schedule via `wino_exec::Schedule::from_layer_designs`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerDesign {
     /// Layer name.
     pub layer: String,
-    /// Algorithm the layer runs under (`m = 1` is the spatial engine).
-    pub params: WinogradParams,
+    /// Algorithm the layer runs under.
+    pub algo: AlgorithmChoice,
     /// Parallel PEs of this layer's engine context.
     pub pe_count: usize,
     /// Latency in milliseconds.
@@ -176,9 +202,11 @@ pub struct LayerDesign {
 }
 
 /// The heterogeneous per-layer space: every Winograd-eligible layer
-/// picks its own output-tile size `m` *and* its own PE allocation (a
-/// fraction of the multiplier budget), while ineligible layers run on a
-/// spatial fallback engine built from the full budget.
+/// picks its own algorithm — an output-tile size `m` from `m_choices`
+/// or (when [`HeterogeneousSpace::with_fft_sizes`] widens the space) an
+/// overlap–save FFT size `N` — *and* its own PE allocation (a fraction
+/// of the multiplier budget), while ineligible layers run on a spatial
+/// fallback engine built from the full budget.
 ///
 /// The hardware model is a time-multiplexed engine: layer contexts
 /// execute sequentially, the fabric must fit the largest context
@@ -192,6 +220,7 @@ pub struct HeterogeneousSpace {
     power: PowerModel,
     tiles: TileModel,
     m_choices: Vec<usize>,
+    fft_choices: Vec<usize>,
     alloc_choices: Vec<f64>,
     mult_budget: usize,
     freq_hz: f64,
@@ -259,6 +288,7 @@ impl HeterogeneousSpace {
             power: evaluator.power_model().clone(),
             tiles: evaluator.tile_model(),
             m_choices,
+            fft_choices: Vec::new(),
             alloc_choices,
             mult_budget,
             freq_hz,
@@ -272,6 +302,28 @@ impl HeterogeneousSpace {
     /// engine).
     pub fn with_pipeline_depth(mut self, depth: usize) -> HeterogeneousSpace {
         self.pipeline_depth = depth;
+        self
+    }
+
+    /// Widens every eligible layer's algorithm dimension with
+    /// overlap–save FFT engines of the given sizes, making the choice a
+    /// three-way {spatial, `F(m×m)`, `FFT(N)`} decision. The `m`
+    /// choices keep the low indices, so genomes built for the
+    /// Winograd-only space decode unchanged.
+    ///
+    /// An `FFT(N)` choice on a layer whose kernel exceeds `N` decodes
+    /// as invalid (the candidate evaluates infeasible), mirroring how
+    /// out-of-range `F(m, r)` transforms are handled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a size is not a power of two of at least 4.
+    pub fn with_fft_sizes(mut self, sizes: Vec<usize>) -> HeterogeneousSpace {
+        assert!(
+            sizes.iter().all(|&n| n >= 4 && n.is_power_of_two()),
+            "FFT sizes must be powers of two >= 4"
+        );
+        self.fft_choices = sizes;
         self
     }
 
@@ -299,8 +351,63 @@ impl HeterogeneousSpace {
         (0..self.dims()).map(|d| if d % 2 == 0 { m_index } else { alloc_index }).collect()
     }
 
+    /// Raw (algorithm-choice index, allocation fraction) of one
+    /// eligible-layer slot.
     fn slot(&self, genome: &[usize], slot: usize) -> (usize, f64) {
-        (self.m_choices[genome[2 * slot]], self.alloc_choices[genome[2 * slot + 1]])
+        (genome[2 * slot], self.alloc_choices[genome[2 * slot + 1]])
+    }
+
+    /// One eligible layer's design under algorithm-choice index `idx`
+    /// with `budget` multipliers: indices below `m_choices.len()` pick
+    /// a Winograd tile (with `m = 1` the spatial engine, as before),
+    /// the rest pick an FFT size. `None` when the choice cannot run the
+    /// layer (out-of-range transform, `N < r`, or an empty context).
+    fn decode_algo(
+        &self,
+        idx: usize,
+        shape: &wino_core::ConvShape,
+        budget: usize,
+    ) -> Option<(AlgorithmChoice, usize, f64)> {
+        let batch = self.workload.batch();
+        if let Some(&m) = self.m_choices.get(idx) {
+            let params = WinogradParams::new(m, shape.r).ok()?;
+            self.engines.get(&(m, shape.r))?.as_ref()?;
+            let pe = pe_count(budget, params);
+            if pe == 0 {
+                return None;
+            }
+            let latency_s = latency_seconds(
+                batch,
+                shape,
+                params,
+                pe as f64,
+                self.pipeline_depth,
+                self.freq_hz,
+                self.tiles,
+            );
+            let algo =
+                if m == 1 { AlgorithmChoice::Spatial } else { AlgorithmChoice::Winograd(params) };
+            return Some((algo, pe, latency_s));
+        }
+        let n = *self.fft_choices.get(idx - self.m_choices.len())?;
+        if n < shape.r {
+            return None;
+        }
+        // The FFT context's unit of parallelism is a complex MAC built
+        // from four real multipliers, so the budget packs budget/4 PEs.
+        let pe = budget / 4;
+        if pe == 0 {
+            return None;
+        }
+        let latency_s = fft_context_latency_seconds(
+            batch,
+            shape,
+            n,
+            (pe * 4) as f64,
+            self.pipeline_depth,
+            self.freq_hz,
+        );
+        Some((AlgorithmChoice::Fft { n }, pe, latency_s))
     }
 
     /// Decodes a genome into per-layer engine configurations (including
@@ -312,41 +419,66 @@ impl HeterogeneousSpace {
         {
             return None;
         }
-        let batch = self.workload.batch();
         let mut out = Vec::with_capacity(self.workload.layers().len());
         let mut next_slot = 0usize;
         for (li, layer) in self.workload.layers().iter().enumerate() {
-            let (m, frac) = if self.eligible.contains(&li) {
+            let (idx, frac) = if self.eligible.contains(&li) {
                 let s = self.slot(genome, next_slot);
                 next_slot += 1;
                 s
             } else {
-                (1, 1.0)
+                // Ineligible layers always run the spatial fallback,
+                // which sits at whatever index m = 1 occupies (or would
+                // occupy): decode it directly.
+                let budget = self.mult_budget;
+                let params = WinogradParams::new(1, layer.shape.r).ok()?;
+                self.engines.get(&(1, layer.shape.r))?.as_ref()?;
+                let pe = pe_count(budget, params);
+                if pe == 0 {
+                    return None;
+                }
+                let latency_s = latency_seconds(
+                    self.workload.batch(),
+                    &layer.shape,
+                    params,
+                    pe as f64,
+                    self.pipeline_depth,
+                    self.freq_hz,
+                    self.tiles,
+                );
+                out.push(LayerDesign {
+                    layer: layer.name.clone(),
+                    algo: AlgorithmChoice::Spatial,
+                    pe_count: pe,
+                    latency_ms: latency_s * 1e3,
+                });
+                continue;
             };
-            let params = WinogradParams::new(m, layer.shape.r).ok()?;
-            self.engines.get(&(m, layer.shape.r))?.as_ref()?;
             let budget = (self.mult_budget as f64 * frac) as usize;
-            let pe = pe_count(budget, params);
-            if pe == 0 {
-                return None;
-            }
-            let latency_s = latency_seconds(
-                batch,
-                &layer.shape,
-                params,
-                pe as f64,
-                self.pipeline_depth,
-                self.freq_hz,
-                self.tiles,
-            );
+            let (algo, pe, latency_s) = self.decode_algo(idx, &layer.shape, budget)?;
             out.push(LayerDesign {
                 layer: layer.name.clone(),
-                params,
+                algo,
                 pe_count: pe,
                 latency_ms: latency_s * 1e3,
             });
         }
         Some(out)
+    }
+
+    /// Resource usage of one design's engine context.
+    fn context_usage(&self, design: &LayerDesign, r: usize) -> ResourceUsage {
+        match design.algo {
+            AlgorithmChoice::Fft { n } => fft_engine(n, (design.pe_count * 4) as u64),
+            AlgorithmChoice::Winograd(params) => self.engines[&(params.m(), params.r())]
+                .as_ref()
+                .expect("layer_designs validated engines")
+                .estimate(Architecture::SharedTransform, design.pe_count),
+            AlgorithmChoice::Spatial => self.engines[&(1, r)]
+                .as_ref()
+                .expect("layer_designs validated engines")
+                .estimate(Architecture::SharedTransform, design.pe_count),
+        }
     }
 }
 
@@ -366,7 +498,7 @@ impl SearchSpace for HeterogeneousSpace {
 
     fn cardinality(&self, dim: usize) -> usize {
         if dim.is_multiple_of(2) {
-            self.m_choices.len()
+            self.m_choices.len() + self.fft_choices.len()
         } else {
             self.alloc_choices.len()
         }
@@ -379,11 +511,8 @@ impl SearchSpace for HeterogeneousSpace {
         let mut total_s = 0.0f64;
         let mut energy = 0.0f64;
         let mut fabric = ResourceUsage::default();
-        for design in &designs {
-            let est = self.engines[&(design.params.m(), design.params.r())]
-                .as_ref()
-                .expect("layer_designs validated engines");
-            let usage = est.estimate(Architecture::SharedTransform, design.pe_count);
+        for (design, layer) in designs.iter().zip(self.workload.layers()) {
+            let usage = self.context_usage(design, layer.shape.r);
             let latency_s = design.latency_ms / 1e3;
             total_s += latency_s;
             energy += latency_s * self.power.power_w(&usage, self.freq_hz);
@@ -411,7 +540,7 @@ impl SearchSpace for HeterogeneousSpace {
         match self.layer_designs(genome) {
             Some(designs) => designs
                 .iter()
-                .map(|d| format!("{}:{}x{}", d.layer, d.params, d.pe_count))
+                .map(|d| format!("{}:{}x{}", d.layer, d.algo, d.pe_count))
                 .collect::<Vec<_>>()
                 .join(" "),
             None => format!("invalid genome {genome:?}"),
@@ -519,6 +648,92 @@ mod tests {
         for (d, &v) in r.iter().enumerate() {
             assert!(v < space.cardinality(d));
         }
+    }
+
+    #[test]
+    fn fft_sizes_widen_the_algorithm_dimension_without_moving_m_indices() {
+        let ev = evaluator();
+        let space = HeterogeneousSpace::new(&ev, vec![2, 3, 4], vec![1.0], 700, 200e6)
+            .with_fft_sizes(vec![16, 32]);
+        assert_eq!(space.dims(), 26, "FFT widens cardinality, not dimensionality");
+        assert_eq!(space.cardinality(0), 5, "3 tile sizes + 2 FFT sizes");
+        assert_eq!(space.cardinality(1), 1, "allocation dimension untouched");
+        // The Winograd-only genome decodes exactly as before.
+        let genome = space.uniform_genome(2, 0);
+        let designs = space.layer_designs(&genome).unwrap();
+        assert!(designs
+            .iter()
+            .all(|d| matches!(d.algo, AlgorithmChoice::Winograd(p) if p.m() == 4)));
+        // Index 3 = FFT(16) everywhere: decodes, runs, and describes.
+        let fft_genome: Genome =
+            (0..space.dims()).map(|d| if d % 2 == 0 { 3 } else { 0 }).collect();
+        let designs = space.layer_designs(&fft_genome).unwrap();
+        assert!(designs
+            .iter()
+            .filter(|d| d.algo != AlgorithmChoice::Spatial)
+            .all(|d| d.algo == AlgorithmChoice::Fft { n: 16 }));
+        assert!(space.describe(&fft_genome).contains("FFT(16)"));
+        let eval = space.evaluate(&fft_genome);
+        assert!(eval.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn fft_wins_the_large_kernel_layer() {
+        // The acceptance scenario: a large-kernel stride-1 layer where
+        // the search should prefer FFT(32) over every Winograd tile.
+        let mut wl = wino_core::Workload::new("large-kernel", 1);
+        wl.push(
+            "conv_big",
+            "G",
+            wino_core::ConvShape { h: 64, w: 64, c: 24, k: 24, r: 11, stride: 1, pad: 5 },
+        );
+        let ev = Evaluator::new(wl, virtex7_485t());
+        let space = HeterogeneousSpace::new(&ev, vec![1, 2], vec![1.0], 700, 200e6)
+            .with_fft_sizes(vec![16, 32]);
+        assert_eq!(space.dims(), 2);
+        let latency_of = |algo_idx: usize| {
+            let designs = space.layer_designs(&[algo_idx, 0]).unwrap();
+            designs[0].latency_ms
+        };
+        let spatial = latency_of(0);
+        let wino = latency_of(1);
+        let fft32 = latency_of(3);
+        assert!(
+            fft32 < wino && fft32 < spatial,
+            "FFT(32) {fft32} vs F(2,11) {wino} / spatial {spatial}"
+        );
+        // And exhaustive search over the space lands on an FFT design.
+        let best = (0..space.size())
+            .map(|i| space.genome_at(i))
+            .filter(|g| space.evaluate(g).feasible)
+            .min_by(|a, b| space.evaluate(a).latency_ms.total_cmp(&space.evaluate(b).latency_ms))
+            .unwrap();
+        let designs = space.layer_designs(&best).unwrap();
+        assert!(matches!(designs[0].algo, AlgorithmChoice::Fft { .. }), "{:?}", designs[0].algo);
+    }
+
+    #[test]
+    fn fft_below_kernel_size_is_infeasible() {
+        let mut wl = wino_core::Workload::new("large-kernel", 1);
+        wl.push(
+            "conv_big",
+            "G",
+            wino_core::ConvShape { h: 64, w: 64, c: 8, k: 8, r: 11, stride: 1, pad: 5 },
+        );
+        let ev = Evaluator::new(wl, virtex7_485t());
+        let space =
+            HeterogeneousSpace::new(&ev, vec![1], vec![1.0], 700, 200e6).with_fft_sizes(vec![8]);
+        // Choice index 1 = FFT(8), but r = 11 > 8.
+        assert!(space.layer_designs(&[1, 0]).is_none());
+        assert!(!space.evaluate(&[1, 0]).feasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_power_of_two_fft_size_panics() {
+        let ev = evaluator();
+        let _ =
+            HeterogeneousSpace::new(&ev, vec![2], vec![1.0], 700, 200e6).with_fft_sizes(vec![12]);
     }
 
     #[test]

@@ -397,7 +397,7 @@ impl<T> DynamicBatcher<T> {
 
     /// Pops up to `limit` of `model`'s queued requests in release
     /// order (oldest request first, then class by class, FIFO within
-    /// each class — exactly the [`drain_batch`](Self::drain_batch)
+    /// each class — exactly the `drain_batch`
     /// policy with a caller-chosen size). This is the **continuous
     /// batching** entry point: a shard mid-flight through a batch
     /// calls it at a layer boundary to admit waiting requests into the

@@ -9,6 +9,14 @@
 //! transform generation or the whole-bank kernel transform; it only
 //! runs data through cached banks.
 //!
+//! The registry is engine-agnostic: every serving path runs through the
+//! prepared-backend contract (`wino_exec::ConvBackend` behind each
+//! cached plan), so a schedule mixing spatial, Winograd, and
+//! overlap–save FFT engines registers and serves exactly like a
+//! homogeneous one — FFT kernel *spectra* are precomputed at
+//! registration the same way Winograd `V`-banks are, and the batched
+//! and continuous-admission paths stay bitwise equal to solo runs.
+//!
 //! A request is identified by its *input seed*: the entry derives every
 //! layer's single-image input deterministically from the seed (same
 //! construction as `NetworkExecutor::layer_input`, per request), so any
@@ -442,6 +450,55 @@ mod tests {
         // Quantized and float variants genuinely differ.
         let float = registry.get(&"tinycnn-f32".into()).unwrap();
         assert_ne!(float.infer_one(1), entry.infer_one(1));
+    }
+
+    #[test]
+    fn fft_bearing_model_registers_and_serves_bitwise() {
+        // A heterogeneous schedule mixing all three backends: conv "a"
+        // on FFT(16), strided conv "b" spatial, conv "c" on Winograd.
+        use wino_search::{AlgorithmChoice, LayerDesign};
+        let mut wl = Workload::new("hetero", 4);
+        wl.push("a", "G", ConvShape::same_padded(12, 12, 2, 3, 5));
+        wl.push("b", "G", ConvShape { h: 12, w: 12, c: 3, k: 2, r: 3, stride: 2, pad: 1 });
+        wl.push("c", "G", ConvShape::same_padded(6, 6, 2, 2, 3));
+        let algos = [
+            AlgorithmChoice::Fft { n: 16 },
+            AlgorithmChoice::Spatial,
+            AlgorithmChoice::Winograd(wino_core::WinogradParams::new(2, 3).unwrap()),
+        ];
+        let designs: Vec<LayerDesign> = wl
+            .layers()
+            .iter()
+            .zip(algos)
+            .map(|(l, algo)| LayerDesign {
+                layer: l.name.clone(),
+                algo,
+                pe_count: 1,
+                latency_ms: 1.0,
+            })
+            .collect();
+        let schedule = Schedule::from_layer_designs(&wl, &designs).unwrap();
+        assert_eq!(schedule.fft_layers(), 1);
+
+        let mut registry = ModelRegistry::new();
+        registry.register("hetero-fft", wl, schedule, ExecConfig::with_threads(2), 42).unwrap();
+        let entry = registry.get(&"hetero-fft".into()).expect("registered");
+        assert_eq!(entry.executor().engine_label(0), "FFT(16)");
+
+        // Batched and continuous-admission serving both stay bitwise
+        // equal to solo runs through the FFT bank.
+        let seeds = [3u64, 14, 15];
+        for (&seed, got) in seeds.iter().zip(&entry.infer_batch(&seeds)) {
+            assert_eq!(got, &entry.infer_one(seed), "seed {seed}");
+        }
+        let admitted = entry.infer_batch_continuous(
+            vec![3u64, 14],
+            |&s| s,
+            |b| if b.next_layer == 1 { vec![15u64] } else { Vec::new() },
+        );
+        for (seed, output) in &admitted {
+            assert_eq!(output, &entry.infer_one(*seed), "admitted seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Three algorithm classes in one schedule — the pluggable backend
+//! layer end to end.
+//!
+//! A mixed workload (an 11×11 large-kernel stem, a strided
+//! downsampling layer, a bread-and-butter 3×3 layer) is searched over
+//! the three-way per-layer algorithm space {spatial, `F(m×m)`,
+//! `FFT(N)`}, the winning design lowers to a `wino-exec` schedule, and
+//! a `NetworkExecutor` runs it — one network, three convolution
+//! backends behind the same `ConvBackend` contract — then verifies
+//! every layer against the scalar spatial oracle.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_algorithms
+//! ```
+
+use winofpga::prelude::*;
+
+fn main() {
+    // A workload that *needs* heterogeneity: no single algorithm is
+    // right for all three layers.
+    let mut wl = Workload::new("mixed-algorithms", 2);
+    wl.push(
+        "stem-11x11",
+        "Stem",
+        ConvShape { h: 32, w: 32, c: 8, k: 16, r: 11, stride: 1, pad: 5 },
+    );
+    wl.push(
+        "down-3x3-s2",
+        "Mid",
+        ConvShape { h: 32, w: 32, c: 16, k: 16, r: 3, stride: 2, pad: 1 },
+    );
+    wl.push("conv-3x3", "Tail", ConvShape::same_padded(16, 16, 16, 32, 3));
+
+    // Search the widened genome: each stride-1 layer picks one of
+    // {spatial, F(2x2), F(4x4), FFT(16), FFT(32)} plus a PE allocation;
+    // the strided layer is pinned to the spatial fallback.
+    let evaluator = Evaluator::new(wl.clone(), virtex7_485t());
+    let space = HeterogeneousSpace::new(&evaluator, vec![1, 2, 4], vec![1.0], 700, 200e6)
+        .with_fft_sizes(vec![16, 32]);
+    println!(
+        "three-way algorithm space: {} eligible layers, {} dims, {} designs",
+        space.eligible_layers(),
+        space.dims(),
+        space.size()
+    );
+
+    let cache = EvalCache::new();
+    let mut archive = ParetoArchive::new();
+    let outcome =
+        Exhaustive::default().search(&space, &cache, SearchObjective::Latency, &mut archive);
+    let (genome, best) = outcome.best.expect("the spatial fallback always fits");
+    let designs = space.layer_designs(&genome).expect("best genome decodes");
+    println!("\nminimum-latency design ({:.3} ms modeled):", best.latency_ms);
+    for d in &designs {
+        println!(
+            "  {:<12} {:<10} x{:<3} PEs  {:>8.4} ms",
+            d.layer,
+            d.algo.to_string(),
+            d.pe_count,
+            d.latency_ms
+        );
+    }
+
+    // The model must have chosen all three algorithm classes — that is
+    // the point of the widened space on this workload.
+    assert!(
+        designs.iter().any(|d| matches!(d.algo, AlgorithmChoice::Fft { .. })),
+        "the 11x11 stem should map to FFT"
+    );
+    assert!(
+        designs.iter().any(|d| matches!(d.algo, AlgorithmChoice::Winograd(_))),
+        "the 3x3 layer should map to Winograd"
+    );
+    assert!(
+        designs.iter().any(|d| matches!(d.algo, AlgorithmChoice::Spatial)),
+        "the strided layer must fall back to spatial"
+    );
+
+    // Lower to a schedule and run it: one executor, three backends.
+    let schedule = Schedule::from_layer_designs(&wl, &designs).expect("design lowers");
+    println!("\n{schedule}");
+    let exec = NetworkExecutor::new(wl, schedule, ExecConfig::with_threads(2))
+        .expect("schedule validates");
+    let report = exec.run();
+    println!("{report}");
+    for i in 0..3 {
+        println!("  layer {} runs engine {}", i, exec.engine_label(i));
+    }
+
+    // Every backend — FFT included — must agree with the scalar
+    // spatial oracle.
+    match exec.verify(1e-3) {
+        Ok(worst) => println!("\noracle check passed: worst |deviation| = {worst:.3e}"),
+        Err(e) => panic!("oracle check failed: {e}"),
+    }
+}

@@ -94,7 +94,7 @@ fn main() {
         for d in designs {
             println!(
                 "  {:<10} {} x{:<3} PEs  {:>8.3} ms",
-                d.layer, d.params, d.pe_count, d.latency_ms
+                d.layer, d.algo, d.pe_count, d.latency_ms
             );
         }
     }

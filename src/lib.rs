@@ -108,18 +108,20 @@ pub mod prelude {
         WinogradParams, Workload,
     };
     pub use wino_dse::{
-        best_design, fig1, fig2, fig3, fig6, pareto_front, sweep_m, table1, table2, table2_text,
-        CachedEvaluator, DesignKey, DesignPoint, Evaluator, Metrics, Objective,
+        best_design, fft_context_latency_seconds, fig1, fig2, fig3, fig6, pareto_front, sweep_m,
+        table1, table2, table2_text, CachedEvaluator, DesignKey, DesignPoint, Evaluator, Metrics,
+        Objective,
     };
     pub use wino_engine::{EngineConfig, SimReport, WinogradEngine};
     pub use wino_exec::{
-        execute_plan, execute_plan_quantized, quant_error_bound, spatial_convolve_mt,
-        winograd_convolve, EnginePlan, ExecConfig, LayerPlan, LayerReport, NetworkExecutor,
-        NetworkReport, Precision, PreparedPlan, PreparedWinograd, QuantConfig, QuantError,
-        Schedule, ScheduleError, VerifyError,
+        execute_plan, execute_plan_quantized, fft_error_bound, quant_error_bound,
+        spatial_convolve_mt, winograd_convolve, ConvBackend, EnginePlan, ExecConfig, LayerPlan,
+        LayerReport, NetworkExecutor, NetworkReport, Precision, PreparedFft, PreparedPlan,
+        PreparedSpatial, PreparedWinograd, QuantConfig, QuantError, Schedule, ScheduleError,
+        VerifyError,
     };
     pub use wino_fpga::{
-        paper_calibrated_model, stratix_v_gt, virtex7_485t, zynq_7045, Architecture,
+        fft_engine, paper_calibrated_model, stratix_v_gt, virtex7_485t, zynq_7045, Architecture,
         EngineResources, FpgaDevice, PowerModel, ResourceUsage,
     };
     pub use wino_models::{alexnet, model_zoo, resnet18, shrink, tiny_cnn, vgg16d};
@@ -128,9 +130,9 @@ pub mod prelude {
         Recorder, Span, SpanRecord, TraceRecorder,
     };
     pub use wino_search::{
-        compare_strategies, EvalCache, Evaluation, Exhaustive, Genetic, Genome, Greedy,
-        HeterogeneousSpace, HomogeneousSpace, ParetoArchive, SearchObjective, SearchOutcome,
-        SearchSpace, SimulatedAnnealing, Strategy,
+        compare_strategies, AlgorithmChoice, EvalCache, Evaluation, Exhaustive, Genetic, Genome,
+        Greedy, HeterogeneousSpace, HomogeneousSpace, LayerDesign, ParetoArchive, SearchObjective,
+        SearchOutcome, SearchSpace, SimulatedAnnealing, Strategy,
     };
     pub use wino_serve::{
         AdmissionError, BatchConfig, ClassWaitSnapshot, Clock, DynamicBatcher, InferOutput,

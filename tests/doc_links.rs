@@ -102,6 +102,18 @@ fn the_documentation_spine_cross_references_itself() {
     assert!(arch.contains("TraceIndex"), "ARCHITECTURE must describe request tracing");
     assert!(arch.contains("FlightRecorder"), "ARCHITECTURE must describe the black box");
     assert!(arch.contains("SloEngine"), "ARCHITECTURE must describe the SLO engine");
+    // The pluggable backend layer and the FFT engine are on the map…
+    assert!(arch.contains("ConvBackend"), "ARCHITECTURE must describe the backend trait");
+    assert!(arch.contains("PreparedFft"), "ARCHITECTURE must describe the FFT backend");
+    // …and the algorithm crossover study is in the experiment book.
+    assert!(
+        experiments.contains("\"algorithms\""),
+        "EXPERIMENTS must document the algorithms section of BENCH_exec.json"
+    );
+    assert!(
+        experiments.contains("Algorithm crossover study"),
+        "EXPERIMENTS must document the crossover study"
+    );
 }
 
 #[test]
